@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and artifact recording.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes a human-readable artifact under ``benchmarks/results/`` so the
+regenerated rows/series survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps.crypt_kernel import build_crypt_ir
+from repro.explore import crypt_space, explore
+from repro.testcost import attach_test_costs
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Write a regenerated figure/table to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def crypt_exploration():
+    """The full Crypt design-space exploration, shared by the figure
+    benches (Fig. 2 measures it; Figs. 8/9 build on the same points)."""
+    workload = build_crypt_ir("password", "ab")
+    result = explore(workload, crypt_space())
+    attach_test_costs(result.pareto2d)
+    return result

@@ -1,0 +1,61 @@
+"""Ablation — bus count vs throughput and test cost.
+
+Buses are the TTA's central resource: more buses mean more parallel
+moves (shorter schedules) *and* cheaper functional tests (eq. 11's
+n_conn/n_b ratio and eq. 9/10's CD both relax).  This bench fixes the
+Fig. 9 component mix and sweeps only the bus count.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.apps.crypt_kernel import build_crypt_ir
+from repro.compiler import IRInterpreter, compile_ir
+from repro.explore import ArchConfig, RFConfig, build_architecture
+from repro.testcost import architecture_test_cost, transport_latency
+
+
+def test_bus_sweep(benchmark):
+    workload = build_crypt_ir("password", "ab")
+    profile = IRInterpreter(workload, width=16).run().block_counts
+
+    def sweep():
+        rows = []
+        for buses in (1, 2, 3, 4):
+            arch = build_architecture(
+                ArchConfig(num_buses=buses, rfs=(RFConfig(8), RFConfig(12)))
+            )
+            compiled = compile_ir(workload, arch, profile=profile)
+            breakdown = architecture_test_cost(arch)
+            rows.append(
+                (
+                    buses,
+                    compiled.static_cycles(profile),
+                    breakdown.total,
+                    transport_latency(arch, "alu0"),
+                    arch.area(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    cycles = [r[1] for r in rows]
+    test_costs = [r[2] for r in rows]
+    cds = [r[3] for r in rows]
+    areas = [r[4] for r in rows]
+    # throughput strictly improves from 1 to 3 buses on this workload
+    assert cycles[0] > cycles[1] > cycles[2]
+    # the ALU's transport latency relaxes from 5 to the eq. 9 minimum 3
+    assert cds[0] >= 4 and cds[-1] == 3
+    assert cds == sorted(cds, reverse=True)
+    # test cost never increases with more buses
+    assert all(a >= b for a, b in zip(test_costs, test_costs[1:]))
+    # area strictly grows with buses (the interconnect price)
+    assert areas == sorted(areas)
+
+    lines = [
+        "Ablation: bus count sweep (ALU+CMP+RF8+RF12+LSU+PC+IMM)",
+        f"{'buses':>6}{'cycles':>10}{'f_t':>8}{'CD(alu)':>9}{'area':>9}",
+    ]
+    for buses, cyc, ft, cd, area in rows:
+        lines.append(f"{buses:>6}{cyc:>10}{ft:>8}{cd:>9}{area:>9.0f}")
+    save_artifact("ablation_buses", "\n".join(lines))

@@ -1,0 +1,58 @@
+"""Ablation — march algorithm choice vs register-file test cost.
+
+Eq. 12's ``n_p`` is the march length over the register bank; the paper
+assumes marching patterns [14] without fixing the algorithm.  This bench
+prices the Fig. 9 RFs under MATS+ (5n), March X (6n), March Y (8n) and
+March C- (10n): cost scales with the algorithm's length while coverage
+of the memory fault classes grows (cf. tests/test_memtest.py).
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.explore import ArchConfig, RFConfig, build_architecture
+from repro.memtest import MARCH_ALGORITHMS
+from repro.testcost import architecture_test_cost
+
+_ORDER = ["MATS+", "March X", "March Y", "March C-"]
+
+
+def test_march_ablation(benchmark):
+    arch = build_architecture(
+        ArchConfig(num_buses=2, rfs=(RFConfig(8), RFConfig(12)))
+    )
+
+    def sweep():
+        return {
+            name: architecture_test_cost(arch, march_name=name)
+            for name in _ORDER
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rf_costs = {
+        name: (
+            breakdown.unit("rf0").component_cost,
+            breakdown.unit("rf1").component_cost,
+        )
+        for name, breakdown in results.items()
+    }
+    # longer march -> strictly higher RF cost, same ordering for both RFs
+    for earlier, later in zip(_ORDER, _ORDER[1:]):
+        assert rf_costs[earlier][0] < rf_costs[later][0]
+        assert rf_costs[earlier][1] < rf_costs[later][1]
+    # RF2 (12 regs) always costs more than RF1 (8 regs)
+    for name in _ORDER:
+        assert rf_costs[name][1] > rf_costs[name][0]
+
+    lines = [
+        "Ablation: march algorithm vs RF test cost (Fig. 9 register files)",
+        f"{'algorithm':<12}{'ops/word':>9}{'f_trf RF1(8)':>14}"
+        f"{'f_trf RF2(12)':>15}{'total f_t':>11}",
+    ]
+    for name in _ORDER:
+        march = MARCH_ALGORITHMS[name]
+        lines.append(
+            f"{name:<12}{march.ops_per_word:>9}"
+            f"{rf_costs[name][0]:>14}{rf_costs[name][1]:>15}"
+            f"{results[name].total:>11}"
+        )
+    save_artifact("ablation_march", "\n".join(lines))

@@ -1,0 +1,58 @@
+"""Fig. 6 — two identical FUs with different port->bus connectors.
+
+"the figure 6 shows the two identical components (FU1 = FU2) where
+ftf1 < ftf2 due to their different ports' connectors."  FU1's operand
+and trigger reach distinct buses (CD = 3 by eq. 9); FU2's two input
+ports share one bus (CD >= 4 by eq. 10), so its test cost is strictly
+larger although the hardware is identical.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.components.library import alu_spec, pc_spec
+from repro.testcost import architecture_test_cost, transport_latency
+from repro.tta import Architecture, UnitInstance
+
+
+def _fig6_architecture():
+    width = 16
+    units = [
+        UnitInstance("fu1", alu_spec(width)),
+        UnitInstance("fu2", alu_spec(width)),
+        UnitInstance("pc", pc_spec(width)),
+    ]
+    # FU2: both input ports tied to bus 0 (the Fig. 6 situation).
+    connectivity = {
+        ("fu2", "a"): frozenset({0}),
+        ("fu2", "b"): frozenset({0}),
+    }
+    return Architecture(
+        "fig6", width, num_buses=3, units=units, connectivity=connectivity
+    )
+
+
+def test_fig6_port_binding(benchmark):
+    arch = _fig6_architecture()
+    breakdown = benchmark.pedantic(
+        lambda: architecture_test_cost(arch), rounds=1, iterations=1
+    )
+
+    cd1 = transport_latency(arch, "fu1")
+    cd2 = transport_latency(arch, "fu2")
+    assert cd1 == 3, "distinct buses: eq. 9 minimum"
+    assert cd2 >= 4, "shared input bus: eq. 10"
+
+    ftf1 = breakdown.unit("fu1").component_cost
+    ftf2 = breakdown.unit("fu2").component_cost
+    assert ftf1 < ftf2, "identical FUs, different connectors -> ftf1 < ftf2"
+
+    save_artifact(
+        "fig6_port_binding",
+        "\n".join(
+            [
+                "Fig. 6 reproduction: identical FUs, different connectors",
+                f"FU1 (spread ports):  CD={cd1}  f_tfu={ftf1}",
+                f"FU2 (shared bus):    CD={cd2}  f_tfu={ftf2}",
+                f"ratio: {ftf2/ftf1:.2f}x",
+            ]
+        ),
+    )

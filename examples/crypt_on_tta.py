@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Run real Unix crypt(3) on a simulated TTA, bit-exactly.
+
+Compiles the 25x16-round salted-DES kernel onto a Fig. 9-style TTA,
+simulates it cycle by cycle (~100k cycles), and compares the final hash
+against the pure-Python reference — the strongest end-to-end check the
+reproduction has.
+
+Run:  python examples/crypt_on_tta.py [password] [salt]
+"""
+
+import sys
+import time
+
+from repro import (
+    ArchConfig,
+    RFConfig,
+    TTASimulator,
+    build_architecture,
+    build_crypt_ir,
+    crypt_output_from_memory,
+    unix_crypt,
+)
+from repro.compiler import IRInterpreter, compile_ir
+
+password = sys.argv[1] if len(sys.argv) > 1 else "password"
+salt = sys.argv[2] if len(sys.argv) > 2 else "ab"
+
+print(f"crypt({password!r}, {salt!r})")
+reference = unix_crypt(password, salt)
+print(f"  reference (pure Python):  {reference}")
+
+workload = build_crypt_ir(password, salt)
+profile = IRInterpreter(workload, width=16).run().block_counts
+
+arch = build_architecture(
+    ArchConfig(num_buses=2, rfs=(RFConfig(8), RFConfig(12)))
+)
+compiled = compile_ir(workload, arch, profile=profile)
+print(f"  compiled onto {arch.name}: {len(compiled.program)} instructions, "
+      f"{compiled.total_moves} static moves")
+
+start = time.time()
+sim = TTASimulator(arch, compiled.program)
+result = sim.run(max_cycles=5_000_000)
+hash_from_tta = crypt_output_from_memory(sim.dmem, salt)
+elapsed = time.time() - start
+
+print(f"  TTA simulation:           {hash_from_tta}")
+print(f"  {result.cycles} cycles, {result.moves_executed} moves executed, "
+      f"{result.ipc:.2f} moves/cycle ({elapsed:.1f}s wall)")
+
+if hash_from_tta == reference:
+    print("  MATCH — the TTA computed the identical hash.")
+else:
+    print("  MISMATCH — this is a bug, please report it.")
+    sys.exit(1)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no `wheel` package, so PEP 660
+editable installs (which shell out to bdist_wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on modern toolchains) work either way.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,177 @@
+"""repro — Design and Test Space Exploration of Transport-Triggered Architectures.
+
+A from-scratch reproduction of Zivkovic, Tangelder & Kerkhoff (DATE 2000):
+a MOVE-style TTA co-design flow (architecture template, compiler,
+cycle-accurate simulator), a gate-level component library with its own
+ATPG, and the paper's analytical test-cost model that turns design space
+exploration from (area, time) into (area, time, test).
+
+Quickstart::
+
+    from repro import (
+        build_crypt_ir, crypt_space, explore,
+        attach_test_costs, select_architecture,
+    )
+
+    workload = build_crypt_ir("password", "ab")
+    result = explore(workload, crypt_space())
+    attach_test_costs(result.pareto2d)
+    best = select_architecture(result.pareto3d)
+    print(best.point.label)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+# Architecture + simulation
+from repro.tta import (
+    Architecture,
+    Guard,
+    Instruction,
+    Literal,
+    Move,
+    PortRef,
+    Program,
+    SimResult,
+    TTASimulator,
+    UnitInstance,
+    assemble,
+    validate_program,
+)
+
+# Components
+from repro.components import (
+    ComponentKind,
+    ComponentSpec,
+    component_datasheet,
+    default_catalog,
+)
+
+# Compiler
+from repro.compiler import (
+    CompileResult,
+    IRBuilder,
+    IRFunction,
+    IRInterpreter,
+    compile_ir,
+    optimize_ir,
+)
+
+# ATPG / memory test / scan
+from repro.atpg import ATPGResult, FaultDictionary, run_atpg
+from repro.memtest import MARCH_ALGORITHMS, MARCH_CM, run_march
+from repro.scan import full_scan_cycles
+from repro.tta.encoding import MoveEncoder
+
+# Workloads
+from repro.apps import (
+    build_checksum_ir,
+    build_crypt_ir,
+    build_dotprod_ir,
+    build_fir_ir,
+    build_gcd_ir,
+    crypt_output_from_memory,
+    unix_crypt,
+)
+
+# Exploration + test cost + selection
+from repro.explore import (
+    ArchConfig,
+    EvaluatedPoint,
+    ExplorationResult,
+    RFConfig,
+    build_architecture,
+    crypt_space,
+    explore,
+    iterative_explore,
+    pareto_filter,
+    select_architecture,
+    small_space,
+)
+from repro.testcost import (
+    architecture_test_cost,
+    attach_test_costs,
+    build_table1,
+    format_table1,
+    schedule_tests,
+    sessions_from_breakdown,
+    transport_latency,
+)
+
+# VLIW extension
+from repro.vliw import fig7_template, test_order, vliw_test_cost
+
+# Result export
+from repro.reporting import (
+    exploration_to_csv,
+    exploration_to_json,
+    table1_to_csv,
+    table1_to_json,
+)
+
+__all__ = [
+    "ATPGResult",
+    "ArchConfig",
+    "Architecture",
+    "CompileResult",
+    "ComponentKind",
+    "ComponentSpec",
+    "EvaluatedPoint",
+    "ExplorationResult",
+    "Guard",
+    "IRBuilder",
+    "IRFunction",
+    "IRInterpreter",
+    "Instruction",
+    "Literal",
+    "MARCH_ALGORITHMS",
+    "MARCH_CM",
+    "Move",
+    "PortRef",
+    "Program",
+    "RFConfig",
+    "SimResult",
+    "TTASimulator",
+    "UnitInstance",
+    "architecture_test_cost",
+    "assemble",
+    "attach_test_costs",
+    "build_architecture",
+    "build_checksum_ir",
+    "build_crypt_ir",
+    "build_dotprod_ir",
+    "build_fir_ir",
+    "build_gcd_ir",
+    "build_table1",
+    "compile_ir",
+    "component_datasheet",
+    "crypt_output_from_memory",
+    "crypt_space",
+    "default_catalog",
+    "exploration_to_csv",
+    "exploration_to_json",
+    "explore",
+    "FaultDictionary",
+    "fig7_template",
+    "format_table1",
+    "table1_to_csv",
+    "table1_to_json",
+    "full_scan_cycles",
+    "iterative_explore",
+    "MoveEncoder",
+    "optimize_ir",
+    "pareto_filter",
+    "run_atpg",
+    "run_march",
+    "schedule_tests",
+    "select_architecture",
+    "sessions_from_breakdown",
+    "small_space",
+    "test_order",
+    "transport_latency",
+    "unix_crypt",
+    "validate_program",
+    "vliw_test_cost",
+]

@@ -1,0 +1,56 @@
+"""Workloads.
+
+The paper validates its flow on the Unix "Crypt" application [7] — DES-
+based password hashing.  This package provides:
+
+* :mod:`repro.apps.des` — a textbook DES (validated on published
+  vectors) plus a word-level "fast" formulation whose structure the TTA
+  kernel mirrors statement-for-statement;
+* :mod:`repro.apps.crypt3` — Unix crypt(3): 25 iterations of
+  salt-perturbed DES over a zero block, base64-encoded;
+* :mod:`repro.apps.crypt_kernel` — the crypt inner loop as compilable
+  IR for 16-bit TTAs (bit-exact against the reference);
+* :mod:`repro.apps.kernels` — smaller workloads (FIR, dot product,
+  GCD, checksum) for examples and exploration tests.
+"""
+
+from repro.apps.des import (
+    des_decrypt_block,
+    des_encrypt_block,
+    final_permutation,
+    initial_permutation,
+    key_schedule,
+    subkey_chunks,
+)
+from repro.apps.crypt3 import (
+    CRYPT_B64,
+    crypt_rounds_words,
+    salt_to_mask,
+    unix_crypt,
+)
+from repro.apps.crypt_kernel import build_crypt_ir, crypt_output_from_memory
+from repro.apps.kernels import (
+    build_checksum_ir,
+    build_dotprod_ir,
+    build_fir_ir,
+    build_gcd_ir,
+)
+
+__all__ = [
+    "CRYPT_B64",
+    "build_checksum_ir",
+    "build_crypt_ir",
+    "build_dotprod_ir",
+    "build_fir_ir",
+    "build_gcd_ir",
+    "crypt_output_from_memory",
+    "crypt_rounds_words",
+    "des_decrypt_block",
+    "des_encrypt_block",
+    "final_permutation",
+    "initial_permutation",
+    "key_schedule",
+    "salt_to_mask",
+    "subkey_chunks",
+    "unix_crypt",
+]

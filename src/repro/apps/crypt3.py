@@ -1,0 +1,163 @@
+"""Unix crypt(3): 25 iterations of salt-perturbed DES over a zero block.
+
+Two formulations are provided and asserted equal in the test suite:
+
+* the **reference** path through :mod:`repro.apps.des` (bit-level
+  permutations, readable, obviously-aligned with FIPS 46);
+* the **word-level** path (:func:`crypt_rounds_words`) that computes the
+  same 25 x 16 rounds on 16-bit words with precomputed SP tables and
+  subkey chunks — the exact algorithm the TTA kernel executes, expressed
+  in Python so the kernel generator has a statement-for-statement golden
+  model.
+
+Salt convention: the 12-bit salt swaps bit ``i`` of the first 24 expanded
+bits with bit ``i`` of the last 24 (LSB-first within each half), the
+classic E-box perturbation.  In chunk terms only two chunk pairs are
+affected: (c3, c7) under ``salt & 0x3F`` and (c2, c6) under
+``(salt >> 6) & 0x3F``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.apps.des import (
+    FP,
+    P,
+    des_rounds,
+    key_schedule,
+    permute,
+    sbox_lookup,
+    subkey_chunks,
+)
+
+#: crypt's base64 alphabet (not MIME's!).
+CRYPT_B64 = "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+#: Number of DES iterations in crypt(3).
+CRYPT_ITERATIONS = 25
+
+
+def password_to_key(password: str) -> int:
+    """Low 7 bits of the first eight password chars, each shifted left."""
+    key = 0
+    padded = (password[:8] + "\0" * 8)[:8]
+    for ch in padded:
+        key = (key << 8) | ((ord(ch) & 0x7F) << 1)
+    return key
+
+
+def salt_to_mask(salt: str) -> int:
+    """Two salt chars -> 12-bit E-box perturbation mask."""
+    if len(salt) < 2:
+        salt = (salt + "..")[:2]
+    mask = 0
+    for i, ch in enumerate(salt[:2]):
+        index = CRYPT_B64.find(ch)
+        if index < 0:
+            index = 0
+        mask |= index << (6 * i)
+    return mask
+
+
+def _encode64(value: int, bits: int) -> str:
+    """MSB-first 6-bit groups over ``bits`` bits, zero-padded at the end."""
+    out = []
+    pad = (6 - bits % 6) % 6
+    value <<= pad
+    bits += pad
+    for shift in range(bits - 6, -1, -6):
+        out.append(CRYPT_B64[(value >> shift) & 0x3F])
+    return "".join(out)
+
+
+def unix_crypt(password: str, salt: str) -> str:
+    """crypt(3): returns the classic 13-character hash."""
+    subkeys = key_schedule(password_to_key(password))
+    mask = salt_to_mask(salt)
+    left = right = 0
+    for _ in range(CRYPT_ITERATIONS):
+        left, right = des_rounds(left, right, subkeys, salt_mask=mask)
+        left, right = right, left   # preoutput feeds the next iteration
+    preoutput = (left << 32) | right
+    final = permute(preoutput, 64, FP)
+    return (salt + "..")[:2] + _encode64(final, 64)
+
+
+# ----------------------------------------------------------------------
+# word-level formulation (the TTA kernel's golden model)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=1)
+def sp_tables() -> list[list[int]]:
+    """``SP[j][v]`` = P(S_j(v)) as a 32-bit word with only box j's nibble."""
+    tables = []
+    for j in range(8):
+        table = []
+        for v in range(64):
+            nibble = sbox_lookup(j, v)
+            table.append(permute(nibble << (28 - 4 * j), 32, P))
+        tables.append(table)
+    return tables
+
+
+def _chunks_from_words(r1: int, r0: int) -> list[int]:
+    """The eight E-expansion chunks of R = (r1 << 16) | r0.
+
+    Each line below is exactly what the IR kernel emits (16-bit ops only).
+    """
+    return [
+        ((r0 & 1) << 5) | (r1 >> 11),
+        (r1 >> 7) & 63,
+        (r1 >> 3) & 63,
+        ((r1 << 1) | (r0 >> 15)) & 63,
+        (((r1 & 1) << 5) | (r0 >> 11)) & 63,
+        (r0 >> 7) & 63,
+        (r0 >> 3) & 63,
+        (((r0 & 31) << 1) | (r1 >> 15)) & 63,
+    ]
+
+
+def crypt_rounds_words(
+    password: str, salt: str, iterations: int = CRYPT_ITERATIONS
+) -> tuple[int, int, int, int]:
+    """25 x 16 crypt rounds on 16-bit words; returns (L1, L0, R1, R0).
+
+    The returned state already includes the per-DES swap, i.e. the
+    preoutput of the last iteration is ``(L << 32) | R``.
+    """
+    kchunks = subkey_chunks(key_schedule(password_to_key(password)))
+    mask = salt_to_mask(salt)
+    s0 = mask & 63          # perturbs pair (c3, c7)
+    s1 = (mask >> 6) & 63   # perturbs pair (c2, c6)
+    sp = sp_tables()
+
+    l1 = l0 = r1 = r0 = 0
+    for _ in range(iterations):
+        for rnd in range(16):
+            c = _chunks_from_words(r1, r0)
+            t = (c[3] ^ c[7]) & s0
+            c[3] ^= t
+            c[7] ^= t
+            u = (c[2] ^ c[6]) & s1
+            c[2] ^= u
+            c[6] ^= u
+            f1 = f0 = 0
+            for j in range(8):
+                entry = sp[j][c[j] ^ kchunks[rnd][j]]
+                f0 ^= entry & 0xFFFF
+                f1 ^= entry >> 16
+            nr0 = l0 ^ f0
+            nr1 = l1 ^ f1
+            l0, l1 = r0, r1
+            r0, r1 = nr0, nr1
+        # end of one DES: preoutput R||L becomes the next input block
+        l0, r0 = r0, l0
+        l1, r1 = r1, l1
+    return l1, l0, r1, r0
+
+
+def crypt_from_words(l1: int, l0: int, r1: int, r0: int, salt: str) -> str:
+    """Format a word-level final state as the 13-char crypt output."""
+    preoutput = (((l1 << 16) | l0) << 32) | ((r1 << 16) | r0)
+    final = permute(preoutput, 64, FP)
+    return (salt + "..")[:2] + _encode64(final, 64)

@@ -1,0 +1,159 @@
+"""The Crypt TTA kernel: crypt(3)'s 25 x 16 rounds as compilable IR.
+
+This is the paper's workload in compilable form.  The generator mirrors
+:func:`repro.apps.crypt3.crypt_rounds_words` statement for statement —
+same chunk extraction, same salt perturbation, same SP-table lookups —
+so the TTA-simulated result is bit-exact against the Python reference
+(asserted by the integration tests).
+
+Memory map (16-bit words):
+
+====================  =====================================================
+``OUT_ADDR``..+3       final state L1, L0, R1, R0
+``SP_BASE``            8 x 64 SP entries, 2 words each (lo, hi)
+``KEY_BASE``           16 rounds x 8 subkey chunks
+====================  =====================================================
+
+Only the round computation runs on the TTA; key scheduling (done once per
+password) and output formatting (FP + base64) stay on the host, exactly
+as the hot/cold split of a real crypt implementation.
+"""
+
+from __future__ import annotations
+
+from repro.apps.crypt3 import (
+    CRYPT_ITERATIONS,
+    crypt_from_words,
+    salt_to_mask,
+    sp_tables,
+)
+from repro.apps.des import key_schedule, subkey_chunks
+from repro.apps.crypt3 import password_to_key
+from repro.compiler.ir import IRBuilder, IRFunction
+
+OUT_ADDR = 16
+SP_BASE = 1024
+KEY_BASE = 3072
+
+
+def build_crypt_ir(
+    password: str,
+    salt: str,
+    iterations: int = CRYPT_ITERATIONS,
+) -> IRFunction:
+    """Generate the crypt kernel IR for one password/salt pair."""
+    mask = salt_to_mask(salt)
+    s0 = mask & 63
+    s1 = (mask >> 6) & 63
+
+    b = IRBuilder(f"crypt_{salt[:2]}")
+
+    # Data segment: SP tables and the password's subkey chunks.
+    sp = sp_tables()
+    for j in range(8):
+        for v in range(64):
+            entry = sp[j][v]
+            addr = SP_BASE + j * 128 + v * 2
+            b.data_word(addr, entry & 0xFFFF)
+            b.data_word(addr + 1, entry >> 16)
+    kchunks = subkey_chunks(key_schedule(password_to_key(password)))
+    for rnd in range(16):
+        for j in range(8):
+            b.data_word(KEY_BASE + rnd * 8 + j, kchunks[rnd][j])
+
+    # entry: zero state, iteration counter.
+    b.block("entry")
+    for name in ("%L1", "%L0", "%R1", "%R0"):
+        b.li(0, name)
+    b.li(iterations, "%iter")
+    b.jump("outer")
+
+    # outer: per-DES setup.
+    b.block("outer")
+    b.li(0, "%rnd")
+    b.li(KEY_BASE, "%kp")
+    b.jump("round")
+
+    # round: one Feistel round, fully unrolled over the 8 chunks.
+    b.block("round")
+    c = _emit_chunk_extraction(b)
+
+    # Salt perturbation on chunk pairs (c3,c7) and (c2,c6).
+    if s0:
+        t = b.and_(b.xor(c[3], c[7]), s0)
+        c[3] = b.xor(c[3], t)
+        c[7] = b.xor(c[7], t)
+    if s1:
+        u = b.and_(b.xor(c[2], c[6]), s1)
+        c[2] = b.xor(c[2], u)
+        c[6] = b.xor(c[6], u)
+
+    f0 = b.li(0)
+    f1 = b.li(0)
+    for j in range(8):
+        key = b.load(b.add("%kp", j))
+        index = b.xor(c[j], key)
+        addr = b.add(b.shl(index, 1), SP_BASE + j * 128)
+        f0 = b.xor(f0, b.load(addr))
+        f1 = b.xor(f1, b.load(b.add(addr, 1)))
+
+    nr0 = b.xor("%L0", f0)
+    nr1 = b.xor("%L1", f1)
+    b.mov("%R0", "%L0")
+    b.mov("%R1", "%L1")
+    b.mov(nr0, "%R0")
+    b.mov(nr1, "%R1")
+
+    b.add("%rnd", 1, "%rnd")
+    b.add("%kp", 8, "%kp")
+    more_rounds = b.ltu("%rnd", 16)
+    b.branch(more_rounds, "round", "desdone")
+
+    # desdone: swap halves (preoutput feeds the next iteration).
+    b.block("desdone")
+    b.mov("%L0", "%t0")
+    b.mov("%R0", "%L0")
+    b.mov("%t0", "%R0")
+    b.mov("%L1", "%t1")
+    b.mov("%R1", "%L1")
+    b.mov("%t1", "%R1")
+    b.sub("%iter", 1, "%iter")
+    more_iters = b.ne("%iter", 0)
+    b.branch(more_iters, "outer", "finish")
+
+    # finish: expose the state to the host.
+    b.block("finish")
+    b.store(OUT_ADDR + 0, "%L1")
+    b.store(OUT_ADDR + 1, "%L0")
+    b.store(OUT_ADDR + 2, "%R1")
+    b.store(OUT_ADDR + 3, "%R0")
+    b.halt()
+    return b.finish()
+
+
+def _emit_chunk_extraction(b: IRBuilder) -> list[str]:
+    """The eight E-chunks of R — mirrors ``_chunks_from_words`` exactly."""
+    r1, r0 = "%R1", "%R0"
+    c0 = b.or_(b.shl(b.and_(r0, 1), 5), b.shr(r1, 11))
+    c1 = b.and_(b.shr(r1, 7), 63)
+    c2 = b.and_(b.shr(r1, 3), 63)
+    c3 = b.and_(b.or_(b.shl(r1, 1), b.shr(r0, 15)), 63)
+    c4 = b.and_(b.or_(b.shl(b.and_(r1, 1), 5), b.shr(r0, 11)), 63)
+    c5 = b.and_(b.shr(r0, 7), 63)
+    c6 = b.and_(b.shr(r0, 3), 63)
+    c7 = b.and_(b.or_(b.shl(b.and_(r0, 31), 1), b.shr(r1, 15)), 63)
+    return [c0, c1, c2, c3, c4, c5, c6, c7]
+
+
+def crypt_output_from_memory(memory, salt: str, out_addr: int = OUT_ADDR) -> str:
+    """Assemble the 13-char hash from a simulated data memory.
+
+    ``memory`` is anything with dict-like ``get`` (the simulator's dmem)
+    or the IR interpreter's memory dict.
+    """
+    get = memory.get if hasattr(memory, "get") else memory.__getitem__
+    l1 = get(out_addr + 0, 0)
+    l0 = get(out_addr + 1, 0)
+    r1 = get(out_addr + 2, 0)
+    r0 = get(out_addr + 3, 0)
+    return crypt_from_words(l1, l0, r1, r0, salt)

@@ -1,0 +1,243 @@
+"""Smaller IR workloads for examples, tests and exploration sanity.
+
+Each builder returns an :class:`~repro.compiler.ir.IRFunction` plus a
+documented memory contract so the tests can check results against plain
+Python.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import IRBuilder, IRFunction
+
+
+def build_gcd_ir(x: int, y: int, out_addr: int = 100) -> IRFunction:
+    """Euclid by repeated subtraction; result word at ``out_addr``."""
+    b = IRBuilder("gcd")
+    b.block("entry")
+    b.li(x, "%x")
+    b.li(y, "%y")
+    b.jump("check")
+    b.block("check")
+    c = b.ne("%x", "%y")
+    b.branch(c, "body", "done")
+    b.block("body")
+    g = b.ltu("%x", "%y")
+    b.branch(g, "swapsub", "sub")
+    b.block("sub")
+    b.sub("%x", "%y", "%x")
+    b.jump("check")
+    b.block("swapsub")
+    b.sub("%y", "%x", "%y")
+    b.jump("check")
+    b.block("done")
+    b.store(out_addr, "%x")
+    b.halt()
+    return b.finish()
+
+
+def build_fir_ir(
+    samples: list[int],
+    taps: list[int],
+    x_base: int = 200,
+    h_base: int = 400,
+    y_base: int = 600,
+) -> IRFunction:
+    """FIR filter: ``y[i] = sum_k h[k] * x[i - k]`` (needs a MUL unit).
+
+    Out-of-range history reads as zero; output length equals the input
+    length.
+    """
+    n, k = len(samples), len(taps)
+    b = IRBuilder("fir")
+    b.data_table(x_base, samples)
+    b.data_table(h_base, taps)
+
+    b.block("entry")
+    b.li(0, "%i")
+    b.jump("outer")
+
+    b.block("outer")
+    b.li(0, "%acc")
+    b.li(0, "%k")
+    b.jump("inner_check")
+
+    b.block("inner_check")
+    km = b.ltu("%k", k)
+    b.branch(km, "inner", "emit")
+
+    b.block("inner")
+    idx = b.sub("%i", "%k")
+    in_range = b.ltu(idx, n)          # unsigned: negative wraps high
+    b.branch(in_range, "acc", "inner_next")
+
+    b.block("acc")
+    xval = b.load(b.add(b.sub("%i", "%k"), x_base))
+    hval = b.load(b.add("%k", h_base))
+    prod = b.mul(xval, hval)
+    b.add("%acc", prod, "%acc")
+    b.jump("inner_next")
+
+    b.block("inner_next")
+    b.add("%k", 1, "%k")
+    b.jump("inner_check")
+
+    b.block("emit")
+    b.store(b.add("%i", y_base), "%acc")
+    b.add("%i", 1, "%i")
+    done = b.ltu("%i", n)
+    b.branch(done, "outer", "exit")
+
+    b.block("exit")
+    b.halt()
+    return b.finish()
+
+
+def fir_reference(samples: list[int], taps: list[int], width: int = 16) -> list[int]:
+    """Plain-Python FIR matching :func:`build_fir_ir`."""
+    mask = (1 << width) - 1
+    out = []
+    for i in range(len(samples)):
+        acc = 0
+        for k, tap in enumerate(taps):
+            if 0 <= i - k < len(samples):
+                acc += samples[i - k] * tap
+        out.append(acc & mask)
+    return out
+
+
+def build_dotprod_ir(
+    a: list[int],
+    bvec: list[int],
+    a_base: int = 200,
+    b_base: int = 400,
+    out_addr: int = 100,
+) -> IRFunction:
+    """Dot product of two equal-length vectors (needs a MUL unit)."""
+    if len(a) != len(bvec):
+        raise ValueError("vectors must have equal length")
+    n = len(a)
+    b = IRBuilder("dotprod")
+    b.data_table(a_base, a)
+    b.data_table(b_base, bvec)
+
+    b.block("entry")
+    b.li(0, "%i")
+    b.li(0, "%acc")
+    b.jump("loop")
+
+    b.block("loop")
+    x = b.load(b.add("%i", a_base))
+    y = b.load(b.add("%i", b_base))
+    b.add("%acc", b.mul(x, y), "%acc")
+    b.add("%i", 1, "%i")
+    c = b.ltu("%i", n)
+    b.branch(c, "loop", "done")
+
+    b.block("done")
+    b.store(out_addr, "%acc")
+    b.halt()
+    return b.finish()
+
+
+def build_checksum_ir(
+    words: list[int],
+    base: int = 200,
+    out_addr: int = 100,
+) -> IRFunction:
+    """Rotating XOR/add checksum over a memory block (ALU-only)."""
+    n = len(words)
+    b = IRBuilder("checksum")
+    b.data_table(base, words)
+
+    b.block("entry")
+    b.li(0, "%i")
+    b.li(0, "%sum")
+    b.jump("loop")
+
+    b.block("loop")
+    w = b.load(b.add("%i", base))
+    rot = b.or_(b.shl("%sum", 1), b.shr("%sum", 15))
+    b.xor(rot, w, "%sum")
+    b.add("%i", 1, "%i")
+    c = b.ltu("%i", n)
+    b.branch(c, "loop", "done")
+
+    b.block("done")
+    b.store(out_addr, "%sum")
+    b.halt()
+    return b.finish()
+
+
+def checksum_reference(words: list[int], width: int = 16) -> int:
+    """Plain-Python model of :func:`build_checksum_ir`."""
+    mask = (1 << width) - 1
+    total = 0
+    for w in words:
+        rot = ((total << 1) | (total >> (width - 1))) & mask
+        total = rot ^ (w & mask)
+    return total
+
+
+def build_crc16_ir(
+    words: list[int],
+    base: int = 200,
+    out_addr: int = 100,
+    poly: int = 0x1021,
+) -> IRFunction:
+    """CRC-16 (CCITT polynomial) over a memory block, bit-serial.
+
+    The closest cousin of the Crypt workload: a tight shift/xor inner
+    loop with a data-dependent branch, 16 iterations per word.
+    """
+    n = len(words)
+    b = IRBuilder("crc16")
+    b.data_table(base, words)
+
+    b.block("entry")
+    b.li(0, "%i")
+    b.li(0xFFFF, "%crc")
+    b.jump("word_loop")
+
+    b.block("word_loop")
+    w = b.load(b.add("%i", base))
+    b.xor("%crc", w, "%crc")
+    b.li(0, "%bit")
+    b.jump("bit_loop")
+
+    b.block("bit_loop")
+    msb = b.and_(b.shr("%crc", 15), 1)
+    b.shl("%crc", 1, "%crc")
+    taken = b.ne(msb, 0)
+    b.branch(taken, "apply_poly", "bit_next")
+
+    b.block("apply_poly")
+    b.xor("%crc", poly, "%crc")
+    b.jump("bit_next")
+
+    b.block("bit_next")
+    b.add("%bit", 1, "%bit")
+    more = b.ltu("%bit", 16)
+    b.branch(more, "bit_loop", "word_next")
+
+    b.block("word_next")
+    b.add("%i", 1, "%i")
+    more_words = b.ltu("%i", n)
+    b.branch(more_words, "word_loop", "done")
+
+    b.block("done")
+    b.store(out_addr, "%crc")
+    b.halt()
+    return b.finish()
+
+
+def crc16_reference(words: list[int], poly: int = 0x1021) -> int:
+    """Plain-Python model of :func:`build_crc16_ir`."""
+    crc = 0xFFFF
+    for w in words:
+        crc ^= w & 0xFFFF
+        for _ in range(16):
+            msb = (crc >> 15) & 1
+            crc = (crc << 1) & 0xFFFF
+            if msb:
+                crc ^= poly
+    return crc

@@ -1,0 +1,130 @@
+"""Dictionary-based fault diagnosis.
+
+The inverse problem of ATPG: given the set of patterns that *failed* on
+a manufactured part, rank candidate stuck-at faults by how well their
+simulated signatures explain the observation.  This is the classic
+fault-dictionary method; with the paper's functional test (patterns
+applied through the sockets) the same dictionary localises a failure to
+a component and a fault site.
+
+Scoring per candidate fault:
+
+* ``exact``   — signature identical to the observation;
+* otherwise Jaccard similarity of the failing-pattern sets (a fault that
+  explains many observed failures while predicting few unobserved ones
+  scores high).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atpg.faults import Fault, collapse_faults
+from repro.atpg.faultsim import WORD, FaultSimulator
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class DiagnosisCandidate:
+    """One ranked explanation of the observed failures."""
+
+    fault: Fault
+    score: float
+    exact: bool
+    predicted_failures: int
+
+    def describe(self, netlist: Netlist) -> str:
+        tag = "exact" if self.exact else f"{self.score:.2f}"
+        return f"{self.fault.describe(netlist)} [{tag}]"
+
+
+class FaultDictionary:
+    """Per-fault failing-pattern signatures over a fixed pattern set."""
+
+    def __init__(self, netlist: Netlist, patterns: list[int]):
+        self.netlist = netlist
+        self.patterns = list(patterns)
+        self._faults, _ = collapse_faults(netlist)
+        self._signatures = self._build()
+
+    def _build(self) -> dict[Fault, int]:
+        sim = FaultSimulator(self.netlist)
+        signatures: dict[Fault, int] = {f: 0 for f in self._faults}
+        for base in range(0, len(self.patterns), WORD):
+            chunk = self.patterns[base : base + WORD]
+            results = sim.simulate_word(chunk, self._faults)
+            for fault, mask in results.items():
+                signatures[fault] |= mask << base
+        return signatures
+
+    @property
+    def num_faults(self) -> int:
+        return len(self._faults)
+
+    def signature_of(self, fault: Fault) -> int:
+        return self._signatures[fault]
+
+    def expected_failures(self, fault: Fault) -> list[int]:
+        """Pattern indices this fault would fail."""
+        sig = self._signatures[fault]
+        return [i for i in range(len(self.patterns)) if (sig >> i) & 1]
+
+    # ------------------------------------------------------------------
+    def diagnose(
+        self,
+        failing_patterns: list[int],
+        max_candidates: int = 10,
+    ) -> list[DiagnosisCandidate]:
+        """Rank faults against an observed set of failing pattern indices."""
+        observed = 0
+        for index in failing_patterns:
+            if not 0 <= index < len(self.patterns):
+                raise ValueError(f"pattern index {index} out of range")
+            observed |= 1 << index
+        if observed == 0:
+            return []
+
+        candidates: list[DiagnosisCandidate] = []
+        for fault, signature in self._signatures.items():
+            if signature == 0:
+                continue
+            intersection = (signature & observed).bit_count()
+            if intersection == 0:
+                continue
+            union = (signature | observed).bit_count()
+            score = intersection / union
+            candidates.append(
+                DiagnosisCandidate(
+                    fault=fault,
+                    score=score,
+                    exact=signature == observed,
+                    predicted_failures=signature.bit_count(),
+                )
+            )
+        candidates.sort(
+            key=lambda c: (-c.score, c.predicted_failures, repr(c.fault))
+        )
+        return candidates[:max_candidates]
+
+    def diagnose_responses(
+        self,
+        responses: list[list[int]],
+        max_candidates: int = 10,
+    ) -> list[DiagnosisCandidate]:
+        """Diagnose from raw per-pattern output words (device responses)."""
+        if len(responses) != len(self.patterns):
+            raise ValueError("one response vector per pattern required")
+        failing = []
+        for index, (pattern, response) in enumerate(
+            zip(self.patterns, responses)
+        ):
+            pi_map = {
+                pi: (pattern >> i) & 1
+                for i, pi in enumerate(self.netlist.inputs)
+            }
+            golden = [
+                v & 1 for v in self.netlist.evaluate_outputs(pi_map, 1)
+            ]
+            if golden != [v & 1 for v in response]:
+                failing.append(index)
+        return self.diagnose(failing, max_candidates)

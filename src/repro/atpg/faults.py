@@ -1,0 +1,139 @@
+"""Single stuck-at fault model with structural equivalence collapsing.
+
+Fault sites follow the classic convention: one pair of faults per *stem*
+(every driven or primary-input net) and one pair per *branch* (a gate
+input pin whose source net fans out to more than one load; single-load
+pins are identical to their stem).
+
+Equivalence collapsing applies the standard gate-local rules
+
+* BUF:  in s-a-v  ==  out s-a-v          * NOT:  in s-a-v  ==  out s-a-(1-v)
+* AND:  in s-a-0  ==  out s-a-0          * NAND: in s-a-0  ==  out s-a-1
+* OR:   in s-a-1  ==  out s-a-1          * NOR:  in s-a-1  ==  out s-a-0
+
+via union-find, keeping one representative per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.cells import CellType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One single stuck-at fault.
+
+    ``gate``/``pin`` are set for branch (gate-input) faults and ``None``
+    for stem faults; ``net`` is always the electrical net of the site.
+    """
+
+    net: int
+    stuck_at: int
+    gate: int | None = None
+    pin: int | None = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.gate is not None
+
+    def describe(self, netlist: Netlist) -> str:
+        base = f"{netlist.net_name(self.net)} s-a-{self.stuck_at}"
+        if self.is_branch:
+            return f"{base} @ gate g{self.gate}.pin{self.pin}"
+        return base
+
+
+def enumerate_faults(netlist: Netlist) -> list[Fault]:
+    """All stem and branch stuck-at faults of a netlist (uncollapsed)."""
+    faults: list[Fault] = []
+    for net in netlist.nets:
+        is_stem = net.driver is not None or net.nid in netlist.inputs
+        is_used = net.fanout or net.nid in netlist.outputs
+        if is_stem and is_used:
+            faults.append(Fault(net.nid, 0))
+            faults.append(Fault(net.nid, 1))
+    for gate in netlist.gates:
+        for pin, src in enumerate(gate.inputs):
+            if len(netlist.nets[src].fanout) > 1:
+                faults.append(Fault(src, 0, gate=gate.gid, pin=pin))
+                faults.append(Fault(src, 1, gate=gate.gid, pin=pin))
+    return faults
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[Fault, Fault] = {}
+
+    def find(self, item: Fault) -> Fault:
+        parent = self._parent.setdefault(item, item)
+        if parent is item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+#: (equivalent input value, output value) per collapsible cell type.
+_EQUIV_RULES: dict[CellType, tuple[int, int]] = {
+    CellType.AND: (0, 0),
+    CellType.NAND: (0, 1),
+    CellType.OR: (1, 1),
+    CellType.NOR: (1, 0),
+}
+
+
+def collapse_faults(
+    netlist: Netlist, faults: list[Fault] | None = None
+) -> tuple[list[Fault], dict[Fault, Fault]]:
+    """Equivalence-collapse a fault list.
+
+    Returns ``(representatives, class_map)`` where ``class_map`` sends
+    every original fault to its class representative.
+    """
+    if faults is None:
+        faults = enumerate_faults(netlist)
+    fault_set = set(faults)
+    uf = _UnionFind()
+
+    def pin_fault(gate_id: int, pin: int, src: int, value: int) -> Fault:
+        branch = Fault(src, value, gate=gate_id, pin=pin)
+        if branch in fault_set:
+            return branch
+        return Fault(src, value)
+
+    for gate in netlist.gates:
+        out = gate.output
+        out0, out1 = Fault(out, 0), Fault(out, 1)
+        if out0 not in fault_set:
+            continue
+        if gate.cell_type is CellType.BUF:
+            uf.union(out0, pin_fault(gate.gid, 0, gate.inputs[0], 0))
+            uf.union(out1, pin_fault(gate.gid, 0, gate.inputs[0], 1))
+        elif gate.cell_type is CellType.NOT:
+            uf.union(out1, pin_fault(gate.gid, 0, gate.inputs[0], 0))
+            uf.union(out0, pin_fault(gate.gid, 0, gate.inputs[0], 1))
+        elif gate.cell_type in _EQUIV_RULES:
+            in_val, out_val = _EQUIV_RULES[gate.cell_type]
+            out_fault = out1 if out_val else out0
+            for pin, src in enumerate(gate.inputs):
+                candidate = pin_fault(gate.gid, pin, src, in_val)
+                if candidate in fault_set:
+                    uf.union(out_fault, candidate)
+
+    class_map = {f: uf.find(f) for f in faults}
+    seen: set[Fault] = set()
+    representatives: list[Fault] = []
+    for f in faults:
+        rep = class_map[f]
+        if rep not in seen:
+            seen.add(rep)
+            representatives.append(rep)
+    return representatives, class_map

@@ -1,0 +1,48 @@
+"""MOVE-like compiler: IR -> scheduled move programs.
+
+The paper's flow uses the MOVE co-design framework to compile C/C++ onto
+candidate TTAs.  Our substitute keeps the part that matters for design
+space exploration — *transport scheduling under the timing relations
+(2)-(8) and the architecture's bus/port resources* — and replaces the C
+frontend with a small IR builder DSL (:class:`~repro.compiler.ir.IRBuilder`).
+
+* :mod:`repro.compiler.ir` — three-address IR with basic blocks;
+* :mod:`repro.compiler.interp` — reference interpreter + block profiler;
+* :mod:`repro.compiler.regalloc` — RF allocation with spilling;
+* :mod:`repro.compiler.scheduler` — transport list scheduler + codegen.
+"""
+
+from repro.compiler.ir import (
+    Block,
+    Branch,
+    Halt,
+    IRBuilder,
+    IRFunction,
+    IRError,
+    Jump,
+    Op,
+)
+from repro.compiler.interp import IRInterpreter, InterpResult
+from repro.compiler.optimizer import optimize_ir
+from repro.compiler.regalloc import AllocationError, RegisterAllocation, allocate
+from repro.compiler.scheduler import CompileResult, ScheduleError, compile_ir
+
+__all__ = [
+    "AllocationError",
+    "Block",
+    "Branch",
+    "CompileResult",
+    "Halt",
+    "IRBuilder",
+    "IRError",
+    "IRFunction",
+    "IRInterpreter",
+    "InterpResult",
+    "Jump",
+    "Op",
+    "RegisterAllocation",
+    "ScheduleError",
+    "allocate",
+    "compile_ir",
+    "optimize_ir",
+]

@@ -1,0 +1,146 @@
+"""IR reference interpreter and block-frequency profiler.
+
+Two jobs:
+
+* **golden execution** — IR-authored workloads (the Crypt kernel) are
+  validated against their pure-Python references before any TTA is
+  involved, so compiler bugs and workload bugs cannot hide each other;
+* **profiling** — per-block execution counts feed the explorer's cycle
+  estimate (``cycles = sum(block_schedule_length * block_count)``),
+  exactly the role profiling plays inside the MOVE framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.components.reference import (
+    alu_reference,
+    cmp_reference,
+    lsu_extend_reference,
+    mul_reference,
+)
+from repro.compiler.ir import (
+    ALU_OPCODES,
+    CMP_OPCODES,
+    LOAD_OPCODES,
+    Branch,
+    Halt,
+    IRError,
+    IRFunction,
+    Jump,
+)
+from repro.util.bitops import mask
+
+_LOAD_MODE = {
+    "ld": "word",
+    "ld_ls": "low_signed",
+    "ld_lu": "low_unsigned",
+    "ld_h": "high",
+}
+
+
+@dataclass
+class InterpResult:
+    """Final machine state plus the profile."""
+
+    regs: dict[str, int]
+    memory: dict[int, int]
+    block_counts: dict[str, int]
+    ops_executed: int
+    halted: bool
+
+    def count(self, block: str) -> int:
+        return self.block_counts.get(block, 0)
+
+
+@dataclass
+class IRInterpreter:
+    """Executes an :class:`IRFunction` at a given word width."""
+
+    fn: IRFunction
+    width: int = 16
+    max_ops: int = 10_000_000
+    regs: dict[str, int] = field(default_factory=dict)
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def _value(self, operand: str | int | None) -> int:
+        if operand is None:
+            raise IRError("missing operand")
+        if isinstance(operand, int):
+            return operand & mask(self.width)
+        try:
+            return self.regs[operand]
+        except KeyError:
+            raise IRError(f"read of undefined vreg {operand!r}") from None
+
+    def run(self, initial_regs: dict[str, int] | None = None) -> InterpResult:
+        self.fn.validate()
+        m = mask(self.width)
+        self.regs = {k: v & m for k, v in (initial_regs or {}).items()}
+        self.memory = dict(self.fn.data)
+        counts: dict[str, int] = {}
+        executed = 0
+        halted = False
+
+        block = self.fn.blocks[self.fn.entry]
+        while True:
+            counts[block.name] = counts.get(block.name, 0) + 1
+            for op in block.ops:
+                executed += 1
+                if executed > self.max_ops:
+                    raise IRError(f"op budget exceeded in {self.fn.name}")
+                self._execute(op)
+            term = block.terminator
+            if isinstance(term, Halt):
+                halted = True
+                break
+            if isinstance(term, Jump):
+                block = self.fn.blocks[term.target]
+                continue
+            assert isinstance(term, Branch)
+            taken = bool(self._value(term.cond)) ^ term.invert
+            block = self.fn.blocks[term.if_true if taken else term.if_false]
+
+        return InterpResult(
+            regs=dict(self.regs),
+            memory=dict(self.memory),
+            block_counts=counts,
+            ops_executed=executed,
+            halted=halted,
+        )
+
+    def _execute(self, op) -> None:
+        m = mask(self.width)
+        if op.opcode == "li":
+            self.regs[op.dst] = int(op.a) & m
+            return
+        if op.opcode == "mov":
+            self.regs[op.dst] = self._value(op.a)
+            return
+        if op.opcode in ALU_OPCODES:
+            self.regs[op.dst] = alu_reference(
+                op.opcode, self._value(op.a), self._value(op.b), self.width
+            )
+            return
+        if op.opcode == "mul":
+            self.regs[op.dst] = mul_reference(
+                self._value(op.a), self._value(op.b), self.width
+            )
+            return
+        if op.opcode in CMP_OPCODES:
+            self.regs[op.dst] = cmp_reference(
+                op.opcode, self._value(op.a), self._value(op.b), self.width
+            )
+            return
+        if op.opcode in LOAD_OPCODES:
+            addr = self._value(op.a)
+            raw = self.memory.get(addr, 0)
+            self.regs[op.dst] = lsu_extend_reference(
+                _LOAD_MODE[op.opcode], raw, self.width
+            )
+            return
+        if op.opcode == "st":
+            self.memory[self._value(op.a)] = self._value(op.b)
+            return
+        raise IRError(f"interpreter cannot execute {op.opcode!r}")

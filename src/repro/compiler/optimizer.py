@@ -1,0 +1,193 @@
+"""IR-level optimisations: constant folding, local CSE, dead-code removal.
+
+The MOVE compiler runs classic scalar optimisations before transport
+scheduling; these are the three with the largest effect on our workloads
+(the crypt kernel's address arithmetic folds heavily).  All passes are
+semantics-preserving per block plus a global liveness-driven DCE; the
+test suite checks every pass against the IR interpreter on randomised
+programs.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    ALU_OPCODES,
+    CMP_OPCODES,
+    Block,
+    Branch,
+    IRFunction,
+    Op,
+)
+from repro.compiler.regalloc import liveness
+from repro.components.reference import alu_reference, cmp_reference, mul_reference
+
+#: Opcodes that are pure functions of their operands (foldable/CSE-able).
+_PURE = ALU_OPCODES | CMP_OPCODES | {"mul", "mov", "li"}
+
+#: Commutative opcodes (operands sorted for CSE keying).
+_COMMUTATIVE = {"add", "and", "or", "xor", "mul", "eq", "ne"}
+
+
+def optimize_ir(
+    fn: IRFunction,
+    width: int = 16,
+    fold_constants: bool = True,
+    cse: bool = True,
+    dce: bool = True,
+) -> IRFunction:
+    """Return an optimised copy of ``fn`` (the input is not mutated)."""
+    out = IRFunction(fn.name, entry=fn.entry, data=dict(fn.data))
+    for name, block in fn.blocks.items():
+        ops = list(block.ops)
+        terminator = block.terminator
+        if fold_constants:
+            ops = _fold_block(ops, width)
+        if cse:
+            ops = _cse_block(ops)
+        out.blocks[name] = Block(name, ops, terminator)
+    if dce:
+        _dce(out)
+    out.validate()
+    return out
+
+
+# ----------------------------------------------------------------------
+# constant folding + copy/constant propagation (local)
+# ----------------------------------------------------------------------
+def _evaluate(opcode: str, a: int, b: int | None, width: int) -> int | None:
+    if opcode in ALU_OPCODES:
+        return alu_reference(opcode, a, b, width)
+    if opcode in CMP_OPCODES:
+        return cmp_reference(opcode, a, b, width)
+    if opcode == "mul":
+        return mul_reference(a, b, width)
+    return None
+
+
+def _fold_block(ops: list[Op], width: int) -> list[Op]:
+    """Propagate known constants/copies and fold pure ops on literals.
+
+    Constants are tracked per vreg *within the block only*; a vreg that
+    is redefined invalidates its entry.  Redefinition of a vreg used
+    across blocks stays visible because the folded op still writes it.
+    """
+    known: dict[str, int] = {}      # vreg -> constant value
+    copies: dict[str, str] = {}     # vreg -> original vreg
+
+    def resolve(operand):
+        if isinstance(operand, str):
+            operand = copies.get(operand, operand)
+            if operand in known:
+                return known[operand]
+        return operand
+
+    folded: list[Op] = []
+    for op in ops:
+        a = resolve(op.a)
+        b = resolve(op.b)
+        if op.dst is not None:
+            known.pop(op.dst, None)
+            copies.pop(op.dst, None)
+            # any copy chains through dst are now stale
+            stale = [k for k, v in copies.items() if v == op.dst]
+            for k in stale:
+                del copies[k]
+
+        if op.opcode == "li":
+            known[op.dst] = int(op.a) & ((1 << width) - 1)
+            folded.append(Op("li", op.dst, known[op.dst]))
+            continue
+        if op.opcode == "mov":
+            if isinstance(a, int):
+                known[op.dst] = a
+                folded.append(Op("li", op.dst, a))
+            else:
+                copies[op.dst] = a
+                folded.append(Op("mov", op.dst, a))
+            continue
+        if (
+            op.opcode in _PURE
+            and isinstance(a, int)
+            and (op.b is None or isinstance(b, int))
+        ):
+            value = _evaluate(op.opcode, a, b, width)
+            if value is not None:
+                known[op.dst] = value
+                folded.append(Op("li", op.dst, value))
+                continue
+        folded.append(Op(op.opcode, op.dst, a, b))
+    return folded
+
+
+# ----------------------------------------------------------------------
+# local common-subexpression elimination
+# ----------------------------------------------------------------------
+def _cse_block(ops: list[Op]) -> list[Op]:
+    """Replace repeated pure computations with copies of the first.
+
+    Expression keys are invalidated when any source vreg is redefined.
+    Loads are *not* CSE'd (stores may intervene; keeping the analysis
+    trivially sound costs little on our workloads).
+    """
+    available: dict[tuple, str] = {}
+    out: list[Op] = []
+
+    def invalidate(vreg: str) -> None:
+        dead = [k for k in available if vreg in k or available[k] == vreg]
+        for k in dead:
+            del available[k]
+
+    for op in ops:
+        key = None
+        if op.opcode in _PURE and op.opcode not in ("li", "mov"):
+            a, b = op.a, op.b
+            if op.opcode in _COMMUTATIVE:
+                a, b = sorted((a, b), key=repr)
+            key = (op.opcode, a, b)
+            if key in available:
+                out.append(Op("mov", op.dst, available[key]))
+                if op.dst is not None:
+                    invalidate(op.dst)
+                continue
+        if op.dst is not None:
+            invalidate(op.dst)
+        out.append(op)
+        # Record the expression unless the op overwrote one of its own
+        # operands (the key would then refer to the *new* value, wrongly
+        # matching later identical-looking expressions — fuzz-caught).
+        if key is not None and op.dst not in (op.a, op.b):
+            available[key] = op.dst
+    return out
+
+
+# ----------------------------------------------------------------------
+# dead code elimination (global, liveness-driven)
+# ----------------------------------------------------------------------
+def _dce(fn: IRFunction) -> None:
+    """Iteratively drop pure ops whose results are never used."""
+    changed = True
+    while changed:
+        changed = False
+        live_in = liveness(fn)
+        for name, block in fn.blocks.items():
+            live_out: set[str] = set()
+            for successor in block.successors():
+                live_out |= live_in[successor]
+            live = set(live_out)
+            if isinstance(block.terminator, Branch):
+                live.add(block.terminator.cond)
+            kept_rev: list[Op] = []
+            for op in reversed(block.ops):
+                is_pure = op.opcode in _PURE or op.opcode.startswith("ld")
+                if (
+                    is_pure
+                    and op.dst is not None
+                    and op.dst not in live
+                ):
+                    changed = True
+                    continue
+                if op.dst is not None:
+                    live.discard(op.dst)
+                live.update(op.sources())
+                kept_rev.append(op)
+            block.ops = list(reversed(kept_rev))

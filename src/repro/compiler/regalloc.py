@@ -1,0 +1,392 @@
+"""Register allocation onto the architecture's register files.
+
+Two-level scheme, deliberately sensitive to RF capacity so that small
+register files show up in the Pareto curve as longer schedules:
+
+1. **Globals** (vregs live across block boundaries) are ranked by
+   (profile-weighted) use count and assigned to RF slots round-robin
+   across the register files — spreading them balances read-port
+   pressure.  Globals that do not fit are *spilled*: every use loads
+   from a memory home, every definition stores back.
+2. **Locals** (block-local temporaries, including the reload temps from
+   step 1) are allocated per block with a Belady (farthest-next-use)
+   policy over the slots the globals left free; evictions insert
+   store/reload pairs.
+
+The result is a rewritten :class:`IRFunction` in which *every* vreg has a
+physical (rf, index) home plus the inserted spill traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import (
+    Block,
+    Branch,
+    IRFunction,
+    Jump,
+    Op,
+)
+from repro.components.spec import ComponentKind
+from repro.tta.arch import Architecture
+
+
+class AllocationError(Exception):
+    """The function cannot be mapped onto the architecture's RFs."""
+
+
+#: Minimum slots kept free for block-local temporaries.
+_MIN_LOCAL_POOL = 3
+
+
+@dataclass
+class RegisterAllocation:
+    """vreg -> physical home map plus spill bookkeeping."""
+
+    reg_of: dict[str, tuple[str, int]] = field(default_factory=dict)
+    spill_slots: dict[str, int] = field(default_factory=dict)   # global homes
+    spill_base: int = 0
+    spill_words: int = 0
+    globals_in_regs: int = 0
+    globals_spilled: int = 0
+    local_spills: int = 0
+
+    def home(self, vreg: str) -> tuple[str, int]:
+        try:
+            return self.reg_of[vreg]
+        except KeyError:
+            raise AllocationError(f"vreg {vreg!r} has no register home") from None
+
+
+# ----------------------------------------------------------------------
+# liveness
+# ----------------------------------------------------------------------
+def _block_use_def(block: Block) -> tuple[set[str], set[str]]:
+    use: set[str] = set()
+    defined: set[str] = set()
+    for op in block.ops:
+        for src in op.sources():
+            if src not in defined:
+                use.add(src)
+        if op.dst is not None:
+            defined.add(op.dst)
+    if isinstance(block.terminator, Branch):
+        if block.terminator.cond not in defined:
+            use.add(block.terminator.cond)
+    return use, defined
+
+
+def liveness(fn: IRFunction) -> dict[str, set[str]]:
+    """Live-in set per block (iterative backward dataflow)."""
+    use_def = {name: _block_use_def(blk) for name, blk in fn.blocks.items()}
+    live_in: dict[str, set[str]] = {name: set() for name in fn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for name, block in fn.blocks.items():
+            use, defined = use_def[name]
+            live_out: set[str] = set()
+            for successor in block.successors():
+                live_out |= live_in[successor]
+            new_in = use | (live_out - defined)
+            if new_in != live_in[name]:
+                live_in[name] = new_in
+                changed = True
+    return live_in
+
+
+# ----------------------------------------------------------------------
+# main entry
+# ----------------------------------------------------------------------
+def allocate(
+    fn: IRFunction,
+    arch: Architecture,
+    profile: dict[str, int] | None = None,
+    spill_base: int | None = None,
+) -> tuple[IRFunction, RegisterAllocation]:
+    """Allocate ``fn`` onto ``arch``'s register files.
+
+    Returns the rewritten function (with spill code) and the allocation.
+    ``spill_base`` defaults to the top of the address space, below which
+    spill homes grow downward-free (i.e. allocated upward from base).
+    """
+    rf_units = [u for u in arch.units.values() if u.spec.kind is ComponentKind.RF]
+    if not rf_units:
+        raise AllocationError("architecture has no register file")
+    slots: list[tuple[str, int]] = []
+    max_regs = max(u.spec.num_regs for u in rf_units)
+    for index in range(max_regs):           # interleave across RFs
+        for unit in rf_units:
+            if index < unit.spec.num_regs:
+                slots.append((unit.name, index))
+    total_slots = len(slots)
+    if total_slots < _MIN_LOCAL_POOL:
+        raise AllocationError(
+            f"{total_slots} registers total; need >= {_MIN_LOCAL_POOL}"
+        )
+
+    live_in = liveness(fn)
+    globals_set: set[str] = set()
+    for name, live in live_in.items():
+        globals_set |= live
+
+    weights = _use_weights(fn, profile)
+    # Tie-break by name: set iteration order is hash-seed dependent and
+    # must never leak into the allocation (reproducible compiles).
+    ranked = sorted(globals_set, key=lambda v: (-weights.get(v, 0), v))
+    budget = total_slots - _MIN_LOCAL_POOL
+    in_regs = ranked[: max(0, budget)]
+    spilled = ranked[max(0, budget):]
+
+    allocation = RegisterAllocation(spill_base=spill_base or 0)
+    for i, vreg in enumerate(in_regs):
+        allocation.reg_of[vreg] = slots[i]
+    allocation.globals_in_regs = len(in_regs)
+    allocation.globals_spilled = len(spilled)
+
+    base = spill_base if spill_base is not None else 0x8000
+    allocation.spill_base = base
+    next_slot = base
+    for vreg in spilled:
+        allocation.spill_slots[vreg] = next_slot
+        next_slot += 1
+
+    local_pool = slots[len(in_regs):]
+    global_names = set(in_regs)
+    rewritten = IRFunction(fn.name, entry=fn.entry, data=dict(fn.data))
+    counter = [0]
+    spill_cursor = [next_slot]
+    for name, block in fn.blocks.items():
+        rewritten.blocks[name] = _rewrite_block(
+            block, allocation, global_names, local_pool, counter, spill_cursor
+        )
+    allocation.spill_words = spill_cursor[0] - base
+    rewritten.validate()
+    return rewritten, allocation
+
+
+def _use_weights(fn: IRFunction, profile: dict[str, int] | None) -> dict[str, int]:
+    weights: dict[str, int] = {}
+    for name, block in fn.blocks.items():
+        factor = (profile or {}).get(name, 1)
+        for op in block.ops:
+            for src in op.sources():
+                weights[src] = weights.get(src, 0) + factor
+            if op.dst is not None:
+                weights[op.dst] = weights.get(op.dst, 0) + factor
+        if isinstance(block.terminator, Branch):
+            cond = block.terminator.cond
+            weights[cond] = weights.get(cond, 0) + factor
+    return weights
+
+
+# ----------------------------------------------------------------------
+# per-block rewrite: spilled-global traffic + Belady local allocation
+# ----------------------------------------------------------------------
+def _rewrite_block(
+    block: Block,
+    allocation: RegisterAllocation,
+    global_names: set[str],
+    local_pool: list[tuple[str, int]],
+    counter: list[int],
+    spill_cursor: list[int],
+) -> Block:
+    # Step 1: replace spilled-global accesses with reload/writeback temps.
+    staged: list[Op] = []
+    terminator = block.terminator
+    for op in block.ops:
+        a, b = op.a, op.b
+        for attr, operand in (("a", a), ("b", b)):
+            if isinstance(operand, str) and operand in allocation.spill_slots:
+                counter[0] += 1
+                temp = f"%rl{counter[0]}"
+                staged.append(Op("ld", temp, allocation.spill_slots[operand]))
+                if attr == "a":
+                    a = temp
+                else:
+                    b = temp
+        dst = op.dst
+        writeback: Op | None = None
+        if dst is not None and dst in allocation.spill_slots:
+            counter[0] += 1
+            temp = f"%wb{counter[0]}"
+            writeback = Op("st", None, allocation.spill_slots[dst], temp)
+            dst = temp
+        staged.append(Op(op.opcode, dst, a, b))
+        if writeback is not None:
+            staged.append(writeback)
+    if isinstance(terminator, Branch) and terminator.cond in allocation.spill_slots:
+        counter[0] += 1
+        temp = f"%rl{counter[0]}"
+        staged.append(Op("ld", temp, allocation.spill_slots[terminator.cond]))
+        terminator = Branch(
+            temp, terminator.if_true, terminator.if_false, terminator.invert
+        )
+
+    # Step 1.5: SSA-style renaming of block-local vregs.  Two hazards
+    # both caught by the fuzz suite demand it: (a) the same source name
+    # may be a *different* local value in two blocks, and (b) a local
+    # redefined *within* a block has two live ranges that may get two
+    # different slots — but the scheduler can only consult one home per
+    # name.  Renaming every definition to a fresh block-qualified name
+    # makes "one name = one live range = one home" true by construction.
+    # Globals keep their names and fixed homes.
+    version: dict[str, int] = {}
+
+    def _is_local_name(vreg) -> bool:
+        return isinstance(vreg, str) and vreg not in global_names
+
+    def _versioned(vreg: str, v: int) -> str:
+        base = f"{vreg}@{block.name}"
+        return base if v == 0 else f"{base}.{v}"
+
+    def current(vreg):
+        if not _is_local_name(vreg):
+            return vreg
+        return _versioned(vreg, version.get(vreg, 0))
+
+    renamed: list[Op] = []
+    for op in staged:
+        a = current(op.a)
+        b = current(op.b)
+        dst = op.dst
+        if dst is not None and _is_local_name(dst):
+            version[dst] = version.get(dst, -1) + 1
+            dst = _versioned(dst, version[dst])
+        renamed.append(Op(op.opcode, dst, a, b))
+    staged = renamed
+    if isinstance(terminator, Branch):
+        terminator = Branch(
+            current(terminator.cond),
+            terminator.if_true,
+            terminator.if_false,
+            terminator.invert,
+        )
+
+    # Step 2: Belady local allocation over the free pool.
+    final_ops, local_map, spills, terminator = _allocate_locals(
+        staged, terminator, allocation, local_pool, counter, spill_cursor
+    )
+    allocation.local_spills += spills
+    allocation.reg_of.update(local_map)
+    return Block(block.name, final_ops, terminator)
+
+
+def _allocate_locals(
+    ops: list[Op],
+    terminator,
+    allocation: RegisterAllocation,
+    pool: list[tuple[str, int]],
+    counter: list[int],
+    spill_cursor: list[int],
+):
+    """Belady allocation of block-local vregs onto ``pool`` slots.
+
+    Returns (ops-with-spill-code, vreg->slot map, eviction count,
+    possibly-rewritten terminator).  Evicted locals are renamed on reload
+    so every final vreg name has exactly one physical home.
+    """
+    is_local = lambda v: isinstance(v, str) and v not in allocation.reg_of
+
+    # Next-use table (op index -> position list) for Belady decisions.
+    positions: dict[str, list[int]] = {}
+    for index, op in enumerate(ops):
+        for src in op.sources():
+            if is_local(src):
+                positions.setdefault(src, []).append(index)
+        if op.dst is not None and is_local(op.dst):
+            positions.setdefault(op.dst, []).append(index)
+    if terminator is not None and isinstance(terminator, Branch):
+        if is_local(terminator.cond):
+            positions.setdefault(terminator.cond, []).append(len(ops))
+
+    free = list(pool)
+    in_reg: dict[str, tuple[str, int]] = {}
+    home_slot: dict[str, int] = {}      # evicted local -> memory slot
+    rename: dict[str, str] = {}          # original local -> current name
+    result_map: dict[str, tuple[str, int]] = {}
+    out_ops: list[Op] = []
+    evictions = 0
+
+    def next_use(vreg: str, after: int) -> int:
+        for position in positions.get(vreg, []):
+            if position >= after:
+                return position
+        return 1 << 30
+
+    def take_slot(index: int, for_vreg: str) -> tuple[str, int]:
+        nonlocal evictions
+        if free:
+            return free.pop(0)
+        # Evict the local with the farthest next use.
+        victim = max(in_reg, key=lambda v: next_use(v, index))
+        if next_use(victim, index) <= index:
+            raise AllocationError(
+                f"local pool of {len(pool)} registers too small at op {index}"
+            )
+        slot = in_reg.pop(victim)
+        if next_use(victim, index) < (1 << 30):
+            # Victim still needed: store it to a fresh memory home.
+            if victim not in home_slot:
+                home_slot[victim] = spill_cursor[0]
+                spill_cursor[0] += 1
+            out_ops.append(Op("st", None, home_slot[victim], victim))
+            evictions += 1
+        return slot
+
+    def current_name(vreg: str) -> str:
+        return rename.get(vreg, vreg)
+
+    def ensure_loaded(vreg: str, index: int) -> str:
+        name = current_name(vreg)
+        if name in in_reg:
+            return name
+        if vreg not in home_slot:
+            raise AllocationError(f"use of undefined local {vreg!r}")
+        slot = take_slot(index, vreg)
+        counter[0] += 1
+        fresh = f"%rs{counter[0]}"
+        out_ops.append(Op("ld", fresh, home_slot[vreg]))
+        in_reg[fresh] = slot
+        result_map[fresh] = slot
+        rename[vreg] = fresh
+        # Future next-uses of vreg guide Belady for the fresh name too.
+        positions[fresh] = [p for p in positions.get(vreg, []) if p >= index]
+        return fresh
+
+    for index, op in enumerate(ops):
+        new_a, new_b = op.a, op.b
+        if is_local(op.a):
+            new_a = ensure_loaded(op.a, index)
+        if is_local(op.b):
+            new_b = ensure_loaded(op.b, index)
+        new_dst = op.dst
+        if op.dst is not None and is_local(op.dst):
+            name = current_name(op.dst)
+            if name in in_reg:
+                slot = in_reg[name]
+            else:
+                slot = take_slot(index, op.dst)
+            # A redefinition starts a fresh value: drop stale rename/home.
+            rename.pop(op.dst, None)
+            home_slot.pop(op.dst, None)
+            in_reg.pop(name, None)
+            in_reg[op.dst] = slot
+            result_map[op.dst] = slot
+        out_ops.append(Op(op.opcode, new_dst, new_a, new_b))
+        # Free registers of locals with no further use.
+        for vreg in list(in_reg):
+            if next_use(vreg, index + 1) >= (1 << 30):
+                free.append(in_reg.pop(vreg))
+
+    if terminator is not None and isinstance(terminator, Branch):
+        if is_local(terminator.cond):
+            name = ensure_loaded(terminator.cond, len(ops))
+            if name != terminator.cond:
+                terminator = Branch(
+                    name, terminator.if_true, terminator.if_false,
+                    terminator.invert,
+                )
+
+    return out_ops, result_map, evictions, terminator

@@ -1,0 +1,580 @@
+"""Transport list scheduler and move code generator.
+
+Lowers register-allocated IR onto a concrete TTA: every IR operation
+becomes an operand move, a trigger move and (usually) a result move,
+placed greedily into bus slots under the architecture's resources and the
+paper's transport timing relations:
+
+* eq. 2 — the operand move lands no later than the trigger move (equality
+  allowed: commits are end-of-cycle and the trigger sees fresh operands);
+* eq. 3 — the result move happens >= ``latency`` cycles after the trigger;
+* eqs. 4/5 — per-FU in-order issue: operands of a new operation are never
+  placed at or before the previous trigger's cycle, and a new trigger is
+  delayed until the previous result has been drained;
+* eqs. 6-8 — socket decode latency is folded into the one-move-per-bus-
+  per-cycle transport granularity.
+
+Scheduling is per basic block with progressive resource reservation;
+blocks are concatenated, jump targets patched, and the final program is
+checked by :func:`repro.tta.timing.validate_program` — a scheduler bug
+fails loudly, never silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import (
+    CMP_OPCODES,
+    LOAD_OPCODES,
+    Branch,
+    Halt,
+    IRFunction,
+    Jump,
+    Op,
+)
+from repro.compiler.regalloc import RegisterAllocation, allocate
+from repro.components.spec import ComponentKind
+from repro.tta.arch import Architecture
+from repro.tta.isa import (
+    GUARD_UNIT,
+    Guard,
+    Instruction,
+    Literal,
+    Move,
+    PortRef,
+    Program,
+)
+from repro.tta.simulator import BRANCH_DELAY_SLOTS
+from repro.tta.timing import validate_program
+
+#: Placeholder for unpatched jump targets (never a valid address).
+_JUMP_PLACEHOLDER = -1
+
+#: Bus slots reserved for a jump move (target may patch to a long imm).
+_JUMP_SLOTS = 2
+
+_SEARCH_LIMIT = 100_000
+
+
+class ScheduleError(Exception):
+    """The function cannot be scheduled on this architecture."""
+
+
+@dataclass
+class CompileResult:
+    """A compiled workload: the program plus per-block metadata."""
+
+    program: Program
+    allocation: RegisterAllocation
+    block_cycles: dict[str, int]
+    block_starts: dict[str, int]
+    total_moves: int
+
+    def static_cycles(self, profile: dict[str, int]) -> int:
+        """Profile-weighted cycle estimate (the MOVE-style DSE metric)."""
+        return sum(
+            self.block_cycles[name] * count
+            for name, count in profile.items()
+            if name in self.block_cycles
+        )
+
+
+@dataclass
+class _FUTrack:
+    last_trigger: int = -1       # cycle of most recent trigger (eqs. 4/5)
+    min_next_trigger: int = 0    # keep the result register drained (eq. 4)
+    last_mem_trigger: int = -1   # LSU program order
+
+
+class _BlockScheduler:
+    """Greedy per-block transport scheduler with immediate reservation."""
+
+    def __init__(self, arch: Architecture, allocation: RegisterAllocation):
+        self.arch = arch
+        self.allocation = allocation
+        self.placed: list[tuple[int, Move]] = []
+        self.bus_load: dict[int, int] = {}
+        self.port_busy: set[tuple[int, str, str]] = set()
+        self.avail: dict[str, int] = {}     # vreg -> first readable cycle
+        self.fu: dict[str, _FUTrack] = {}
+        self.guard_ready = 0
+        self.last_jump: int | None = None
+        self.top = 0                         # highest used cycle + 1
+        # Physical-slot hazard tracking: register allocation reuses RF
+        # slots across vregs, so a write to a slot must not be scheduled
+        # before an earlier tenant's reads (anti-dependence) nor tie with
+        # a previous write (output dependence).
+        self.slot_reads: dict[tuple[str, int], int] = {}
+        self.slot_writes: dict[tuple[str, int], int] = {}
+
+    # -- resource primitives -----------------------------------------------
+    @staticmethod
+    def _imm_slots(src) -> int:
+        if isinstance(src, Literal):
+            move = Move(src, PortRef("x", "x"))
+            return 2 if move.needs_long_immediate() else 1
+        return 1
+
+    def _bus_free(self, cycle: int, want: int) -> bool:
+        """Slot availability, with the 1-bus long-immediate convention.
+
+        A long immediate needs an extension slot.  On a single-bus machine
+        that extension word rides in the *next* instruction, which must
+        stay completely empty (variable-length immediate fetch).
+        """
+        nb = self.arch.num_buses
+        if want <= nb:
+            return self.bus_load.get(cycle, 0) + want <= nb
+        if nb == 1 and want == 2:
+            return (
+                self.bus_load.get(cycle, 0) == 0
+                and self.bus_load.get(cycle + 1, 0) == 0
+            )
+        return False
+
+    def _port_free(self, cycle: int, unit: str, port: str) -> bool:
+        return (cycle, unit, port) not in self.port_busy
+
+    def _place(
+        self,
+        cycle: int,
+        move: Move,
+        ports: list[tuple[str, str]],
+        slots: int | None = None,
+    ) -> None:
+        want = slots if slots is not None else self._imm_slots(move.src)
+        nb = self.arch.num_buses
+        if want > nb:
+            # 1-bus long immediate: block the extension instruction.
+            self.bus_load[cycle] = self.bus_load.get(cycle, 0) + 1
+            self.bus_load[cycle + 1] = nb
+            self.top = max(self.top, cycle + 2)
+        else:
+            self.bus_load[cycle] = self.bus_load.get(cycle, 0) + want
+            self.top = max(self.top, cycle + 1)
+        for unit, port in ports:
+            self.port_busy.add((cycle, unit, port))
+        self.placed.append((cycle, move))
+
+    def _pick_rf_port(self, cycle: int, rf_unit: str, output: bool) -> str | None:
+        spec = self.arch.unit(rf_unit).spec
+        ports = spec.output_ports if output else spec.input_ports
+        for port in ports:
+            if self._port_free(cycle, rf_unit, port.name):
+                return port.name
+        return None
+
+    # -- generic "deliver a value to an input port" -------------------------
+    def _deliver(
+        self,
+        operand: str | int,
+        dst: PortRef,
+        earliest: int,
+        opcode: str | None = None,
+        dst_reg: int | None = None,
+        reserve_dst_port: bool = True,
+    ) -> int:
+        """Place a move carrying ``operand`` into ``dst`` at the earliest
+        feasible cycle >= ``earliest``; returns that cycle."""
+        literal = isinstance(operand, int)
+        ready = 0 if literal else self.avail.get(operand, 0)
+        cycle = max(earliest, ready, 0)
+        for _ in range(_SEARCH_LIMIT):
+            ports: list[tuple[str, str]] = []
+            if reserve_dst_port and not self._port_free(cycle, dst.unit, dst.port):
+                cycle += 1
+                continue
+            if literal:
+                src: Literal | PortRef = Literal(operand)
+                src_reg = None
+                if not self._bus_free(cycle, self._imm_slots(src)):
+                    cycle += 1
+                    continue
+            else:
+                if not self._bus_free(cycle, 1):
+                    cycle += 1
+                    continue
+                rf_unit, index = self.allocation.home(operand)
+                rport = self._pick_rf_port(cycle, rf_unit, output=True)
+                if rport is None:
+                    cycle += 1
+                    continue
+                src = PortRef(rf_unit, rport)
+                src_reg = index
+                ports.append((rf_unit, rport))
+            if reserve_dst_port:
+                ports.append((dst.unit, dst.port))
+            move = Move(src, dst, opcode=opcode, src_reg=src_reg, dst_reg=dst_reg)
+            self._place(cycle, move, ports)
+            if not literal:
+                slot = self.allocation.home(operand)
+                self.slot_reads[slot] = max(
+                    self.slot_reads.get(slot, -1), cycle
+                )
+            return cycle
+        raise ScheduleError(f"cannot deliver {operand!r} to {dst}")
+
+    def _drain_result(
+        self,
+        unit_name: str,
+        result_port: str,
+        earliest: int,
+        dst: str | None,
+        to_guard: bool,
+    ) -> int:
+        """Place the result move (FU result register -> RF home or guard)."""
+        cycle = max(earliest, 0)
+        if not to_guard:
+            assert dst is not None
+            slot = self.allocation.home(dst)
+            cycle = max(
+                cycle,
+                self.slot_reads.get(slot, -1),          # anti-dependence
+                self.slot_writes.get(slot, -1) + 1,     # output dependence
+            )
+        for _ in range(_SEARCH_LIMIT):
+            if not self._bus_free(cycle, 1) or not self._port_free(
+                cycle, unit_name, result_port
+            ):
+                cycle += 1
+                continue
+            if to_guard:
+                move = Move(
+                    PortRef(unit_name, result_port), PortRef(GUARD_UNIT, "g0")
+                )
+                self._place(cycle, move, [(unit_name, result_port)])
+                self.guard_ready = cycle + 1
+                return cycle
+            rf_unit, index = slot
+            wport = self._pick_rf_port(cycle, rf_unit, output=False)
+            if wport is None:
+                cycle += 1
+                continue
+            move = Move(
+                PortRef(unit_name, result_port),
+                PortRef(rf_unit, wport),
+                dst_reg=index,
+            )
+            self._place(
+                cycle, move, [(unit_name, result_port), (rf_unit, wport)]
+            )
+            self.avail[dst] = cycle + 1
+            self.slot_writes[slot] = cycle
+            return cycle
+        raise ScheduleError(f"cannot drain result of {unit_name}")
+
+    # -- op scheduling ----------------------------------------------------
+    def schedule_op(self, op: Op, guard_dst: bool = False) -> None:
+        if op.opcode == "li":
+            self._schedule_copy(int(op.a), op.dst)
+            return
+        if op.opcode == "mov":
+            self._schedule_fu_op(Op("or", op.dst, op.a, 0), guard_dst)
+            return
+        if op.opcode in LOAD_OPCODES or op.opcode == "st":
+            self._schedule_memory(op)
+            return
+        self._schedule_fu_op(op, guard_dst)
+
+    def _schedule_copy(self, value: int, dst: str) -> None:
+        slot = self.allocation.home(dst)
+        rf_unit, index = slot
+        src = Literal(value)
+        want = self._imm_slots(src)
+        cycle = max(
+            0,
+            self.slot_reads.get(slot, -1),
+            self.slot_writes.get(slot, -1) + 1,
+        )
+        for _ in range(_SEARCH_LIMIT):
+            if self._bus_free(cycle, want):
+                wport = self._pick_rf_port(cycle, rf_unit, output=False)
+                if wport is not None:
+                    move = Move(src, PortRef(rf_unit, wport), dst_reg=index)
+                    self._place(cycle, move, [(rf_unit, wport)])
+                    self.avail[dst] = cycle + 1
+                    self.slot_writes[slot] = cycle
+                    return
+            cycle += 1
+        raise ScheduleError("cannot place literal copy")
+
+    def _choose_fu(self, op: Op) -> "Unitlike":
+        candidates = self.arch.fu_for_op(op.opcode)
+        if not candidates:
+            raise ScheduleError(f"no FU supports {op.opcode!r}")
+
+        def pressure(unit) -> tuple[int, int]:
+            track = self.fu.setdefault(unit.name, _FUTrack())
+            return (max(track.min_next_trigger, track.last_trigger + 1),
+                    track.last_trigger)
+
+        return min(candidates, key=pressure)
+
+    def _schedule_fu_op(self, op: Op, guard_dst: bool) -> None:
+        unit = self._choose_fu(op)
+        spec = unit.spec
+        track = self.fu.setdefault(unit.name, _FUTrack())
+        trigger_port = spec.trigger_port.name
+        operand_port = next(
+            (p.name for p in spec.input_ports if not p.is_trigger), None
+        )
+        result_port = spec.output_ports[0].name
+
+        t_op = track.last_trigger  # so trigger lower bound is last_trigger+1
+        if operand_port is not None:
+            t_op = self._deliver(
+                op.a, PortRef(unit.name, operand_port),
+                earliest=track.last_trigger + 1,
+            )
+        t_trig = self._deliver(
+            op.b,
+            PortRef(unit.name, trigger_port),
+            earliest=max(t_op, track.min_next_trigger, track.last_trigger + 1),
+            opcode=op.opcode,
+        )
+        t_res = self._drain_result(
+            unit.name, result_port, t_trig + spec.latency, op.dst, guard_dst
+        )
+        track.last_trigger = t_trig
+        track.min_next_trigger = max(
+            track.min_next_trigger, t_res - spec.latency + 1
+        )
+
+    def _schedule_memory(self, op: Op) -> None:
+        unit = self.arch.lsu
+        if unit is None:
+            raise ScheduleError("architecture has no load/store unit")
+        spec = unit.spec
+        track = self.fu.setdefault(unit.name, _FUTrack())
+        is_store = op.opcode == "st"
+
+        t_op = track.last_trigger
+        if is_store:
+            t_op = self._deliver(
+                op.b, PortRef(unit.name, "wdata"),
+                earliest=track.last_trigger + 1,
+            )
+        t_trig = self._deliver(
+            op.a,
+            PortRef(unit.name, "addr"),
+            earliest=max(
+                t_op,
+                track.min_next_trigger,
+                track.last_trigger + 1,
+                track.last_mem_trigger + 1,
+            ),
+            opcode=op.opcode,
+        )
+        track.last_trigger = t_trig
+        track.last_mem_trigger = t_trig
+        if not is_store:
+            t_res = self._drain_result(
+                unit.name, "rdata", t_trig + spec.latency, op.dst, False
+            )
+            track.min_next_trigger = max(
+                track.min_next_trigger, t_res - spec.latency + 1
+            )
+
+    # -- control flow ----------------------------------------------------
+    def schedule_guard_load(self, cond: str) -> None:
+        """Copy a boolean vreg from its RF home into guard register g0."""
+        cycle = self._deliver(
+            cond, PortRef(GUARD_UNIT, "g0"), earliest=0, reserve_dst_port=False
+        )
+        self.guard_ready = cycle + 1
+
+    def schedule_jump(self, guarded: bool, invert: bool) -> int:
+        """Place a jump move; target patched after layout."""
+        pc_name = self.arch.pc_unit.name
+        earliest = max(
+            self.guard_ready if guarded else 0,
+            self.top - 1 - BRANCH_DELAY_SLOTS + 1,   # work finishes in slot
+            0,
+        )
+        if self.last_jump is not None:
+            # A second jump must not sit in the first one's delay window.
+            earliest = max(earliest, self.last_jump + BRANCH_DELAY_SLOTS + 1)
+        cycle = earliest
+        for _ in range(_SEARCH_LIMIT):
+            if self._bus_free(cycle, _JUMP_SLOTS) and self._port_free(
+                cycle, pc_name, "target"
+            ):
+                guard = Guard(0, invert) if guarded else None
+                move = Move(
+                    Literal(_JUMP_PLACEHOLDER),
+                    PortRef(pc_name, "target"),
+                    opcode="jump",
+                    guard=guard,
+                )
+                self._place(
+                    cycle, move, [(pc_name, "target")], slots=_JUMP_SLOTS
+                )
+                self.last_jump = cycle
+                return cycle
+            cycle += 1
+        raise ScheduleError("cannot place jump")
+
+    # -- finalisation ----------------------------------------------------
+    def build_instructions(self, length: int, halt: bool) -> list[Instruction]:
+        instructions = [
+            Instruction(slots=[None] * self.arch.num_buses)
+            for _ in range(length)
+        ]
+        by_cycle: dict[int, list[Move]] = {}
+        for cycle, move in self.placed:
+            by_cycle.setdefault(cycle, []).append(move)
+        for cycle, moves in by_cycle.items():
+            bus = 0
+            for move in moves:
+                while (
+                    bus < self.arch.num_buses
+                    and instructions[cycle].slots[bus] is not None
+                ):
+                    bus += 1
+                if bus >= self.arch.num_buses:
+                    raise ScheduleError(f"slot overflow at relative cycle {cycle}")
+                instructions[cycle].slots[bus] = move
+                bus += 1
+        if halt and instructions:
+            instructions[-1].halt = True
+        return instructions
+
+
+# ----------------------------------------------------------------------
+# whole-function compilation
+# ----------------------------------------------------------------------
+def compile_ir(
+    fn: IRFunction,
+    arch: Architecture,
+    profile: dict[str, int] | None = None,
+    validate: bool = True,
+) -> CompileResult:
+    """Allocate, schedule and lay out ``fn`` for ``arch``."""
+    fn.validate()
+    rewritten, allocation = allocate(fn, arch, profile)
+
+    block_instrs: dict[str, list[Instruction]] = {}
+    jump_fixups: list[tuple[str, int, str]] = []   # (block, rel cycle, target)
+    block_cycles: dict[str, int] = {}
+
+    names = list(rewritten.blocks)
+    for position, name in enumerate(names):
+        block = rewritten.blocks[name]
+        sched = _BlockScheduler(arch, allocation)
+
+        guard_op_index = _fusable_cmp(rewritten, block)
+        for index, op in enumerate(block.ops):
+            sched.schedule_op(op, guard_dst=(index == guard_op_index))
+
+        term = block.terminator
+        fallthrough = names[position + 1] if position + 1 < len(names) else None
+        halt = isinstance(term, Halt)
+        jump_cycle = None
+        if isinstance(term, Jump):
+            if term.target != fallthrough:
+                jump_cycle = sched.schedule_jump(guarded=False, invert=False)
+                jump_fixups.append((name, jump_cycle, term.target))
+        elif isinstance(term, Branch):
+            needs_jump = not (
+                term.if_true == fallthrough and term.if_false == fallthrough
+            )
+            if needs_jump:
+                if guard_op_index is None:
+                    sched.schedule_guard_load(term.cond)
+                if term.if_true == fallthrough:
+                    # Invert: branch away only when the condition is false.
+                    jump_cycle = sched.schedule_jump(
+                        guarded=True, invert=not term.invert
+                    )
+                    jump_fixups.append((name, jump_cycle, term.if_false))
+                else:
+                    jump_cycle = sched.schedule_jump(
+                        guarded=True, invert=term.invert
+                    )
+                    jump_fixups.append((name, jump_cycle, term.if_true))
+                    if term.if_false != fallthrough:
+                        second = sched.schedule_jump(guarded=False, invert=False)
+                        jump_fixups.append((name, second, term.if_false))
+                        jump_cycle = second
+
+        length = sched.top
+        if jump_cycle is not None:
+            length = max(length, jump_cycle + 1 + BRANCH_DELAY_SLOTS)
+        length = max(length, 1)
+        block_instrs[name] = sched.build_instructions(length, halt)
+        block_cycles[name] = length
+
+    # Layout + jump patching.
+    program = Program(name=fn.name, data=dict(rewritten.data))
+    block_starts: dict[str, int] = {}
+    for name in names:
+        block_starts[name] = len(program.instructions)
+        for index, instruction in enumerate(block_instrs[name]):
+            if index == 0:
+                instruction.label = name
+            program.append(instruction)
+
+    for name, rel_cycle, target in jump_fixups:
+        instruction = program.instructions[block_starts[name] + rel_cycle]
+        for bus, move in enumerate(instruction.slots):
+            if (
+                move is not None
+                and isinstance(move.src, Literal)
+                and move.src.value == _JUMP_PLACEHOLDER
+                and move.opcode == "jump"
+            ):
+                instruction.slots[bus] = Move(
+                    Literal(block_starts[target]),
+                    move.dst,
+                    opcode=move.opcode,
+                    guard=move.guard,
+                )
+                break
+        else:
+            raise ScheduleError(f"jump fixup lost in block {name!r}")
+
+    total_moves = sum(len(i.moves) for i in program.instructions)
+    result = CompileResult(
+        program=program,
+        allocation=allocation,
+        block_cycles=block_cycles,
+        block_starts=block_starts,
+        total_moves=total_moves,
+    )
+    if validate:
+        violations = validate_program(arch, program, strict=False)
+        if violations:
+            details = "; ".join(str(v) for v in violations[:5])
+            raise ScheduleError(
+                f"scheduler produced invalid code ({len(violations)} "
+                f"violations): {details}"
+            )
+    return result
+
+
+def _fusable_cmp(fn: IRFunction, block) -> int | None:
+    """Index of a cmp op whose only consumer is this block's branch.
+
+    When found, the cmp's result move targets guard register g0 directly,
+    skipping the RF round trip — the scheduler's one classic TTA
+    optimisation (software bypassing of the condition).
+    """
+    term = block.terminator
+    if not isinstance(term, Branch):
+        return None
+    cond = term.cond
+    def_index = None
+    for index, op in enumerate(block.ops):
+        if op.dst == cond:
+            def_index = index
+    if def_index is None or block.ops[def_index].opcode not in CMP_OPCODES:
+        return None
+    for other in fn.blocks.values():
+        for op in other.ops:
+            if cond in op.sources():
+                return None
+        if other is not block and isinstance(other.terminator, Branch):
+            if other.terminator.cond == cond:
+                return None
+    return def_index

@@ -1,0 +1,58 @@
+"""Datapath component generators.
+
+Every component the paper's architectures use (Fig. 9: ALU, CMP, two
+register files, load/store unit, program counter, immediate unit) is
+generated here as a gate-level netlist plus a behavioural reference model.
+The netlists feed the ATPG back-annotation; the reference models feed the
+TTA simulator and the differential tests.
+"""
+
+from repro.components.spec import ComponentKind, ComponentSpec, PortSpec
+from repro.components.reference import (
+    ALU_OPS,
+    CMP_OPS,
+    LSU_OPS,
+    alu_reference,
+    cmp_reference,
+    lsu_extend_reference,
+)
+from repro.components.alu import build_alu
+from repro.components.comparator import build_comparator
+from repro.components.shifter import build_shifter
+from repro.components.multiplier import build_multiplier
+from repro.components.register_file import (
+    MultiPortMemory,
+    build_ff_register_file,
+)
+from repro.components.loadstore import build_lsu
+from repro.components.pc import build_pc
+from repro.components.immediate import build_immediate
+from repro.components.library import (
+    ComponentDatasheet,
+    component_datasheet,
+    default_catalog,
+)
+
+__all__ = [
+    "ALU_OPS",
+    "CMP_OPS",
+    "LSU_OPS",
+    "ComponentDatasheet",
+    "ComponentKind",
+    "ComponentSpec",
+    "MultiPortMemory",
+    "PortSpec",
+    "alu_reference",
+    "build_alu",
+    "build_comparator",
+    "build_ff_register_file",
+    "build_immediate",
+    "build_lsu",
+    "build_multiplier",
+    "build_pc",
+    "build_shifter",
+    "cmp_reference",
+    "component_datasheet",
+    "default_catalog",
+    "lsu_extend_reference",
+]

@@ -1,0 +1,54 @@
+"""Gate-level ALU generator.
+
+The Fig. 9 ALU "is capable of performing the operations of the addition,
+subtraction, shifting and basic logical operations (AND, OR, XOR)".  The
+generated netlist implements exactly that (:data:`~repro.components.reference.ALU_OPS`)
+with a shared adder/subtractor, a log-stage barrel shifter and an output
+mux tree steered by a 3-bit opcode.
+
+Ports: ``a[width]`` (operand O), ``b[width]`` (trigger T), ``op[3]``
+(opcode, carried by the trigger move), ``y[width]`` (result R).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import WordBuilder
+from repro.netlist.netlist import Netlist
+
+OPCODE_BITS = 3
+
+
+def build_alu(width: int = 16, name: str = "alu") -> Netlist:
+    """Build a ``width``-bit ALU netlist (width must be a power of two)."""
+    if width < 2 or width & (width - 1):
+        raise ValueError(f"ALU width must be a power of two >= 2, got {width}")
+    wb = WordBuilder(f"{name}{width}")
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+    op = wb.input_word("op", OPCODE_BITS)
+
+    # Opcode order: add sub and or xor shl shr sra  (LSB-first bits).
+    n0, n1, n2 = (wb.not_(bit) for bit in op)
+    is_sub = wb.and_(op[0], n1, n2)
+
+    # Shared adder/subtractor: a + (b ^ sub) + sub.
+    b_eff = [wb.xor_(x, is_sub) for x in b]
+    addsub, _carry = wb.ripple_adder(a, b_eff, is_sub)
+
+    and_w = wb.and_word(a, b)
+    or_w = wb.or_word(a, b)
+    xor_w = wb.xor_word(a, b)
+
+    # Shift group: shl=101, shr=110, sra=111 (LSB first: op0,op1,op2).
+    right = op[1]
+    arith = wb.and_(op[0], op[1])
+    amount = b[: (width - 1).bit_length()]
+    shifted = wb.barrel_shifter(a, amount, right, arith)
+
+    result = wb.mux_tree(
+        list(op),
+        [addsub, addsub, and_w, or_w, xor_w, shifted, shifted, shifted],
+    )
+    wb.output_word("y", result)
+    wb.netlist.check()
+    return wb.netlist

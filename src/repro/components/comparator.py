@@ -1,0 +1,38 @@
+"""Gate-level comparator (CMP unit of Fig. 9).
+
+Produces a single guard bit from two words under a 3-bit opcode
+(:data:`~repro.components.reference.CMP_OPS`).  In the TTA the result
+feeds the guard register file that predicates conditional moves.
+
+Ports: ``a[width]`` (O), ``b[width]`` (T), ``op[3]``, ``y`` (1-bit R).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import WordBuilder
+from repro.netlist.netlist import Netlist
+
+OPCODE_BITS = 3
+
+
+def build_comparator(width: int = 16, name: str = "cmp") -> Netlist:
+    """Build a ``width``-bit comparator netlist with a 1-bit result."""
+    if width < 2:
+        raise ValueError(f"comparator width must be >= 2, got {width}")
+    wb = WordBuilder(f"{name}{width}")
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+    op = wb.input_word("op", OPCODE_BITS)
+
+    eq = wb.equal(a, b)
+    ne = wb.not_(eq)
+    ltu = wb.less_than_unsigned(a, b)
+    geu = wb.not_(ltu)
+    lts = wb.less_than_signed(a, b)
+    ges = wb.not_(lts)
+
+    # Opcode order: eq ne ltu geu lts ges (6 and 7 alias the last entry).
+    result = wb.mux_tree(list(op), [[eq], [ne], [ltu], [geu], [lts], [ges]])
+    wb.output_bit("y", result[0])
+    wb.netlist.check()
+    return wb.netlist

@@ -1,0 +1,32 @@
+"""Immediate unit netlist.
+
+Long immediates in a TTA come from a dedicated immediate unit fed by the
+instruction stream; short immediates ride in the move source field.  The
+unit's datapath is a buffered pass-through (the register sits in the
+pipeline layer), optionally sign-extending a short field to the bus width.
+
+PIs: ``imm[width]``, ``short`` (select sign-extended low half).
+POs: ``value[width]``.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import WordBuilder
+from repro.netlist.netlist import Netlist
+
+
+def build_immediate(width: int = 16, name: str = "imm") -> Netlist:
+    """Build the immediate-unit pass-through/extension netlist."""
+    if width < 2 or width % 2:
+        raise ValueError(f"immediate width must be even and >= 2, got {width}")
+    half = width // 2
+    wb = WordBuilder(f"{name}{width}")
+    imm = wb.input_word("imm", width)
+    short = wb.input_bit("short")
+
+    sign = imm[half - 1]
+    extended = imm[:half] + [sign] * half
+    value = wb.mux2_word(short, imm, extended)
+    wb.output_word("value", value)
+    wb.netlist.check()
+    return wb.netlist

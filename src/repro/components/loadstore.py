@@ -1,0 +1,52 @@
+"""Load/store unit read-path netlist.
+
+The data memory itself is behavioural (the paper's LD/ST unit talks to an
+external data memory, Fig. 9); what is synthesised — and what the paper's
+Table 1 scans — is the unit's datapath: the read-data extension/alignment
+logic plus the write-data pass-through.
+
+The paper excludes LD/ST from the *cost ranking* because every candidate
+architecture contains exactly one ("they contribute equally"), but Table 1
+still reports its scan numbers, so the netlist is needed.
+
+Ports: ``addr[width]`` (T), ``wdata[width]`` (O), ``rdata_mem[width]``
+(from memory), ``mode[2]`` — outputs ``addr_mem``, ``wdata_mem``,
+``rdata[width]`` (R, extended per :data:`~repro.components.reference.LSU_OPS`).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import WordBuilder
+from repro.netlist.netlist import Netlist
+
+MODE_BITS = 2
+
+
+def build_lsu(width: int = 16, name: str = "lsu") -> Netlist:
+    """Build the LSU datapath netlist for an even ``width``."""
+    if width < 4 or width % 2:
+        raise ValueError(f"LSU width must be even and >= 4, got {width}")
+    half = width // 2
+    wb = WordBuilder(f"{name}{width}")
+    addr = wb.input_word("addr", width)
+    wdata = wb.input_word("wdata", width)
+    rdata_mem = wb.input_word("rdata_mem", width)
+    mode = wb.input_word("mode", MODE_BITS)
+
+    # Address/write-data pass through buffered drivers (bus isolation).
+    wb.output_word("addr_mem", [wb.buf(x) for x in addr])
+    wb.output_word("wdata_mem", [wb.buf(x) for x in wdata])
+
+    # Read path: word / low-half sign-extended / low-half zero / high-half.
+    low = rdata_mem[:half]
+    high = rdata_mem[half:]
+    zero = wb.const_bit(0)
+    sign = low[-1]
+    word_r = list(rdata_mem)
+    low_s = low + [sign] * half
+    low_u = low + [zero] * half
+    high_r = high + [zero] * half
+    rdata = wb.mux_tree(list(mode), [word_r, low_s, low_u, high_r])
+    wb.output_word("rdata", rdata)
+    wb.netlist.check()
+    return wb.netlist

@@ -1,0 +1,34 @@
+"""Array multiplier FU (library component; Crypt does not use it).
+
+Classic carry-save array: AND partial-product matrix reduced row by row
+with ripple adders, returning the low ``width`` bits (modular multiply,
+matching :func:`repro.components.reference.mul_reference`).
+
+Ports: ``a[width]`` (O), ``b[width]`` (T), ``y[width]`` (R).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import WordBuilder
+from repro.netlist.netlist import Netlist
+
+
+def build_multiplier(width: int = 16, name: str = "mul") -> Netlist:
+    """Build a ``width``x``width`` -> ``width`` array multiplier netlist."""
+    if width < 2:
+        raise ValueError(f"multiplier width must be >= 2, got {width}")
+    wb = WordBuilder(f"{name}{width}")
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+
+    # Row 0 of partial products is the initial accumulator.
+    acc = [wb.and_(a[i], b[0]) for i in range(width)]
+    for row in range(1, width):
+        # Only bits that land inside the low `width` result matter.
+        pp = [wb.and_(a[i], b[row]) for i in range(width - row)]
+        upper = acc[row:]
+        summed, _carry = wb.ripple_adder(upper, pp)
+        acc = acc[:row] + summed
+    wb.output_word("y", acc)
+    wb.netlist.check()
+    return wb.netlist

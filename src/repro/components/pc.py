@@ -1,0 +1,36 @@
+"""Program-counter unit netlist.
+
+The PC is an FU in a TTA: writing its trigger port performs a jump
+(conditionally, under a guard).  The combinational core is the next-PC
+logic: increment or jump-target select; the PC register itself is a
+pseudo-input/pseudo-output pair, like every pipeline register.
+
+Like the LD/ST unit, the PC appears exactly once in every architecture and
+is excluded from the cost *ranking* but present in Table 1's scan columns.
+
+PIs: ``pc_q[width]`` (present PC), ``target[width]`` (T), ``jump``
+(trigger strobe), ``guard`` (predicate).  POs: ``pc_d[width]`` (next PC).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import WordBuilder
+from repro.netlist.netlist import Netlist
+
+
+def build_pc(width: int = 16, name: str = "pc") -> Netlist:
+    """Build the next-PC logic netlist."""
+    if width < 2:
+        raise ValueError(f"PC width must be >= 2, got {width}")
+    wb = WordBuilder(f"{name}{width}")
+    pc_q = wb.input_word("pc_q", width)
+    target = wb.input_word("target", width)
+    jump = wb.input_bit("jump")
+    guard = wb.input_bit("guard")
+
+    inc, _carry = wb.incrementer(pc_q)
+    take = wb.and_(jump, guard)
+    pc_d = wb.mux2_word(take, inc, target)
+    wb.output_word("pc_d", pc_d)
+    wb.netlist.check()
+    return wb.netlist

@@ -1,0 +1,107 @@
+"""Behavioural reference models for the datapath components.
+
+These are the golden models: the gate-level generators are differentially
+tested against them, and the TTA simulator executes them directly (the
+gate level exists for area/test back-annotation, not for speed).
+"""
+
+from __future__ import annotations
+
+from repro.util.bitops import mask, sign_extend, to_signed, to_unsigned
+
+#: ALU operation mnemonics in opcode order (3-bit opcode).
+ALU_OPS: tuple[str, ...] = ("add", "sub", "and", "or", "xor", "shl", "shr", "sra")
+
+#: Comparator mnemonics in opcode order (3-bit opcode; 6/7 alias eq/ne).
+CMP_OPS: tuple[str, ...] = ("eq", "ne", "ltu", "geu", "lts", "ges")
+
+#: Load/store extension modes (2-bit opcode inside the LSU).
+LSU_OPS: tuple[str, ...] = ("word", "low_signed", "low_unsigned", "high")
+
+#: Multiplier mnemonic (single-op FU).
+MUL_OPS: tuple[str, ...] = ("mul",)
+
+#: Stand-alone shifter mnemonics (subset of the ALU's shift group).
+SHIFTER_OPS: tuple[str, ...] = ("shl", "shr", "sra")
+
+
+def shift_amount(b: int, width: int) -> int:
+    """Shift count the hardware sees: low log2(width) bits of ``b``."""
+    if width & (width - 1) == 0:
+        return b & (width - 1)
+    return b % width
+
+
+def alu_reference(op: str, a: int, b: int, width: int) -> int:
+    """Golden ALU: returns the ``width``-bit result of ``op`` on a, b."""
+    m = mask(width)
+    a &= m
+    b &= m
+    if op == "add":
+        return (a + b) & m
+    if op == "sub":
+        return (a - b) & m
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    amount = shift_amount(b, width)
+    if op == "shl":
+        return (a << amount) & m
+    if op == "shr":
+        return a >> amount
+    if op == "sra":
+        return to_unsigned(to_signed(a, width) >> amount, width)
+    raise ValueError(f"unknown ALU op: {op}")
+
+
+def cmp_reference(op: str, a: int, b: int, width: int) -> int:
+    """Golden comparator: returns 0 or 1."""
+    m = mask(width)
+    a &= m
+    b &= m
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    if op == "ltu":
+        return int(a < b)
+    if op == "geu":
+        return int(a >= b)
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    if op == "lts":
+        return int(sa < sb)
+    if op == "ges":
+        return int(sa >= sb)
+    raise ValueError(f"unknown CMP op: {op}")
+
+
+def lsu_extend_reference(mode: str, data: int, width: int) -> int:
+    """Golden LSU read-path extension unit (byte/halfword handling)."""
+    m = mask(width)
+    data &= m
+    half = width // 2
+    if mode == "word":
+        return data
+    if mode == "low_signed":
+        return sign_extend(data & mask(half), half, width)
+    if mode == "low_unsigned":
+        return data & mask(half)
+    if mode == "high":
+        return data >> half
+    raise ValueError(f"unknown LSU mode: {mode}")
+
+
+def mul_reference(a: int, b: int, width: int) -> int:
+    """Golden multiplier: low ``width`` bits of the product."""
+    m = mask(width)
+    return ((a & m) * (b & m)) & m
+
+
+def shifter_reference(op: str, a: int, b: int, width: int) -> int:
+    """Golden stand-alone shifter (same semantics as the ALU shift group)."""
+    if op not in SHIFTER_OPS:
+        raise ValueError(f"unknown shifter op: {op}")
+    return alu_reference(op, a, b, width)

@@ -1,0 +1,36 @@
+"""Stand-alone barrel shifter FU.
+
+Not part of the Fig. 9 architecture (its ALU shifts), but a member of the
+MOVE component library so the explorer can trade a second shift resource
+against a full second ALU.
+
+Ports: ``a[width]`` (O), ``b[width]`` (T, low bits = amount), ``op[2]``,
+``y[width]`` (R).  Ops: shl, shr, sra.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import WordBuilder
+from repro.netlist.netlist import Netlist
+
+OPCODE_BITS = 2
+
+
+def build_shifter(width: int = 16, name: str = "shifter") -> Netlist:
+    """Build a ``width``-bit 3-op barrel shifter netlist."""
+    if width < 2 or width & (width - 1):
+        raise ValueError(f"shifter width must be a power of two >= 2, got {width}")
+    wb = WordBuilder(f"{name}{width}")
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+    op = wb.input_word("op", OPCODE_BITS)
+
+    # Ops encoded LSB-first: shl -> 0, shr -> 1, sra -> 2.
+    right = wb.or_(op[0], op[1])
+    arith = op[1]
+    # ALU convention: shift operand `a` by the low bits of trigger `b`.
+    amount = b[: (width - 1).bit_length()]
+    shifted = wb.barrel_shifter(a, amount, right, arith)
+    wb.output_word("y", shifted)
+    wb.netlist.check()
+    return wb.netlist

@@ -1,0 +1,60 @@
+"""Socket control/decode netlist (paper Figs. 4 and 5).
+
+A socket watches the move bus: it compares the destination (or source) ID
+field against its own hardwired ID, qualifies the match with the move's
+valid and guard bits, and sequences the component's pipeline through a
+small stage-control FSM (Fig. 3).  The paper tests sockets with full scan
+(eq. 13: ``f_ts = n_p * n_l``); the ``n_p`` used there is back-annotated
+by running ATPG on this netlist.
+
+The socket ID is modelled as a primary input so the ATPG exercises the
+comparator exhaustively; in silicon it is tied off per instance.
+
+PIs: ``dst[id_bits]``, ``my_id[id_bits]``, ``valid``, ``guard``,
+``fsm_q[fsm_bits]`` (present state).  POs: ``load`` (register strobe),
+``ready`` (transport acknowledge), ``fsm_d[fsm_bits]`` (next state).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import WordBuilder
+from repro.netlist.netlist import Netlist
+
+#: Move destination/source ID field width (64 socket addresses).
+SOCKET_ID_BITS = 6
+
+#: Stage-control FSM state bits (a 3-deep one-hot transport pipeline).
+SOCKET_FSM_BITS = 3
+
+
+def build_socket(
+    id_bits: int = SOCKET_ID_BITS,
+    fsm_bits: int = SOCKET_FSM_BITS,
+    name: str = "socket",
+) -> Netlist:
+    """Build the socket control + decode netlist."""
+    if id_bits < 1 or fsm_bits < 1:
+        raise ValueError("socket needs at least one ID bit and one FSM bit")
+    wb = WordBuilder(f"{name}{id_bits}x{fsm_bits}")
+    dst = wb.input_word("dst", id_bits)
+    my_id = wb.input_word("my_id", id_bits)
+    valid = wb.input_bit("valid")
+    guard = wb.input_bit("guard")
+    fsm_q = wb.input_word("fsm_q", fsm_bits)
+
+    match = wb.equal(dst, my_id)
+    fire = wb.and_(match, valid, guard)
+
+    # One-hot transport pipeline: firing loads stage 0, stages then drain
+    # toward the component (Fig. 3's stage-control blocks).
+    not_fire = wb.not_(fire)
+    fsm_d = [fire]
+    for i in range(1, fsm_bits):
+        fsm_d.append(wb.and_(fsm_q[i - 1], not_fire))
+
+    busy = wb.or_reduce(list(fsm_q))
+    wb.output_bit("load", wb.buf(fire))
+    wb.output_bit("ready", wb.not_(busy))
+    wb.output_word("fsm_d", fsm_d)
+    wb.netlist.check()
+    return wb.netlist

@@ -1,0 +1,133 @@
+"""Architectural component descriptions.
+
+:class:`ComponentSpec` is the *architecture-level* view of a datapath
+component: what the TTA template, the scheduler, the explorer and the test
+cost formulas see.  The gate level (netlists) hangs off the datasheet in
+:mod:`repro.components.library`.
+
+Terminology follows the paper:
+
+* an FU has operand register(s) O, exactly one trigger register T and
+  result register(s) R — writing T starts the operation;
+* a register file exposes read and write ports (``n_in`` / ``n_out`` in
+  eq. 12);
+* ``n_conn`` is the number of a component's bus connectors (all data ports).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ComponentKind(enum.Enum):
+    """Coarse component classes with distinct cost treatment (Sec. 3/4)."""
+
+    FU = "fu"       # ALU, CMP, shifter, multiplier: f_tfu applies
+    RF = "rf"       # register files: f_trf applies
+    LSU = "lsu"     # once per architecture, excluded from ranking
+    PC = "pc"       # once per architecture, excluded from ranking
+    IMM = "imm"     # once per architecture, excluded from ranking
+
+
+class PortDirection(enum.Enum):
+    IN = "in"
+    OUT = "out"
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """One bus connector of a component."""
+
+    name: str
+    direction: PortDirection
+    width: int
+    is_trigger: bool = False
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is PortDirection.IN
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Architecture-level description of one component type."""
+
+    name: str
+    kind: ComponentKind
+    width: int
+    ops: tuple[str, ...]
+    latency: int                       # trigger -> result cycles (eq. 3: >= 1)
+    ports: tuple[PortSpec, ...]
+    num_regs: int = 0                  # RF only: words in the bank
+    fsm_bits: int = 3                  # stage-control FSM state register
+    opcode_bits: int = field(default=0)
+    extra_ff_bits: int = 0             # e.g. RF port address registers
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"{self.name}: latency must be >= 1 (paper eq. 3)")
+        triggers = [p for p in self.ports if p.is_trigger]
+        if self.kind is ComponentKind.FU and len(triggers) != 1:
+            raise ValueError(
+                f"{self.name}: an FU needs exactly one trigger port, "
+                f"found {len(triggers)}"
+            )
+
+    # ------------------------------------------------------------------
+    # port views
+    # ------------------------------------------------------------------
+    @property
+    def input_ports(self) -> tuple[PortSpec, ...]:
+        return tuple(p for p in self.ports if p.is_input)
+
+    @property
+    def output_ports(self) -> tuple[PortSpec, ...]:
+        return tuple(p for p in self.ports if not p.is_input)
+
+    @property
+    def trigger_port(self) -> PortSpec | None:
+        for p in self.ports:
+            if p.is_trigger:
+                return p
+        return None
+
+    @property
+    def n_conn(self) -> int:
+        """Number of bus connectors (the paper's ``n_conn``)."""
+        return len(self.ports)
+
+    @property
+    def n_in(self) -> int:
+        """Input-port count (RF write ports for eq. 12)."""
+        return len(self.input_ports)
+
+    @property
+    def n_out(self) -> int:
+        """Output-port count (RF read ports for eq. 12)."""
+        return len(self.output_ports)
+
+    def port(self, name: str) -> PortSpec:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        raise KeyError(f"{self.name} has no port '{name}'")
+
+    # ------------------------------------------------------------------
+    # flip-flop accounting (drives scan-chain length n_l, eq. 13)
+    # ------------------------------------------------------------------
+    @property
+    def pipeline_ff_bits(self) -> int:
+        """Bits in the O/T/R pipeline registers plus opcode/address regs."""
+        data_bits = sum(p.width for p in self.ports)
+        return data_bits + self.opcode_bits + self.extra_ff_bits
+
+    @property
+    def socket_ff_bits(self) -> int:
+        """Fin/Fout socket flip-flops (one per connector) plus stage FSM."""
+        return len(self.ports) + self.fsm_bits
+
+    @property
+    def scan_chain_length(self) -> int:
+        """``n_l``: every functional flip-flop made scannable (Sec. 3)."""
+        return self.pipeline_ff_bits + self.socket_ff_bits

@@ -1,0 +1,41 @@
+"""Design space exploration (the MOVE-style flow of Sec. 2).
+
+The explorer enumerates TTA templates (bus count, FU mix, register-file
+setup), compiles the workload onto each, and keeps the Pareto-optimal
+points in the (area, execution time) plane — Fig. 2.  The test-cost axis
+(Fig. 8) is added by :mod:`repro.testcost`, and the final architecture is
+picked with a weighted norm (Fig. 9).
+"""
+
+from repro.explore.space import (
+    ArchConfig,
+    RFConfig,
+    build_architecture,
+    crypt_space,
+    small_space,
+)
+from repro.explore.evaluate import EvaluatedPoint, evaluate_config, evaluate_space
+from repro.explore.pareto import dominates, pareto_filter
+from repro.explore.explorer import ExplorationResult, explore
+from repro.explore.iterative import IterativeResult, iterative_explore, neighbours
+from repro.explore.selection import normalize_points, select_architecture
+
+__all__ = [
+    "ArchConfig",
+    "EvaluatedPoint",
+    "ExplorationResult",
+    "RFConfig",
+    "build_architecture",
+    "crypt_space",
+    "dominates",
+    "evaluate_config",
+    "evaluate_space",
+    "explore",
+    "iterative_explore",
+    "IterativeResult",
+    "neighbours",
+    "normalize_points",
+    "pareto_filter",
+    "select_architecture",
+    "small_space",
+]

@@ -1,0 +1,85 @@
+"""Evaluation of one architecture configuration against a workload.
+
+Mirrors the MOVE evaluation loop: compile the application onto the
+candidate, take the **profile-weighted static cycle count** as the
+throughput cost and the placed **area** from the component datasheets.
+Configurations the compiler cannot map (no RF capacity, missing FU
+classes) are reported infeasible rather than silently skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import IRFunction
+from repro.compiler.regalloc import AllocationError
+from repro.compiler.scheduler import CompileResult, ScheduleError, compile_ir
+from repro.explore.space import ArchConfig, build_architecture
+from repro.tta.arch import Architecture
+
+
+@dataclass
+class EvaluatedPoint:
+    """One point of the solution space."""
+
+    config: ArchConfig
+    area: float
+    cycles: int | None                      # None = infeasible
+    test_cost: int | None = None            # attached by repro.testcost
+    compile_result: CompileResult | None = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.cycles is not None
+
+    @property
+    def label(self) -> str:
+        return self.config.label()
+
+    def cost2d(self) -> tuple[float, float]:
+        assert self.cycles is not None
+        return (self.area, float(self.cycles))
+
+    def cost3d(self) -> tuple[float, float, float]:
+        assert self.cycles is not None and self.test_cost is not None
+        return (self.area, float(self.cycles), float(self.test_cost))
+
+
+def evaluate_config(
+    config: ArchConfig,
+    workload: IRFunction,
+    profile: dict[str, int],
+    width: int = 16,
+    keep_compile_result: bool = False,
+) -> EvaluatedPoint:
+    """Compile ``workload`` onto one configuration and cost it."""
+    arch = build_architecture(config, width)
+    area = arch.area()
+    try:
+        compiled = compile_ir(workload, arch, profile=profile)
+    except (AllocationError, ScheduleError):
+        return EvaluatedPoint(config=config, area=area, cycles=None)
+    cycles = compiled.static_cycles(profile)
+    return EvaluatedPoint(
+        config=config,
+        area=area,
+        cycles=cycles,
+        compile_result=compiled if keep_compile_result else None,
+    )
+
+
+def evaluate_space(
+    space: list[ArchConfig],
+    workload: IRFunction,
+    profile: dict[str, int],
+    width: int = 16,
+) -> list[EvaluatedPoint]:
+    """Evaluate every configuration (feasible or not) in ``space``."""
+    return [
+        evaluate_config(config, workload, profile, width) for config in space
+    ]
+
+
+def architecture_of(point: EvaluatedPoint, width: int = 16) -> Architecture:
+    """Re-instantiate the architecture of an evaluated point."""
+    return build_architecture(point.config, width)

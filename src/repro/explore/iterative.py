@@ -1,0 +1,146 @@
+"""Iterative (neighbourhood-search) exploration.
+
+The MOVE environment performs "iterative generation of different
+architectures" rather than brute-force sweeps.  This explorer starts
+from seed templates, evaluates their neighbourhoods (one architectural
+parameter changed at a time), and expands only candidates that are
+non-dominated so far — typically reaching the same Pareto frontier as
+the exhaustive sweep while evaluating a fraction of the space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.interp import IRInterpreter
+from repro.compiler.ir import IRFunction
+from repro.explore.evaluate import EvaluatedPoint, evaluate_config
+from repro.explore.explorer import ExplorationResult
+from repro.explore.pareto import dominates, pareto_filter
+from repro.explore.space import ArchConfig, RFConfig
+
+#: RF arrangements the neighbourhood can step through, small to large.
+_RF_LADDER: tuple[tuple[RFConfig, ...], ...] = (
+    (RFConfig(4),),
+    (RFConfig(8),),
+    (RFConfig(12),),
+    (RFConfig(8), RFConfig(12)),
+    (RFConfig(8, read_ports=2), RFConfig(12)),
+    (RFConfig(12, read_ports=2), RFConfig(12, read_ports=2)),
+    (RFConfig(16, read_ports=2, write_ports=2),),
+)
+
+
+def neighbours(config: ArchConfig) -> list[ArchConfig]:
+    """Single-parameter mutations of one template."""
+    out: list[ArchConfig] = []
+
+    def replace(**kwargs) -> None:
+        merged = dict(
+            num_buses=config.num_buses,
+            num_alus=config.num_alus,
+            num_cmps=config.num_cmps,
+            num_shifters=config.num_shifters,
+            num_muls=config.num_muls,
+            rfs=config.rfs,
+        )
+        merged.update(kwargs)
+        out.append(ArchConfig(**merged))
+
+    if config.num_buses < 4:
+        replace(num_buses=config.num_buses + 1)
+    if config.num_buses > 1:
+        replace(num_buses=config.num_buses - 1)
+    if config.num_alus < 3:
+        replace(num_alus=config.num_alus + 1)
+    if config.num_alus > 1:
+        replace(num_alus=config.num_alus - 1)
+    replace(num_shifters=1 - config.num_shifters)
+
+    try:
+        position = _RF_LADDER.index(config.rfs)
+    except ValueError:
+        position = None
+    if position is not None:
+        if position + 1 < len(_RF_LADDER):
+            replace(rfs=_RF_LADDER[position + 1])
+        if position > 0:
+            replace(rfs=_RF_LADDER[position - 1])
+    return out
+
+
+@dataclass
+class IterativeResult:
+    """Exploration outcome plus search statistics."""
+
+    result: ExplorationResult
+    evaluations: int
+    iterations: int
+    frontier_history: list[int] = field(default_factory=list)
+
+
+def iterative_explore(
+    workload: IRFunction,
+    seeds: list[ArchConfig] | None = None,
+    max_evaluations: int = 80,
+    width: int = 16,
+) -> IterativeResult:
+    """Neighbourhood search from ``seeds`` toward the Pareto frontier."""
+    interp = IRInterpreter(workload, width=width)
+    profile = interp.run().block_counts
+
+    if seeds is None:
+        seeds = [
+            ArchConfig(num_buses=1, rfs=(RFConfig(8),)),
+            ArchConfig(num_buses=3, num_alus=2, rfs=_RF_LADDER[3]),
+        ]
+
+    seen: dict[str, EvaluatedPoint] = {}
+    frontier: list[EvaluatedPoint] = []
+    queue: list[ArchConfig] = list(seeds)
+    evaluations = 0
+    iterations = 0
+    history: list[int] = []
+
+    def evaluate(config: ArchConfig) -> EvaluatedPoint | None:
+        nonlocal evaluations
+        label = config.label()
+        if label in seen:
+            return None
+        if evaluations >= max_evaluations:
+            return None
+        evaluations += 1
+        point = evaluate_config(config, workload, profile, width)
+        seen[label] = point
+        return point
+
+    while queue and evaluations < max_evaluations:
+        iterations += 1
+        expanded: list[EvaluatedPoint] = []
+        for config in queue:
+            point = evaluate(config)
+            if point is not None and point.feasible:
+                expanded.append(point)
+        frontier = pareto_filter(
+            frontier + expanded, key=lambda p: p.cost2d()
+        )
+        history.append(len(frontier))
+
+        # Expand only the frontier's unexplored neighbourhoods.
+        queue = []
+        for point in frontier:
+            for neighbour in neighbours(point.config):
+                if neighbour.label() not in seen:
+                    queue.append(neighbour)
+
+    result = ExplorationResult(
+        workload=workload.name,
+        profile=profile,
+        points=list(seen.values()),
+    )
+    return IterativeResult(
+        result=result,
+        evaluations=evaluations,
+        iterations=iterations,
+        frontier_history=history,
+    )

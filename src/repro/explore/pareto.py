@@ -1,0 +1,49 @@
+"""Pareto filtering in any number of cost dimensions.
+
+The paper bounds the solution space with local optima: "Pareto points
+limit the design space such that for all (a, t) in the solution space,
+a >= a_p or t >= t_p".  All axes are costs (smaller is better).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when cost vector ``a`` dominates ``b`` (<= everywhere, < once)."""
+    if len(a) != len(b):
+        raise ValueError("cost vectors must have equal dimension")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    better = any(x < y for x, y in zip(a, b))
+    return no_worse and better
+
+
+def pareto_filter(
+    items: Iterable[T],
+    key: Callable[[T], Sequence[float]],
+) -> list[T]:
+    """Non-dominated subset of ``items`` under the cost vector ``key``.
+
+    Deterministic: input order is preserved; among items with *identical*
+    cost vectors the first is kept.
+    """
+    pool = list(items)
+    costs = [tuple(key(item)) for item in pool]
+    kept: list[T] = []
+    seen: set[tuple] = set()
+    for i, item in enumerate(pool):
+        ci = costs[i]
+        if ci in seen:
+            continue
+        dominated = False
+        for j, cj in enumerate(costs):
+            if j != i and dominates(cj, ci):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(item)
+            seen.add(ci)
+    return kept

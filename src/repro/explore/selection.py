@@ -1,0 +1,86 @@
+"""Architecture selection by weighted vector norms (Sec. 4, Fig. 9).
+
+"The selection of the most appropriate architecture can be done using any
+of the standard weighted norm techniques within the vector space R^3 ...
+The standard Euclid norm with equal constraint weights has been used."
+
+Axes are min-max normalised over the candidate set before weighting so
+that cycles (~1e5) cannot drown area (~1e3); the paper's equal-weight
+choice then genuinely balances the three constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.explore.evaluate import EvaluatedPoint
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The chosen architecture plus its norm value."""
+
+    point: EvaluatedPoint
+    norm: float
+    normalized: tuple[float, ...]
+
+
+def normalize_points(
+    points: list[EvaluatedPoint], use_test_cost: bool = True
+) -> list[tuple[EvaluatedPoint, tuple[float, ...]]]:
+    """Min-max normalise each axis over the candidate set."""
+    if not points:
+        raise ValueError("no candidate points")
+    vectors = []
+    for p in points:
+        if not p.feasible:
+            raise ValueError(f"infeasible point {p.label} in selection")
+        if use_test_cost:
+            if p.test_cost is None:
+                raise ValueError(f"point {p.label} lacks a test cost")
+            vectors.append((p.area, float(p.cycles), float(p.test_cost)))
+        else:
+            vectors.append((p.area, float(p.cycles)))
+    dims = len(vectors[0])
+    lows = [min(v[d] for v in vectors) for d in range(dims)]
+    highs = [max(v[d] for v in vectors) for d in range(dims)]
+    out = []
+    for p, v in zip(points, vectors):
+        normalized = tuple(
+            0.0 if highs[d] == lows[d] else (v[d] - lows[d]) / (highs[d] - lows[d])
+            for d in range(dims)
+        )
+        out.append((p, normalized))
+    return out
+
+
+def select_architecture(
+    points: list[EvaluatedPoint],
+    weights: tuple[float, ...] = (1.0, 1.0, 1.0),
+    order: float = 2.0,
+    use_test_cost: bool = True,
+) -> SelectionResult:
+    """Pick the candidate with the smallest weighted p-norm.
+
+    ``order=2`` with equal weights is the paper's choice; other orders
+    (1 = Manhattan, inf supported via ``float('inf')``) are available for
+    the ablation benches.
+    """
+    normalized = normalize_points(points, use_test_cost)
+    dims = len(normalized[0][1])
+    if len(weights) < dims:
+        raise ValueError(f"need {dims} weights, got {len(weights)}")
+
+    best: SelectionResult | None = None
+    for point, vector in normalized:
+        weighted = [w * x for w, x in zip(weights, vector)]
+        if order == float("inf"):
+            norm = max(weighted)
+        else:
+            norm = sum(x**order for x in weighted) ** (1.0 / order)
+        if best is None or norm < best.norm or (
+            norm == best.norm and point.area < best.point.area
+        ):
+            best = SelectionResult(point=point, norm=norm, normalized=vector)
+    assert best is not None
+    return best

@@ -1,0 +1,138 @@
+"""The architecture configuration space.
+
+A point in the space is an :class:`ArchConfig`: bus count, number of
+ALUs/comparators/shifters, and the register-file arrangement.  Every
+configuration also carries the fixed per-architecture units (one LSU, one
+PC, one immediate unit) which the paper excludes from the cost ranking
+because "they always appear once for arbitrary architecture and
+application".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.components.library import (
+    alu_spec,
+    cmp_spec,
+    imm_spec,
+    lsu_spec,
+    mul_spec,
+    pc_spec,
+    rf_spec,
+    shifter_spec,
+)
+from repro.tta.arch import Architecture, UnitInstance
+
+
+@dataclass(frozen=True)
+class RFConfig:
+    """One register file: size and port arrangement."""
+
+    num_regs: int
+    read_ports: int = 1
+    write_ports: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.num_regs}r{self.read_ports}R{self.write_ports}W"
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """One candidate TTA template."""
+
+    num_buses: int
+    num_alus: int = 1
+    num_cmps: int = 1
+    num_shifters: int = 0
+    num_muls: int = 0
+    rfs: tuple[RFConfig, ...] = (RFConfig(8),)
+
+    def label(self) -> str:
+        rf_text = "+".join(str(rf) for rf in self.rfs)
+        parts = [f"b{self.num_buses}", f"alu{self.num_alus}"]
+        if self.num_cmps != 1:
+            parts.append(f"cmp{self.num_cmps}")
+        if self.num_shifters:
+            parts.append(f"sh{self.num_shifters}")
+        if self.num_muls:
+            parts.append(f"mul{self.num_muls}")
+        parts.append(rf_text)
+        return "-".join(parts)
+
+    @property
+    def total_registers(self) -> int:
+        return sum(rf.num_regs for rf in self.rfs)
+
+
+def build_architecture(config: ArchConfig, width: int = 16) -> Architecture:
+    """Instantiate the template (full port->bus connectivity)."""
+    units: list[UnitInstance] = []
+    for i in range(config.num_alus):
+        units.append(UnitInstance(f"alu{i}", alu_spec(width)))
+    for i in range(config.num_cmps):
+        units.append(UnitInstance(f"cmp{i}", cmp_spec(width)))
+    for i in range(config.num_shifters):
+        units.append(UnitInstance(f"shifter{i}", shifter_spec(width)))
+    for i in range(config.num_muls):
+        units.append(UnitInstance(f"mul{i}", mul_spec(width)))
+    for i, rf in enumerate(config.rfs):
+        units.append(
+            UnitInstance(
+                f"rf{i}",
+                rf_spec(rf.num_regs, width, rf.read_ports, rf.write_ports),
+            )
+        )
+    units.append(UnitInstance("lsu0", lsu_spec(width)))
+    units.append(UnitInstance("pc", pc_spec(width)))
+    units.append(UnitInstance("imm0", imm_spec(width)))
+    return Architecture(
+        name=config.label(),
+        width=width,
+        num_buses=config.num_buses,
+        units=units,
+    )
+
+
+#: Register-file arrangements offered to the Crypt exploration.
+_CRYPT_RF_OPTIONS: tuple[tuple[RFConfig, ...], ...] = (
+    (RFConfig(4),),
+    (RFConfig(8),),
+    (RFConfig(12),),
+    (RFConfig(8), RFConfig(12)),            # the Fig. 9 arrangement
+    (RFConfig(8, read_ports=2), RFConfig(12)),
+    (RFConfig(12, read_ports=2), RFConfig(12, read_ports=2)),
+    (RFConfig(16, read_ports=2, write_ports=2),),
+)
+
+
+def crypt_space() -> list[ArchConfig]:
+    """The configuration grid explored for the Crypt application.
+
+    4 bus counts x 3 ALU counts x 2 shifter options x 7 RF arrangements
+    = 168 candidate templates, the same order of magnitude as the MOVE
+    exploration sweeps.
+    """
+    space = []
+    for buses, alus, shifters, rfs in itertools.product(
+        (1, 2, 3, 4), (1, 2, 3), (0, 1), _CRYPT_RF_OPTIONS
+    ):
+        space.append(
+            ArchConfig(
+                num_buses=buses,
+                num_alus=alus,
+                num_shifters=shifters,
+                rfs=rfs,
+            )
+        )
+    return space
+
+
+def small_space() -> list[ArchConfig]:
+    """A fast sub-grid for unit tests and quick demos (12 points)."""
+    space = []
+    for buses, alus in itertools.product((1, 2, 3), (1, 2)):
+        for rfs in ((RFConfig(8),), (RFConfig(8), RFConfig(12))):
+            space.append(ArchConfig(num_buses=buses, num_alus=alus, rfs=rfs))
+    return space

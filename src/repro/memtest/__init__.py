@@ -1,0 +1,50 @@
+"""Memory testing: functional fault models and march algorithms.
+
+The paper tests register files — implemented as multi-port memories — with
+*marching* patterns [14] and cites the port-restriction analysis of
+Hamdioui & van de Goor [15].  This package provides:
+
+* a word-oriented memory model with injectable cell faults
+  (stuck-at, transition, idempotent/inversion coupling),
+* the classic march algorithms (MATS+, March X, March Y, March C-),
+* pattern-count accounting (``n_p`` for eq. 12) including data
+  backgrounds and the multi-port overhead.
+"""
+
+from repro.memtest.memory_model import (
+    CellFault,
+    CouplingFault,
+    FaultyMemory,
+    StuckAtCellFault,
+    TransitionFault,
+)
+from repro.memtest.march import (
+    MARCH_ALGORITHMS,
+    MARCH_CM,
+    MARCH_X,
+    MARCH_Y,
+    MATS_PLUS,
+    MarchElement,
+    MarchResult,
+    MarchTest,
+    march_pattern_count,
+    run_march,
+)
+
+__all__ = [
+    "CellFault",
+    "CouplingFault",
+    "FaultyMemory",
+    "MARCH_ALGORITHMS",
+    "MARCH_CM",
+    "MARCH_X",
+    "MARCH_Y",
+    "MATS_PLUS",
+    "MarchElement",
+    "MarchResult",
+    "MarchTest",
+    "StuckAtCellFault",
+    "TransitionFault",
+    "march_pattern_count",
+    "run_march",
+]

@@ -1,0 +1,159 @@
+"""March test algorithms for (multi-port) memories.
+
+Notation follows van de Goor: an algorithm is a sequence of *march
+elements*, each an address sweep (up ``^``, down ``v`` or either ``*``)
+applying a fixed op string to every address.  Lengths are the classic
+ones: MATS+ 5n, March X 6n, March Y 8n, March C- 10n.
+
+``n_p`` for the RF cost formula (eq. 12) is the *operation count* of the
+chosen algorithm over the register bank, times the number of data
+backgrounds, plus the inter-port overhead of Hamdioui & van de Goor [15]
+when the file is multi-ported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memtest.memory_model import FaultyMemory
+from repro.util.bitops import mask
+
+#: March op kinds: ("r", v) read-expect-v; ("w", v) write-v.
+Op = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One address sweep: direction in {'up', 'down', 'any'} plus ops."""
+
+    direction: str
+    ops: tuple[Op, ...]
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("up", "down", "any"):
+            raise ValueError(f"bad direction {self.direction!r}")
+        for kind, value in self.ops:
+            if kind not in ("r", "w") or value not in (0, 1):
+                raise ValueError(f"bad op {(kind, value)!r}")
+
+    def addresses(self, num_words: int) -> range:
+        if self.direction == "down":
+            return range(num_words - 1, -1, -1)
+        return range(num_words)
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named march algorithm."""
+
+    name: str
+    elements: tuple[MarchElement, ...]
+
+    @property
+    def ops_per_word(self) -> int:
+        return sum(len(e.ops) for e in self.elements)
+
+    def length(self, num_words: int) -> int:
+        """Total memory operations (the classic '{k}n' figure)."""
+        return self.ops_per_word * num_words
+
+
+def _element(spec: str) -> MarchElement:
+    """Parse e.g. ``'^(r0,w1)'`` / ``'v(r1,w0)'`` / ``'*(w0)'``."""
+    direction = {"^": "up", "v": "down", "*": "any"}[spec[0]]
+    body = spec[spec.index("(") + 1 : spec.rindex(")")]
+    ops = tuple((op[0], int(op[1])) for op in body.split(","))
+    return MarchElement(direction, ops)
+
+
+def _march(name: str, *specs: str) -> MarchTest:
+    return MarchTest(name, tuple(_element(s) for s in specs))
+
+
+MATS_PLUS = _march("MATS+", "*(w0)", "^(r0,w1)", "v(r1,w0)")
+MARCH_X = _march("March X", "*(w0)", "^(r0,w1)", "v(r1,w0)", "*(r0)")
+MARCH_Y = _march("March Y", "*(w0)", "^(r0,w1,r1)", "v(r1,w0,r0)", "*(r0)")
+MARCH_CM = _march(
+    "March C-",
+    "*(w0)", "^(r0,w1)", "^(r1,w0)", "v(r0,w1)", "v(r1,w0)", "*(r0)",
+)
+MARCH_A = _march(
+    "March A",
+    "*(w0)", "^(r0,w1,w0,w1)", "^(r1,w0,w1)", "v(r1,w0,w1,w0)", "v(r0,w1,w0)",
+)
+MARCH_B = _march(
+    "March B",
+    "*(w0)", "^(r0,w1,r1,w0,r0,w1)", "^(r1,w0,w1)",
+    "v(r1,w0,w1,w0)", "v(r0,w1,w0)",
+)
+
+MARCH_ALGORITHMS: dict[str, MarchTest] = {
+    t.name: t
+    for t in (MATS_PLUS, MARCH_X, MARCH_Y, MARCH_CM, MARCH_A, MARCH_B)
+}
+
+#: Default data backgrounds (solid); callers may add checkerboards etc.
+SOLID_BACKGROUND = 0
+
+
+@dataclass
+class MarchResult:
+    """Outcome of applying one march test to one memory instance."""
+
+    test_name: str
+    passed: bool
+    operations: int
+    first_failure: str | None = None
+
+
+def run_march(
+    test: MarchTest,
+    memory: FaultyMemory,
+    background: int = SOLID_BACKGROUND,
+) -> MarchResult:
+    """Apply a march test; any read mismatch fails the test."""
+    zero = background & mask(memory.width)
+    one = ~background & mask(memory.width)
+    data = {0: zero, 1: one}
+    operations = 0
+    for element in test.elements:
+        for addr in element.addresses(memory.num_words):
+            for kind, value in element.ops:
+                operations += 1
+                if kind == "w":
+                    memory.write(addr, data[value])
+                    continue
+                got = memory.read(addr)
+                if got != data[value]:
+                    return MarchResult(
+                        test.name,
+                        passed=False,
+                        operations=operations,
+                        first_failure=(
+                            f"addr {addr}: expected {data[value]:#x}, "
+                            f"read {got:#x}"
+                        ),
+                    )
+    return MarchResult(test.name, passed=True, operations=operations)
+
+
+def march_pattern_count(
+    test: MarchTest,
+    num_words: int,
+    backgrounds: int = 1,
+    read_ports: int = 1,
+    write_ports: int = 1,
+) -> int:
+    """``n_p`` for a register file under eq. 12.
+
+    The base count is the march length over the bank, times the data
+    backgrounds.  Multi-port files add the inter-port element of [15]:
+    every port beyond the first in each direction re-runs one
+    read-and-verify sweep (2n operations) to exercise port decoders and
+    detect inter-port shorts.
+    """
+    if backgrounds < 1:
+        raise ValueError("at least one data background required")
+    base = test.length(num_words) * backgrounds
+    extra_ports = max(0, read_ports - 1) + max(0, write_ports - 1)
+    return base + 2 * num_words * extra_ports

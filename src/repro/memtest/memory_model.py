@@ -1,0 +1,139 @@
+"""Functional memory model with injectable bit-cell faults.
+
+The fault classes follow van de Goor's taxonomy:
+
+* **SAF** — a cell permanently reads (and stays at) 0 or 1;
+* **TF** — a cell cannot make one of its transitions (up or down);
+* **CFid** — an *idempotent* coupling fault: a transition of the aggressor
+  cell forces the victim cell to a fixed value;
+* **CFin** — an *inversion* coupling fault: a transition of the aggressor
+  inverts the victim.
+
+Cells are addressed as ``(word, bit)``.  The model is deliberately
+behavioural — it exists to *validate* that the march algorithms in
+:mod:`repro.memtest.march` detect what they claim to detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bitops import mask
+
+
+@dataclass(frozen=True)
+class CellFault:
+    """Base class for injectable memory faults."""
+
+    word: int
+    bit: int
+
+
+@dataclass(frozen=True)
+class StuckAtCellFault(CellFault):
+    """Cell (word, bit) stuck at ``value``."""
+
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class TransitionFault(CellFault):
+    """Cell cannot transition upward (``rising=True``) or downward."""
+
+    rising: bool = True
+
+
+@dataclass(frozen=True)
+class CouplingFault(CellFault):
+    """Aggressor (word, bit); transition couples into the victim cell.
+
+    ``inversion`` selects CFin (victim flips) over CFid (victim forced to
+    ``forced_value``).  ``rising`` selects the sensitising aggressor edge.
+    """
+
+    victim_word: int = 0
+    victim_bit: int = 0
+    rising: bool = True
+    inversion: bool = False
+    forced_value: int = 0
+
+
+class FaultyMemory:
+    """``num_words`` x ``width`` memory with at most a few injected faults."""
+
+    def __init__(
+        self,
+        num_words: int,
+        width: int,
+        faults: list[CellFault] | None = None,
+    ):
+        if num_words < 1 or width < 1:
+            raise ValueError("memory dimensions must be positive")
+        self.num_words = num_words
+        self.width = width
+        self.faults = list(faults or [])
+        for fault in self.faults:
+            if not (0 <= fault.word < num_words and 0 <= fault.bit < width):
+                raise ValueError(f"fault site {fault} outside memory")
+        self._cells = [[0] * width for _ in range(num_words)]
+        self._apply_stuck()
+
+    def _apply_stuck(self) -> None:
+        for fault in self.faults:
+            if isinstance(fault, StuckAtCellFault):
+                self._cells[fault.word][fault.bit] = fault.value
+
+    # ------------------------------------------------------------------
+    def write(self, addr: int, value: int) -> None:
+        """Word write, filtered through the injected fault behaviour."""
+        if not 0 <= addr < self.num_words:
+            raise IndexError(f"address {addr} out of range")
+        value &= mask(self.width)
+        for bit in range(self.width):
+            self._write_cell(addr, bit, (value >> bit) & 1)
+
+    def _write_cell(self, word: int, bit: int, new: int) -> None:
+        old = self._cells[word][bit]
+        effective = new
+        for fault in self.faults:
+            if isinstance(fault, StuckAtCellFault):
+                if (fault.word, fault.bit) == (word, bit):
+                    effective = fault.value
+            elif isinstance(fault, TransitionFault):
+                if (fault.word, fault.bit) == (word, bit):
+                    blocked_up = fault.rising and old == 0 and new == 1
+                    blocked_down = not fault.rising and old == 1 and new == 0
+                    if blocked_up or blocked_down:
+                        effective = old
+        self._cells[word][bit] = effective
+
+        # Coupling: a *transition* of this (aggressor) cell disturbs victims.
+        if effective != old:
+            rising = effective == 1
+            for fault in self.faults:
+                if not isinstance(fault, CouplingFault):
+                    continue
+                if (fault.word, fault.bit) != (word, bit):
+                    continue
+                if fault.rising != rising:
+                    continue
+                victim = self._cells[fault.victim_word]
+                if fault.inversion:
+                    victim[fault.victim_bit] ^= 1
+                else:
+                    victim[fault.victim_bit] = fault.forced_value
+                self._apply_stuck()
+
+    def read(self, addr: int) -> int:
+        """Word read (stuck cells dominate)."""
+        if not 0 <= addr < self.num_words:
+            raise IndexError(f"address {addr} out of range")
+        value = 0
+        for bit in range(self.width):
+            v = self._cells[addr][bit]
+            for fault in self.faults:
+                if isinstance(fault, StuckAtCellFault):
+                    if (fault.word, fault.bit) == (addr, bit):
+                        v = fault.value
+            value |= v << bit
+        return value

@@ -1,0 +1,39 @@
+"""Gate-level netlist substrate.
+
+This package provides the structural layer the paper assumes as input: every
+datapath component is "predesigned up to the gate level" and the number of
+test patterns, area and delay of each component are back-annotated from that
+structure.  Here the structure is a :class:`~repro.netlist.netlist.Netlist`
+of primitive cells, built with :class:`~repro.netlist.builder.WordBuilder`,
+evaluated bit-parallel, and costed by :mod:`repro.netlist.stats`.
+"""
+
+from repro.netlist.cells import (
+    CELL_AREA,
+    CELL_DELAY,
+    CellType,
+    cell_area,
+    cell_delay,
+    evaluate_cell,
+)
+from repro.netlist.netlist import Gate, Net, Netlist, NetlistError
+from repro.netlist.builder import WordBuilder
+from repro.netlist.stats import NetlistStats, netlist_stats
+from repro.netlist.verilog import to_structural_verilog
+
+__all__ = [
+    "CELL_AREA",
+    "CELL_DELAY",
+    "CellType",
+    "Gate",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "NetlistStats",
+    "WordBuilder",
+    "cell_area",
+    "cell_delay",
+    "evaluate_cell",
+    "netlist_stats",
+    "to_structural_verilog",
+]

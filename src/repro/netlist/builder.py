@@ -1,0 +1,257 @@
+"""Word-level netlist construction helpers.
+
+:class:`WordBuilder` wraps a :class:`~repro.netlist.netlist.Netlist` and
+offers word-oriented primitives (adders, muxes, shifters, reductions) from
+which the datapath component generators in :mod:`repro.components` are built.
+
+A *word* is simply a list of net ids, LSB first.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.cells import CellType
+from repro.netlist.netlist import Netlist, NetlistError
+
+Word = list[int]
+
+
+class WordBuilder:
+    """Structural construction DSL over a netlist."""
+
+    def __init__(self, name: str):
+        self.netlist = Netlist(name)
+
+    # ------------------------------------------------------------------
+    # ports and constants
+    # ------------------------------------------------------------------
+    def input_word(self, name: str, width: int) -> Word:
+        """Declare a ``width``-bit primary-input word."""
+        return [self.netlist.add_input(f"{name}[{i}]") for i in range(width)]
+
+    def input_bit(self, name: str) -> int:
+        return self.netlist.add_input(name)
+
+    def output_word(self, name: str, word: Word) -> Word:
+        """Expose a word as primary outputs named ``name[i]``."""
+        for i, net in enumerate(word):
+            self.netlist.nets[net].name = f"{name}[{i}]"
+            self.netlist.add_output(net)
+        return word
+
+    def output_bit(self, name: str, net: int) -> int:
+        self.netlist.nets[net].name = name
+        self.netlist.add_output(net)
+        return net
+
+    def const_bit(self, value: int) -> int:
+        cell = CellType.CONST1 if value & 1 else CellType.CONST0
+        return self.netlist.add_gate(cell, [])
+
+    def const_word(self, value: int, width: int) -> Word:
+        return [self.const_bit((value >> i) & 1) for i in range(width)]
+
+    # ------------------------------------------------------------------
+    # bit-level gates
+    # ------------------------------------------------------------------
+    def not_(self, a: int) -> int:
+        return self.netlist.add_gate(CellType.NOT, [a])
+
+    def buf(self, a: int) -> int:
+        return self.netlist.add_gate(CellType.BUF, [a])
+
+    def and_(self, *nets: int) -> int:
+        return self._nary(CellType.AND, list(nets))
+
+    def or_(self, *nets: int) -> int:
+        return self._nary(CellType.OR, list(nets))
+
+    def nand_(self, *nets: int) -> int:
+        return self.netlist.add_gate(CellType.NAND, list(nets))
+
+    def nor_(self, *nets: int) -> int:
+        return self.netlist.add_gate(CellType.NOR, list(nets))
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.netlist.add_gate(CellType.XOR, [a, b])
+
+    def xnor_(self, a: int, b: int) -> int:
+        return self.netlist.add_gate(CellType.XNOR, [a, b])
+
+    def _nary(self, cell: CellType, nets: list[int]) -> int:
+        """Build a tree for fan-in beyond the cell's limit (max 4)."""
+        if len(nets) == 1:
+            return nets[0]
+        if len(nets) <= 4:
+            return self.netlist.add_gate(cell, nets)
+        mid = len(nets) // 2
+        left = self._nary(cell, nets[:mid])
+        right = self._nary(cell, nets[mid:])
+        if cell in (CellType.NAND, CellType.NOR):
+            raise NetlistError("n-ary trees only for AND/OR")
+        return self.netlist.add_gate(cell, [left, right])
+
+    def mux2(self, sel: int, a: int, b: int) -> int:
+        """2:1 mux — returns ``a`` when ``sel`` is 0, ``b`` when 1."""
+        nsel = self.not_(sel)
+        return self.or_(self.and_(a, nsel), self.and_(b, sel))
+
+    # ------------------------------------------------------------------
+    # word-level logic
+    # ------------------------------------------------------------------
+    def not_word(self, a: Word) -> Word:
+        return [self.not_(x) for x in a]
+
+    def and_word(self, a: Word, b: Word) -> Word:
+        return [self.and_(x, y) for x, y in zip(a, b, strict=True)]
+
+    def or_word(self, a: Word, b: Word) -> Word:
+        return [self.or_(x, y) for x, y in zip(a, b, strict=True)]
+
+    def xor_word(self, a: Word, b: Word) -> Word:
+        return [self.xor_(x, y) for x, y in zip(a, b, strict=True)]
+
+    def mux2_word(self, sel: int, a: Word, b: Word) -> Word:
+        return [self.mux2(sel, x, y) for x, y in zip(a, b, strict=True)]
+
+    def mux_tree(self, sels: list[int], words: list[Word]) -> Word:
+        """Select ``words[i]`` by the binary value of ``sels`` (LSB first).
+
+        Non-power-of-two source counts are padded by cycling through the
+        words again (``words[i % len]``): out-of-range select codes alias
+        onto early entries, which keeps every mux select path testable
+        (padding with a repeated word would create untestable faults).
+        """
+        if not words:
+            raise NetlistError("mux tree needs at least one word")
+        size = 1 << len(sels)
+        padded = [words[i % len(words)] for i in range(size)]
+        level = padded[:size]
+        for sel in sels:
+            level = [
+                self.mux2_word(sel, level[2 * i], level[2 * i + 1])
+                for i in range(len(level) // 2)
+            ]
+        return level[0]
+
+    def and_reduce(self, word: Word) -> int:
+        return self._nary(CellType.AND, list(word))
+
+    def or_reduce(self, word: Word) -> int:
+        return self._nary(CellType.OR, list(word))
+
+    def xor_reduce(self, word: Word) -> int:
+        acc = word[0]
+        for net in word[1:]:
+            acc = self.xor_(acc, net)
+        return acc
+
+    def is_zero(self, word: Word) -> int:
+        return self.not_(self.or_reduce(word))
+
+    def equal(self, a: Word, b: Word) -> int:
+        diff = [self.xnor_(x, y) for x, y in zip(a, b, strict=True)]
+        return self.and_reduce(diff)
+
+    def decoder(self, sels: list[int]) -> Word:
+        """One-hot decode: output ``i`` is high iff value(sels) == i."""
+        inv = [self.not_(s) for s in sels]
+        outs: Word = []
+        for i in range(1 << len(sels)):
+            terms = [sels[b] if (i >> b) & 1 else inv[b] for b in range(len(sels))]
+            outs.append(self.and_reduce(terms))
+        return outs
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def half_adder(self, a: int, b: int) -> tuple[int, int]:
+        return self.xor_(a, b), self.and_(a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        axb = self.xor_(a, b)
+        s = self.xor_(axb, cin)
+        cout = self.or_(self.and_(a, b), self.and_(axb, cin))
+        return s, cout
+
+    def ripple_adder(self, a: Word, b: Word, cin: int | None = None) -> tuple[Word, int]:
+        """Ripple-carry add; returns (sum word, carry out)."""
+        carry = cin if cin is not None else self.const_bit(0)
+        out: Word = []
+        for x, y in zip(a, b, strict=True):
+            s, carry = self.full_adder(x, y, carry)
+            out.append(s)
+        return out, carry
+
+    def subtractor(self, a: Word, b: Word) -> tuple[Word, int]:
+        """a - b via two's complement; carry-out high means no borrow."""
+        nb = self.not_word(b)
+        return self.ripple_adder(a, nb, self.const_bit(1))
+
+    def incrementer(self, a: Word) -> tuple[Word, int]:
+        carry = self.const_bit(1)
+        out: Word = []
+        for x in a:
+            s, carry = self.half_adder(x, carry)
+            out.append(s)
+        return out, carry
+
+    def less_than_unsigned(self, a: Word, b: Word) -> int:
+        """1 iff a < b, unsigned (borrow of a - b), dead-logic free."""
+        carry = self.const_bit(1)
+        for x, y in zip(a, b, strict=True):
+            ny = self.not_(y)
+            generate = self.and_(x, ny)
+            propagate = self.xor_(x, ny)
+            carry = self.or_(generate, self.and_(propagate, carry))
+        return self.not_(carry)
+
+    def less_than_signed(self, a: Word, b: Word) -> int:
+        """1 iff a < b, two's complement, dead-logic free.
+
+        Same signs: the sign of a - b decides (computed from the carry
+        into the MSB); different signs: the negative operand is smaller.
+        """
+        carry = self.const_bit(1)
+        for x, y in zip(a[:-1], b[:-1], strict=True):
+            ny = self.not_(y)
+            generate = self.and_(x, ny)
+            propagate = self.xor_(x, ny)
+            carry = self.or_(generate, self.and_(propagate, carry))
+        nb_msb = self.not_(b[-1])
+        diff_msb = self.xor_(self.xor_(a[-1], nb_msb), carry)
+        sign_a, sign_b = a[-1], b[-1]
+        same_sign = self.xnor_(sign_a, sign_b)
+        return self.mux2(same_sign, sign_a, diff_msb)
+
+    # ------------------------------------------------------------------
+    # shifting
+    # ------------------------------------------------------------------
+    def shift_const(self, a: Word, amount: int, fill: int) -> Word:
+        """Logical shift left by ``amount`` (negative = right), const fill."""
+        width = len(a)
+        out: Word = []
+        for i in range(width):
+            src = i - amount
+            out.append(a[src] if 0 <= src < width else fill)
+        return out
+
+    def barrel_shifter(
+        self, a: Word, amount: list[int], right: int, arithmetic: int
+    ) -> Word:
+        """Log-stage barrel shifter.
+
+        ``amount`` — shift-count bits (LSB first); ``right`` — direction
+        select net; ``arithmetic`` — net that selects sign-fill on right
+        shifts.  Left shifts always zero-fill.
+        """
+        zero = self.const_bit(0)
+        sign = self.and_(a[-1], arithmetic)
+        fill = self.mux2(right, zero, sign)
+        word = list(a)
+        for stage, sel in enumerate(amount):
+            dist = 1 << stage
+            left_shifted = self.shift_const(word, dist, zero)
+            right_shifted = self.shift_const(word, -dist, fill)
+            shifted = self.mux2_word(right, left_shifted, right_shifted)
+            word = self.mux2_word(sel, word, shifted)
+        return word

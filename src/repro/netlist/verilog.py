@@ -1,0 +1,60 @@
+"""Structural Verilog export.
+
+Purely for inspection/interchange: lets a user dump any generated component
+and eyeball it or feed it to an external tool.  Only primitive gates appear,
+so the output is plain Verilog-1995 structural code.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.cells import CellType
+from repro.netlist.netlist import Netlist
+
+_VERILOG_PRIMITIVE = {
+    CellType.BUF: "buf",
+    CellType.NOT: "not",
+    CellType.AND: "and",
+    CellType.OR: "or",
+    CellType.NAND: "nand",
+    CellType.NOR: "nor",
+    CellType.XOR: "xor",
+    CellType.XNOR: "xnor",
+}
+
+
+def _escape(name: str) -> str:
+    """Verilog-escape identifiers containing brackets."""
+    if any(ch in name for ch in "[]. "):
+        return f"\\{name} "
+    return name
+
+
+def to_structural_verilog(netlist: Netlist, module_name: str | None = None) -> str:
+    """Render the netlist as a structural Verilog module string."""
+    module = module_name or netlist.name.replace("-", "_")
+    in_names = [_escape(netlist.net_name(n)) for n in netlist.inputs]
+    out_names = [_escape(netlist.net_name(n)) for n in netlist.outputs]
+    lines = [f"module {module} ("]
+    ports = [f"  input  {n}" for n in in_names] + [f"  output {n}" for n in out_names]
+    lines.append(",\n".join(ports))
+    lines.append(");")
+
+    declared = set(netlist.inputs) | set(netlist.outputs)
+    for net in netlist.nets:
+        if net.nid not in declared and (net.driver is not None or net.fanout):
+            lines.append(f"  wire {_escape(net.name)};")
+
+    for gate in netlist.gates:
+        out = _escape(netlist.net_name(gate.output))
+        if gate.cell_type is CellType.CONST0:
+            lines.append(f"  assign {out} = 1'b0;")
+            continue
+        if gate.cell_type is CellType.CONST1:
+            lines.append(f"  assign {out} = 1'b1;")
+            continue
+        prim = _VERILOG_PRIMITIVE[gate.cell_type]
+        ins = ", ".join(_escape(netlist.net_name(n)) for n in gate.inputs)
+        lines.append(f"  {prim} g{gate.gid} ({out}, {ins});")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

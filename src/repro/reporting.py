@@ -1,0 +1,89 @@
+"""Result export: exploration tables and Table 1 as CSV / JSON.
+
+Thin, dependency-free serialisers so downstream users can pull the
+exploration and test-cost results into their own tooling (spreadsheets,
+plotting, regression tracking) without touching internal objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.explore.evaluate import EvaluatedPoint
+from repro.testcost.table import Table1Row
+
+
+def exploration_rows(points: list[EvaluatedPoint]) -> list[dict]:
+    """Plain-dict view of evaluated points (stable key order)."""
+    rows = []
+    for p in points:
+        rows.append(
+            {
+                "architecture": p.label,
+                "buses": p.config.num_buses,
+                "alus": p.config.num_alus,
+                "shifters": p.config.num_shifters,
+                "registers": p.config.total_registers,
+                "area": p.area,
+                "cycles": p.cycles,
+                "test_cost": p.test_cost,
+                "feasible": p.feasible,
+            }
+        )
+    return rows
+
+
+def exploration_to_csv(points: list[EvaluatedPoint]) -> str:
+    """CSV text for a point list (header + one row per point)."""
+    rows = exploration_rows(points)
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def exploration_to_json(points: list[EvaluatedPoint]) -> str:
+    return json.dumps(exploration_rows(points), indent=2)
+
+
+def table1_rows(rows: list[Table1Row]) -> list[dict]:
+    """Plain-dict view of a Table 1 result."""
+    out = []
+    for row in rows:
+        out.append(
+            {
+                "component": row.component,
+                "spec": row.spec_name,
+                "kind": row.kind.value,
+                "full_scan_cycles": row.full_scan,
+                "our_approach_cycles": row.our_approach,
+                "advantage": round(row.advantage, 3),
+                "nl": row.nl,
+                "ftfu": row.ftfu,
+                "ftrf": row.ftrf,
+                "fts": row.fts,
+                "fault_coverage": round(row.fault_coverage, 2),
+                "counted": row.counted,
+            }
+        )
+    return out
+
+
+def table1_to_csv(rows: list[Table1Row]) -> str:
+    data = table1_rows(rows)
+    if not data:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(data[0]))
+    writer.writeheader()
+    writer.writerows(data)
+    return buffer.getvalue()
+
+
+def table1_to_json(rows: list[Table1Row]) -> str:
+    return json.dumps(table1_rows(rows), indent=2)

@@ -1,0 +1,34 @@
+"""Full-scan baseline: chains, cycle accounting and the scan view.
+
+The paper's comparison column ("full scan" in Table 1) assumes every
+functional flip-flop of a component is replaced by a scan cell on a single
+chain; test application then costs shift-in/shift-out serialisation.  This
+package models exactly that — no more, because the whole point of the
+paper is that the *functional* transport test avoids it.
+"""
+
+from repro.scan.chain import ScanChain, stitch_chains
+from repro.scan.cost import (
+    full_scan_cycles,
+    scan_test_cycles,
+)
+from repro.scan.insertion import (
+    ScanCell,
+    ScannedDesign,
+    scan_cells_by_prefix,
+    scan_test_detects,
+)
+from repro.scan.scanview import compose_netlists, scan_view
+
+__all__ = [
+    "ScanCell",
+    "ScanChain",
+    "ScannedDesign",
+    "compose_netlists",
+    "full_scan_cycles",
+    "scan_cells_by_prefix",
+    "scan_test_cycles",
+    "scan_test_detects",
+    "scan_view",
+    "stitch_chains",
+]

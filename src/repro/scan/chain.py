@@ -1,0 +1,47 @@
+"""Scan-chain bookkeeping.
+
+A :class:`ScanChain` is an ordered list of (component, flip-flop count)
+segments.  The paper adopts the single-chain configuration: "all scan
+chains are connected to one single scan chain, so that the total test cost
+of the architecture equals the sum of the test cycles of the components".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ScanChain:
+    """One scan chain built from named segments."""
+
+    name: str = "chain"
+    segments: list[tuple[str, int]] = field(default_factory=list)
+
+    def add_segment(self, component: str, ff_bits: int) -> None:
+        if ff_bits < 0:
+            raise ValueError("segment length cannot be negative")
+        self.segments.append((component, ff_bits))
+
+    @property
+    def length(self) -> int:
+        """``n_l``: total scan cells on the chain."""
+        return sum(bits for _name, bits in self.segments)
+
+    def offset_of(self, component: str) -> int:
+        """Shift position of a component's first cell (for diagnosis)."""
+        offset = 0
+        for name, bits in self.segments:
+            if name == component:
+                return offset
+            offset += bits
+        raise KeyError(f"component {component!r} not on chain {self.name!r}")
+
+
+def stitch_chains(chains: list[ScanChain], name: str = "top") -> ScanChain:
+    """Concatenate chains into the paper's single-chain configuration."""
+    top = ScanChain(name)
+    for chain in chains:
+        for component, bits in chain.segments:
+            top.add_segment(f"{chain.name}.{component}", bits)
+    return top

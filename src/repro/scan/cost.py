@@ -1,0 +1,27 @@
+"""Scan test-application cycle counts.
+
+Standard single-chain scan costs: each pattern shifts in through ``n_l``
+cells (overlapped with the previous pattern's shift-out) plus one capture
+cycle, with one final shift-out tail:
+
+``cycles = n_p * (n_l + 1) + n_l``
+
+This is the "full scan" column of Table 1; note how the paper's numbers
+carry exactly this structure (e.g. ALU: 7208 cycles on a 58-cell chain).
+"""
+
+from __future__ import annotations
+
+
+def scan_test_cycles(num_patterns: int, chain_length: int) -> int:
+    """Cycles to apply ``num_patterns`` through one scan chain."""
+    if num_patterns < 0 or chain_length < 0:
+        raise ValueError("pattern count and chain length must be >= 0")
+    if num_patterns == 0:
+        return 0
+    return num_patterns * (chain_length + 1) + chain_length
+
+
+def full_scan_cycles(num_patterns: int, chain_length: int) -> int:
+    """Alias used by the Table 1 generator (same formula)."""
+    return scan_test_cycles(num_patterns, chain_length)

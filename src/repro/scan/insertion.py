@@ -1,0 +1,168 @@
+"""Scan insertion and shift/capture simulation.
+
+The paper's only DfT hardware is "flip-flops (functional) with scan".
+This module makes that concrete: given a combinational core whose state
+is exposed as present-state/next-state net pairs (our flip-flop netlists
+already have that shape), it builds the scan-chain view and simulates
+the classic test protocol —
+
+    shift-in n_l bits -> capture one functional cycle -> shift-out
+    (overlapped with the next shift-in)
+
+so the ``n_p * (n_l + 1) + n_l`` accounting of :mod:`repro.scan.cost`
+is not just a formula but the measured behaviour of an executable model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atpg.faults import Fault
+from repro.netlist.cells import evaluate_cell
+from repro.netlist.netlist import Netlist
+from repro.scan.cost import scan_test_cycles
+
+
+@dataclass(frozen=True)
+class ScanCell:
+    """One scannable flip-flop: present-state PI net, next-state PO net."""
+
+    name: str
+    ppi: int    # the core reads the cell's value from this net
+    ppo: int    # the core writes the cell's next value to this net
+
+
+def scan_cells_by_prefix(
+    netlist: Netlist, ppi_prefix: str = "q", ppo_prefix: str = "d"
+) -> list[ScanCell]:
+    """Pair up ``q...``/``d...`` nets by their suffix (RF-FF convention)."""
+    ppis: dict[str, int] = {}
+    for pi in netlist.inputs:
+        name = netlist.net_name(pi)
+        if name.startswith(ppi_prefix):
+            ppis[name[len(ppi_prefix):]] = pi
+    cells: list[ScanCell] = []
+    for po in netlist.outputs:
+        name = netlist.net_name(po)
+        if name.startswith(ppo_prefix):
+            suffix = name[len(ppo_prefix):]
+            if suffix in ppis:
+                cells.append(ScanCell(f"ff{suffix}", ppis[suffix], po))
+    if not cells:
+        raise ValueError("no PPI/PPO pairs matched the naming convention")
+    return cells
+
+
+class ScannedDesign:
+    """A core netlist with its state cells stitched into one scan chain."""
+
+    def __init__(
+        self,
+        core: Netlist,
+        cells: list[ScanCell],
+        fault: Fault | None = None,
+    ):
+        self.core = core
+        self.cells = list(cells)
+        self.fault = fault
+        self.state = [0] * len(cells)
+        self.cycles = 0
+        self._order = core.topological_order()
+
+    @property
+    def chain_length(self) -> int:
+        return len(self.cells)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, pi_values: dict[int, int]) -> list[int]:
+        """Single-pattern core evaluation with optional fault injection."""
+        values = [0] * self.core.num_nets
+        for pi in self.core.inputs:
+            values[pi] = pi_values.get(pi, 0) & 1
+        fault = self.fault
+        if fault is not None and not fault.is_branch:
+            if self.core.nets[fault.net].driver is None:
+                values[fault.net] = fault.stuck_at
+        for gid in self._order:
+            gate = self.core.gates[gid]
+            ins = [values[n] for n in gate.inputs]
+            if (
+                fault is not None
+                and fault.is_branch
+                and gid == fault.gate
+            ):
+                ins[fault.pin] = fault.stuck_at
+            values[gate.output] = evaluate_cell(gate.cell_type, ins, 1)
+            if (
+                fault is not None
+                and not fault.is_branch
+                and gate.output == fault.net
+            ):
+                values[gate.output] = fault.stuck_at
+        return values
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+    def shift(self, bits_in: list[int]) -> list[int]:
+        """Shift ``bits_in`` through the chain; returns the bits out."""
+        out: list[int] = []
+        for bit in bits_in:
+            out.append(self.state[-1])
+            self.state = [bit & 1] + self.state[:-1]
+            self.cycles += 1
+        return out
+
+    def capture(self, pi_values: dict[int, int]) -> dict[int, int]:
+        """One functional clock: state := next-state; returns PO values."""
+        merged = dict(pi_values)
+        for cell, value in zip(self.cells, self.state):
+            merged[cell.ppi] = value
+        values = self._evaluate(merged)
+        self.state = [values[cell.ppo] & 1 for cell in self.cells]
+        self.cycles += 1
+        return {po: values[po] for po in self.core.outputs}
+
+    def apply_pattern(
+        self, scan_bits: list[int], pi_values: dict[int, int]
+    ) -> tuple[dict[int, int], list[int]]:
+        """Full shift-capture for one pattern; returns (POs, old state out).
+
+        The shift-out of the *previous* capture overlaps this shift-in,
+        exactly as the cost formula assumes.
+        """
+        if len(scan_bits) != self.chain_length:
+            raise ValueError("scan vector length must equal chain length")
+        shifted_out = self.shift(scan_bits)
+        po_values = self.capture(pi_values)
+        return po_values, shifted_out
+
+    def run_test(
+        self, patterns: list[tuple[list[int], dict[int, int]]]
+    ) -> list[tuple[dict[int, int], list[int]]]:
+        """Apply a whole pattern set plus the final shift-out."""
+        results = []
+        for scan_bits, pi_values in patterns:
+            results.append(self.apply_pattern(scan_bits, pi_values))
+        final = self.shift([0] * self.chain_length)
+        results.append(({}, final))
+        return results
+
+
+def scan_test_detects(
+    core: Netlist,
+    cells: list[ScanCell],
+    fault: Fault,
+    patterns: list[tuple[list[int], dict[int, int]]],
+) -> bool:
+    """Does the scan protocol distinguish the faulty device from a good one?"""
+    good = ScannedDesign(core, cells)
+    bad = ScannedDesign(core, cells, fault=fault)
+    return good.run_test(patterns) != bad.run_test(patterns)
+
+
+def measured_scan_cycles(chain_length: int, num_patterns: int) -> int:
+    """Cycle count the executable protocol produces (must match cost.py)."""
+    design_cycles = num_patterns * (chain_length + 1) + chain_length
+    assert design_cycles == scan_test_cycles(num_patterns, chain_length)
+    return design_cycles

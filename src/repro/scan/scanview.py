@@ -1,0 +1,41 @@
+"""Scan view construction: compose core + socket logic into one netlist.
+
+Under full scan, the ATPG sees a component as one combinational circuit:
+the functional core plus every socket controller, with all pipeline and
+FSM flip-flops opened into pseudo-inputs/pseudo-outputs (which our
+netlists already expose as ordinary PIs/POs).  :func:`scan_view` builds
+that composite so ``n_p_scan`` is measured on the same structure a scan
+insertion tool would hand to ATPG.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+
+
+def compose_netlists(name: str, parts: list[Netlist]) -> Netlist:
+    """Disjoint union of netlists (no cross-wiring), port names prefixed."""
+    composite = Netlist(name)
+    for index, part in enumerate(parts):
+        prefix = f"u{index}_{part.name}"
+        net_map: dict[int, int] = {}
+        for net in part.nets:
+            net_map[net.nid] = composite.new_net(f"{prefix}.{net.name}")
+        for pi in part.inputs:
+            composite.inputs.append(net_map[pi])
+        for gate in part.gates:
+            composite.add_gate(
+                gate.cell_type,
+                [net_map[n] for n in gate.inputs],
+                output=net_map[gate.output],
+            )
+        for po in part.outputs:
+            composite.add_output(net_map[po])
+    composite.check()
+    return composite
+
+
+def scan_view(core: Netlist, sockets: list[Netlist], name: str | None = None) -> Netlist:
+    """Composite 'what-the-scan-ATPG-sees' netlist for one component."""
+    view_name = name or f"{core.name}_scanview"
+    return compose_netlists(view_name, [core] + sockets)

@@ -1,0 +1,65 @@
+"""The paper's contribution: analytical test cost as a third DSE axis.
+
+* :mod:`repro.testcost.transport` — transport latency CD from the
+  port->bus binding (eqs. 9-10, the Fig. 6 effect);
+* :mod:`repro.testcost.backannotate` — per-component ``n_p``/coverage
+  from the ATPG (FUs), march length (RFs), socket ATPG;
+* :mod:`repro.testcost.cost` — eqs. (11)-(14);
+* :mod:`repro.testcost.fullscan` — the full-scan baseline;
+* :mod:`repro.testcost.table` — the Table 1 generator.
+"""
+
+from repro.testcost.transport import test_bus_assignment, transport_latency
+from repro.testcost.backannotate import (
+    Backannotation,
+    component_backannotation,
+    socket_pattern_count,
+)
+from repro.testcost.cost import (
+    TestCostBreakdown,
+    UnitTestCost,
+    architecture_test_cost,
+    attach_test_costs,
+    fu_test_cost,
+    rf_test_cost,
+    socket_test_cost,
+)
+from repro.testcost.fullscan import full_scan_component_cycles
+from repro.testcost.interconnect import (
+    InterconnectCost,
+    interconnect_sessions,
+    interconnect_test_cost,
+)
+from repro.testcost.multichain import (
+    TestSchedule,
+    TestSession,
+    schedule_tests,
+    sessions_from_breakdown,
+)
+from repro.testcost.table import Table1Row, build_table1, format_table1
+
+__all__ = [
+    "Backannotation",
+    "Table1Row",
+    "TestCostBreakdown",
+    "UnitTestCost",
+    "architecture_test_cost",
+    "attach_test_costs",
+    "build_table1",
+    "component_backannotation",
+    "format_table1",
+    "fu_test_cost",
+    "full_scan_component_cycles",
+    "InterconnectCost",
+    "interconnect_sessions",
+    "interconnect_test_cost",
+    "rf_test_cost",
+    "schedule_tests",
+    "sessions_from_breakdown",
+    "socket_pattern_count",
+    "socket_test_cost",
+    "test_bus_assignment",
+    "TestSchedule",
+    "TestSession",
+    "transport_latency",
+]

@@ -1,0 +1,101 @@
+"""Back-annotation of per-component test data (the paper's Sec. 3 inputs).
+
+"The components are already predesigned up to the gate-level ... the
+numbers of the test patterns for each functional unit (and register file)
+is back-annotated with an automatic test pattern generation tool."
+
+Functional units get ``n_p`` and fault coverage from :mod:`repro.atpg` on
+their generated netlist; register files get the march-test operation
+count from :mod:`repro.memtest` (multi-port memories are march-tested,
+not scanned); every component's socket gets the socket-ATPG pattern
+count for eq. 13.  Results are cached aggressively — the explorer asks
+for the same component types hundreds of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.atpg.engine import run_atpg
+from repro.components.library import component_datasheet
+from repro.components.socket import build_socket
+from repro.components.spec import ComponentKind, ComponentSpec
+from repro.memtest.march import MARCH_ALGORITHMS, MARCH_CM, march_pattern_count
+
+#: ATPG settings used for all component back-annotation.  The backtrack
+#: limit is sized so PODEM can *prove* the components' structural
+#: redundancies (e.g. the ALU's add/sub mux aliasing needs ~131
+#: backtracks) instead of counting them as aborted.
+ATPG_SEED = 0
+ATPG_RANDOM_WORDS = 16
+ATPG_BACKTRACK_LIMIT = 384
+
+
+@dataclass(frozen=True)
+class Backannotation:
+    """Everything the cost formulas need to know about one component."""
+
+    spec_name: str
+    num_patterns: int          # n_p
+    fault_coverage: float      # percent, FUs only (RFs: march = 100%)
+    scan_chain_length: int     # n_l
+    socket_patterns: int       # n_p of the socket control (eq. 13)
+
+    @property
+    def socket_cost(self) -> int:
+        return self.socket_patterns * self.scan_chain_length
+
+
+@lru_cache(maxsize=1)
+def socket_pattern_count() -> tuple[int, float]:
+    """(n_p, coverage) of the socket control/decode logic."""
+    result = run_atpg(
+        build_socket(),
+        seed=ATPG_SEED,
+        random_words=ATPG_RANDOM_WORDS,
+        backtrack_limit=ATPG_BACKTRACK_LIMIT,
+    )
+    return result.num_patterns, result.fault_coverage
+
+
+@lru_cache(maxsize=None)
+def component_backannotation(
+    spec: ComponentSpec,
+    march_name: str = MARCH_CM.name,
+) -> Backannotation:
+    """Back-annotate one component type (cached per spec + march)."""
+    socket_np, _socket_fc = socket_pattern_count()
+    if spec.kind is ComponentKind.RF:
+        march = MARCH_ALGORITHMS[march_name]
+        np_rf = march_pattern_count(
+            march,
+            spec.num_regs,
+            read_ports=spec.n_out,
+            write_ports=spec.n_in,
+        )
+        return Backannotation(
+            spec_name=spec.name,
+            num_patterns=np_rf,
+            fault_coverage=100.0,
+            scan_chain_length=spec.scan_chain_length,
+            socket_patterns=socket_np,
+        )
+
+    datasheet = component_datasheet(spec)
+    netlist = datasheet.netlist()
+    if netlist is None:
+        raise ValueError(f"{spec.name}: no netlist to back-annotate")
+    result = run_atpg(
+        netlist,
+        seed=ATPG_SEED,
+        random_words=ATPG_RANDOM_WORDS,
+        backtrack_limit=ATPG_BACKTRACK_LIMIT,
+    )
+    return Backannotation(
+        spec_name=spec.name,
+        num_patterns=result.num_patterns,
+        fault_coverage=result.fault_coverage,
+        scan_chain_length=spec.scan_chain_length,
+        socket_patterns=socket_np,
+    )

@@ -1,0 +1,75 @@
+"""The full-scan baseline of Table 1.
+
+Under full scan the ATPG sees one combinational blob per component: the
+functional core plus all of its socket controllers (the scan view), with
+every pipeline/FSM flip-flop on the chain.  Application cost follows the
+classic shift-capture accounting of :mod:`repro.scan.cost`.
+
+Register files cannot be full-scanned as multi-port memories; the
+baseline therefore prices the *flip-flop implementation* (Sec. 4: "RF1
+and RF2 could not have been tested with full scan, unless implemented as
+a set of flip-flops"), whose chain carries every storage bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.atpg.engine import run_atpg
+from repro.components.library import component_datasheet
+from repro.components.socket import build_socket
+from repro.components.spec import ComponentKind, ComponentSpec
+from repro.scan.cost import full_scan_cycles
+from repro.scan.scanview import scan_view
+from repro.testcost.backannotate import (
+    ATPG_BACKTRACK_LIMIT,
+    ATPG_RANDOM_WORDS,
+    ATPG_SEED,
+)
+
+
+@dataclass(frozen=True)
+class FullScanAnnotation:
+    """Full-scan figures for one component type."""
+
+    spec_name: str
+    num_patterns: int       # ATPG patterns on the scan view
+    chain_length: int       # n_l under full scan
+    cycles: int             # application cycles (Table 1 column 2)
+    fault_coverage: float
+
+
+@lru_cache(maxsize=None)
+def full_scan_component_cycles(spec: ComponentSpec) -> FullScanAnnotation:
+    """Full-scan cost of one component (cached per spec)."""
+    datasheet = component_datasheet(spec)
+    if spec.kind is ComponentKind.RF:
+        core = datasheet.ff_netlist()
+        # The flip-flop implementation puts every storage cell on the
+        # chain, on top of the port/address registers and socket FFs.
+        chain = (
+            spec.num_regs * spec.width
+            + spec.extra_ff_bits
+            + spec.socket_ff_bits
+        )
+    else:
+        core = datasheet.netlist()
+        chain = spec.scan_chain_length
+    if core is None:
+        raise ValueError(f"{spec.name}: nothing to scan")
+    sockets = [build_socket() for _ in spec.ports]
+    view = scan_view(core, sockets)
+    result = run_atpg(
+        view,
+        seed=ATPG_SEED,
+        random_words=ATPG_RANDOM_WORDS,
+        backtrack_limit=ATPG_BACKTRACK_LIMIT,
+    )
+    return FullScanAnnotation(
+        spec_name=spec.name,
+        num_patterns=result.num_patterns,
+        chain_length=chain,
+        cycles=full_scan_cycles(result.num_patterns, chain),
+        fault_coverage=result.fault_coverage,
+    )

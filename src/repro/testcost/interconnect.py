@@ -1,0 +1,89 @@
+"""Interconnect (bus + socket) test — the paper's mandatory first step.
+
+Sec. 3.2: "The test of the sockets also tests all interconnections
+inside the datapath.  Note that the order of test is important for these
+architectures, i.e. it is necessary to perform the interconnect test of
+the sockets and busses before carrying out the functional test of the
+components" — the Core-Based-Test analogy: interconnect first, then IP.
+
+The model here prices that first step:
+
+* per bus: a walking-one plus a walking-zero sweep across the data lines
+  (detects line-to-line shorts and opens) plus all-0/all-1 background
+  patterns — each pattern is one transport + one read-back cycle;
+* per socket connection: one positive address probe (the socket must
+  respond to its ID) and one negative probe (it must stay quiet for a
+  neighbour's ID).
+
+:func:`interconnect_sessions` packages the result for the multi-chain
+scheduler with the precedence edges that make every socket/functional
+session wait for the interconnect session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.testcost.multichain import TestSession
+from repro.tta.arch import Architecture
+
+
+@dataclass(frozen=True)
+class InterconnectCost:
+    """Cycle breakdown of the interconnect test."""
+
+    num_buses: int
+    bus_patterns: int          # per-bus walking patterns
+    bus_cycles: int
+    num_connections: int
+    addressing_cycles: int
+
+    @property
+    def total(self) -> int:
+        return self.bus_cycles + self.addressing_cycles
+
+
+def interconnect_test_cost(arch: Architecture) -> InterconnectCost:
+    """Price the bus + socket-addressing test of one architecture."""
+    width = arch.width
+    # walking-1 + walking-0 + solid backgrounds, 2 cycles per pattern
+    patterns_per_bus = 2 * width + 2
+    bus_cycles = arch.num_buses * patterns_per_bus * 2
+    # one positive + one negative ID probe per connection, 2 cycles each
+    addressing_cycles = arch.num_connections * 2 * 2
+    return InterconnectCost(
+        num_buses=arch.num_buses,
+        bus_patterns=patterns_per_bus,
+        bus_cycles=bus_cycles,
+        num_connections=arch.num_connections,
+        addressing_cycles=addressing_cycles,
+    )
+
+
+#: Session name used for the interconnect step.
+INTERCONNECT_SESSION = "interconnect"
+
+
+def interconnect_sessions(arch: Architecture, breakdown) -> list[TestSession]:
+    """Full test plan: interconnect first, then sockets, then components.
+
+    ``breakdown`` is a :class:`~repro.testcost.cost.TestCostBreakdown`;
+    the returned sessions feed :func:`~repro.testcost.multichain.schedule_tests`.
+    """
+    cost = interconnect_test_cost(arch)
+    sessions = [TestSession(INTERCONNECT_SESSION, cost.total)]
+    for unit in breakdown.units:
+        if not unit.counted:
+            continue
+        socket_name = f"{unit.unit_name}.sockets"
+        sessions.append(
+            TestSession(
+                socket_name, unit.socket_cost, after=(INTERCONNECT_SESSION,)
+            )
+        )
+        sessions.append(
+            TestSession(
+                unit.unit_name, unit.component_cost, after=(socket_name,)
+            )
+        )
+    return sessions

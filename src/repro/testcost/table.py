@@ -1,0 +1,106 @@
+"""Table 1 generator: full scan vs. the functional-transport approach.
+
+Reproduces the paper's comparison for the components of a selected
+architecture: per component the full-scan application cycles, our
+approach's cycles (``f_tfu``/``f_trf`` + ``f_ts``), the scan-chain length
+``n_l``, the analytical cost terms and the fault coverage.  LD/ST and PC
+appear with parenthesised values exactly like the paper — they are tested
+identically under both schemes and do not enter the ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.components.spec import ComponentKind
+from repro.testcost.cost import TestCostBreakdown, architecture_test_cost
+from repro.testcost.fullscan import full_scan_component_cycles
+from repro.tta.arch import Architecture
+
+
+@dataclass
+class Table1Row:
+    """One component row."""
+
+    component: str
+    spec_name: str
+    kind: ComponentKind
+    full_scan: int
+    our_approach: int
+    nl: int
+    ftfu: int | None
+    ftrf: int | None
+    fts: int | None
+    fault_coverage: float
+    counted: bool
+
+    @property
+    def advantage(self) -> float:
+        """full scan cycles / our cycles (bigger = our method wins)."""
+        return self.full_scan / self.our_approach if self.our_approach else 0.0
+
+
+def build_table1(
+    arch: Architecture,
+    march_name: str = "March C-",
+) -> tuple[list[Table1Row], TestCostBreakdown]:
+    """Build the Table 1 rows for every unit of ``arch``."""
+    breakdown = architecture_test_cost(arch, march_name)
+    rows: list[Table1Row] = []
+    for unit_cost in breakdown.units:
+        spec = arch.unit(unit_cost.unit_name).spec
+        fullscan = full_scan_component_cycles(spec)
+        counted = unit_cost.counted
+        if counted:
+            ours = unit_cost.component_cost + unit_cost.socket_cost
+        else:
+            # Excluded units are tested the same way under both schemes.
+            ours = fullscan.cycles
+        back = unit_cost.backannotation
+        coverage = (
+            back.fault_coverage
+            if spec.kind is not ComponentKind.RF
+            else fullscan.fault_coverage
+        )
+        rows.append(
+            Table1Row(
+                component=unit_cost.unit_name.upper(),
+                spec_name=spec.name,
+                kind=spec.kind,
+                full_scan=fullscan.cycles,
+                our_approach=ours,
+                nl=back.scan_chain_length,
+                ftfu=unit_cost.component_cost
+                if spec.kind is ComponentKind.FU
+                else None,
+                ftrf=unit_cost.component_cost
+                if spec.kind is ComponentKind.RF
+                else None,
+                fts=unit_cost.socket_cost if counted else None,
+                fault_coverage=coverage,
+                counted=counted,
+            )
+        )
+    return rows, breakdown
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render rows in the paper's column layout."""
+    header = (
+        f"{'Component':<12}{'full scan':>11}{'our approach':>14}"
+        f"{'nl':>6}{'ftfu':>7}{'ftrf':>7}{'fts':>7}{'FC (%)':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        ours = f"{row.our_approach}" if row.counted else f"({row.our_approach})"
+        lines.append(
+            f"{row.component:<12}"
+            f"{row.full_scan:>11}"
+            f"{ours:>14}"
+            f"{row.nl:>6}"
+            f"{row.ftfu if row.ftfu is not None else '-':>7}"
+            f"{row.ftrf if row.ftrf is not None else '-':>7}"
+            f"{row.fts if row.fts is not None else '-':>7}"
+            f"{row.fault_coverage:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Transport latency of functional test patterns (eqs. 9-10).
+
+``CD_c(tDin, tDout)`` is the number of cycles from applying test data on
+a MOVE bus to reading the response back: with every input port reaching a
+*distinct* bus the minimum is 3 (eq. 9 — one cycle input transport +
+decode, one cycle compute, one cycle result transport), and each input
+port that must share a bus with another input adds a serialisation cycle
+(eq. 10: operand and trigger on the same bus -> 4).  A result port tied
+to an input bus adds one more ("the number of cycles will further
+increase if all of the registers are tied to the same bus").
+
+This is what makes Fig. 6 tick: two *identical* FUs in the same
+architecture get different test costs purely from their port->bus
+binding.
+"""
+
+from __future__ import annotations
+
+from repro.components.spec import ComponentKind
+from repro.tta.arch import Architecture
+
+#: Baseline: decode+input transport, compute, result transport (eq. 9).
+MIN_TRANSPORT_LATENCY = 3
+
+
+def test_bus_assignment(arch: Architecture, unit_name: str) -> dict[str, int]:
+    """Designated test bus per port of one unit.
+
+    Greedy balancing: input ports take the least-loaded bus from their
+    connectivity set; output ports then prefer a bus no input uses.
+    Only intra-unit conflicts matter — components are tested one at a
+    time (the paper's test order requirement, Sec. 3.2).
+    """
+    unit = arch.unit(unit_name)
+    load: dict[int, int] = {b: 0 for b in range(arch.num_buses)}
+    assignment: dict[str, int] = {}
+    for port in unit.spec.input_ports:
+        buses = arch.port_buses(unit_name, port.name)
+        best = min(sorted(buses), key=lambda b: load[b])
+        assignment[port.name] = best
+        load[best] += 1
+    input_buses = set(assignment.values())
+    for port in unit.spec.output_ports:
+        buses = sorted(arch.port_buses(unit_name, port.name))
+        free = [b for b in buses if b not in input_buses]
+        assignment[port.name] = free[0] if free else buses[0]
+    return assignment
+
+
+def transport_latency(arch: Architecture, unit_name: str) -> int:
+    """``CD`` for one component under its designated test-bus binding."""
+    unit = arch.unit(unit_name)
+    spec = unit.spec
+    assignment = test_bus_assignment(arch, unit_name)
+
+    input_load: dict[int, int] = {}
+    for port in spec.input_ports:
+        bus = assignment[port.name]
+        input_load[bus] = input_load.get(bus, 0) + 1
+    serialisation = max(input_load.values(), default=1)
+
+    output_penalty = 0
+    if spec.kind is not ComponentKind.IMM:
+        for port in spec.output_ports:
+            if assignment[port.name] in input_load:
+                output_penalty = 1
+                break
+
+    return 2 + serialisation + output_penalty

@@ -1,0 +1,51 @@
+"""Transport-triggered architecture core.
+
+The TTA template of Fig. 1: functional units and register files hang off
+an interconnection network of move buses through input/output sockets;
+the only operation is the *move*, and writing a unit's trigger register
+starts its operation (hybrid pipelining, Fig. 3).
+
+* :mod:`repro.tta.arch` — the architecture template (units, buses,
+  port->bus connectivity);
+* :mod:`repro.tta.isa` — moves, guards, instructions, programs;
+* :mod:`repro.tta.timing` — the transport timing relations (eqs. 2-8)
+  as a program validator;
+* :mod:`repro.tta.simulator` — a cycle-accurate interpreter;
+* :mod:`repro.tta.assembler` — a small textual move-assembly format.
+"""
+
+from repro.tta.arch import Architecture, ArchitectureError, UnitInstance
+from repro.tta.isa import (
+    GUARD_UNIT,
+    Guard,
+    Instruction,
+    Literal,
+    Move,
+    PortRef,
+    Program,
+)
+from repro.tta.timing import TimingViolation, validate_program
+from repro.tta.simulator import SimResult, TTASimulator
+from repro.tta.assembler import assemble, AssemblerError
+from repro.tta.encoding import InstructionFormat, MoveEncoder
+
+__all__ = [
+    "Architecture",
+    "ArchitectureError",
+    "AssemblerError",
+    "GUARD_UNIT",
+    "Guard",
+    "Instruction",
+    "InstructionFormat",
+    "Literal",
+    "Move",
+    "MoveEncoder",
+    "PortRef",
+    "Program",
+    "SimResult",
+    "TTASimulator",
+    "TimingViolation",
+    "UnitInstance",
+    "assemble",
+    "validate_program",
+]

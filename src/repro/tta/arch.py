@@ -1,0 +1,179 @@
+"""The TTA architecture template (paper Fig. 1).
+
+An :class:`Architecture` is the object the explorer enumerates: a set of
+component instances, a bus count, and a port->bus connectivity map.  The
+"exact match of the number and type of functional units, register files,
+sockets and busses is the subject of design space exploration".
+
+Connectivity defaults to full (every socket reaches every bus); sparse
+maps reproduce Fig. 6, where two identical FUs get different test costs
+purely from their port binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.components.library import component_datasheet
+from repro.components.spec import ComponentKind, ComponentSpec
+
+#: Interconnect area model: per-bit bus run plus per-connection switch.
+BUS_AREA_PER_BIT = 2.0
+CONNECTION_AREA = 4.0
+
+#: Guard register file size (boolean predicate registers).
+DEFAULT_GUARD_REGS = 4
+
+
+class ArchitectureError(Exception):
+    """Ill-formed architecture template."""
+
+
+@dataclass
+class UnitInstance:
+    """One placed component."""
+
+    name: str
+    spec: ComponentSpec
+
+
+class Architecture:
+    """A concrete TTA datapath template."""
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        num_buses: int,
+        units: list[UnitInstance],
+        connectivity: dict[tuple[str, str], frozenset[int]] | None = None,
+        num_guard_regs: int = DEFAULT_GUARD_REGS,
+    ):
+        if num_buses < 1:
+            raise ArchitectureError("need at least one move bus")
+        if num_guard_regs < 1:
+            raise ArchitectureError("need at least one guard register")
+        self.name = name
+        self.width = width
+        self.num_buses = num_buses
+        self.num_guard_regs = num_guard_regs
+        self.units: dict[str, UnitInstance] = {}
+        for unit in units:
+            if unit.name in self.units:
+                raise ArchitectureError(f"duplicate unit name {unit.name!r}")
+            if unit.spec.width != width and unit.spec.kind is not ComponentKind.PC:
+                raise ArchitectureError(
+                    f"unit {unit.name!r} width {unit.spec.width} != "
+                    f"datapath width {width}"
+                )
+            self.units[unit.name] = unit
+
+        full = frozenset(range(num_buses))
+        self.connectivity: dict[tuple[str, str], frozenset[int]] = {}
+        for unit in self.units.values():
+            for port in unit.spec.ports:
+                key = (unit.name, port.name)
+                buses = (connectivity or {}).get(key, full)
+                if not buses:
+                    raise ArchitectureError(f"port {key} connected to no bus")
+                if not buses <= full:
+                    raise ArchitectureError(f"port {key} names a missing bus")
+                self.connectivity[key] = frozenset(buses)
+
+        self._validate_composition()
+
+    def _validate_composition(self) -> None:
+        if not any(u.spec.kind is ComponentKind.PC for u in self.units.values()):
+            raise ArchitectureError("architecture needs a program counter unit")
+        kinds = [u.spec.kind for u in self.units.values()]
+        for singleton in (ComponentKind.PC, ComponentKind.LSU, ComponentKind.IMM):
+            if kinds.count(singleton) > 1:
+                raise ArchitectureError(f"at most one {singleton.value} unit")
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def unit(self, name: str) -> UnitInstance:
+        try:
+            return self.units[name]
+        except KeyError:
+            raise ArchitectureError(f"no unit named {name!r}") from None
+
+    def units_of_kind(self, kind: ComponentKind) -> list[UnitInstance]:
+        return [u for u in self.units.values() if u.spec.kind is kind]
+
+    @property
+    def fus(self) -> list[UnitInstance]:
+        return self.units_of_kind(ComponentKind.FU)
+
+    @property
+    def rfs(self) -> list[UnitInstance]:
+        return self.units_of_kind(ComponentKind.RF)
+
+    @property
+    def lsu(self) -> UnitInstance | None:
+        lsus = self.units_of_kind(ComponentKind.LSU)
+        return lsus[0] if lsus else None
+
+    @property
+    def pc_unit(self) -> UnitInstance:
+        return self.units_of_kind(ComponentKind.PC)[0]
+
+    @property
+    def imm_unit(self) -> UnitInstance | None:
+        imms = self.units_of_kind(ComponentKind.IMM)
+        return imms[0] if imms else None
+
+    def ops_supported(self) -> set[str]:
+        ops: set[str] = set()
+        for unit in self.fus:
+            ops |= set(unit.spec.ops)
+        return ops
+
+    def fu_for_op(self, op: str) -> list[UnitInstance]:
+        """FUs able to execute ``op`` (scheduler candidates)."""
+        return [u for u in self.fus if op in u.spec.ops]
+
+    def port_buses(self, unit: str, port: str) -> frozenset[int]:
+        try:
+            return self.connectivity[(unit, port)]
+        except KeyError:
+            raise ArchitectureError(f"unknown port {unit}.{port}") from None
+
+    def test_bus(self, unit: str, port: str) -> int:
+        """Designated bus for test transports (lowest connected)."""
+        return min(self.port_buses(unit, port))
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    @property
+    def num_sockets(self) -> int:
+        """One socket per connected port (Fig. 1's distributed control)."""
+        return sum(1 for _ in self.connectivity)
+
+    @property
+    def num_connections(self) -> int:
+        return sum(len(buses) for buses in self.connectivity.values())
+
+    def area(self) -> float:
+        """Total placed area: components + interconnection network."""
+        component_area = sum(
+            component_datasheet(u.spec).total_area for u in self.units.values()
+        )
+        bus_area = self.num_buses * self.width * BUS_AREA_PER_BIT
+        switch_area = self.num_connections * CONNECTION_AREA
+        return round(component_area + bus_area + switch_area, 3)
+
+    def describe(self) -> str:
+        lines = [
+            f"architecture {self.name}: width={self.width} "
+            f"buses={self.num_buses} area={self.area():.0f}"
+        ]
+        for unit in self.units.values():
+            ports = ", ".join(
+                f"{p.name}->{sorted(self.port_buses(unit.name, p.name))}"
+                for p in unit.spec.ports
+            )
+            lines.append(f"  {unit.name}: {unit.spec.name} [{ports}]")
+        return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""A small textual assembly format for move programs.
+
+Grammar (one instruction per line, one move per bus slot)::
+
+    ; comment                     full-line or trailing comments
+    loop:                         label (attaches to the next instruction)
+        rf0.r0[3] -> alu0.a ; #5 -> alu0.b:add
+        alu0.y -> rf0.w0[4] ; nop
+        (g0) @loop -> pc.target:jump
+        halt
+    .data 100 42 0x11 3           words at addresses 100, 101, 102
+
+Move syntax: ``[guard] source -> destination[:opcode]`` where
+
+* guard: ``(g2)`` or ``(!g2)``;
+* source: ``unit.port``, ``unit.port[reg]``, ``#literal`` or ``@label``;
+* destination: ``unit.port``, ``unit.port[reg]``, with ``:opcode`` when
+  the port is a trigger.
+
+Slots are separated by ``;``; missing slots are NOPs.  ``halt`` may stand
+alone or be the last slot of a line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tta.arch import Architecture
+from repro.tta.isa import Guard, Instruction, Literal, Move, PortRef, Program
+
+
+class AssemblerError(Exception):
+    """Syntax or semantic error in move assembly."""
+
+
+_MOVE_RE = re.compile(
+    r"^(?:\((?P<inv>!?)g(?P<greg>\d+)\)\s*)?"
+    r"(?P<src>\S+)\s*->\s*(?P<dst>\S+)$"
+)
+_PORT_RE = re.compile(
+    r"^(?P<unit>[A-Za-z_]\w*)\.(?P<port>[A-Za-z_]\w*)"
+    r"(?:\[(?P<reg>\d+)\])?(?::(?P<op>[A-Za-z_]\w*))?$"
+)
+
+
+def assemble(text: str, arch: Architecture, name: str = "program") -> Program:
+    """Assemble ``text`` into a :class:`Program` for ``arch``."""
+    program = Program(name=name)
+    pending_labels: list[str] = []
+    fixups: list[tuple[Move, int, int, str]] = []   # move, instr idx, slot, label
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";;")[0] if ";;" in raw else raw
+        line = _strip_comment(line).strip()
+        if not line:
+            continue
+        if line.startswith(".data"):
+            _parse_data(line, program, line_no)
+            continue
+        if line.endswith(":") and " " not in line:
+            pending_labels.append(line[:-1])
+            continue
+
+        halt = False
+        slot_texts = [s.strip() for s in line.split(";")]
+        if slot_texts and slot_texts[-1] == "halt":
+            halt = True
+            slot_texts.pop()
+        if line == "halt":
+            halt = True
+            slot_texts = []
+
+        slots: list[Move | None] = []
+        for slot_index, slot_text in enumerate(slot_texts):
+            if not slot_text or slot_text == "nop":
+                slots.append(None)
+                continue
+            move, label_ref = _parse_move(slot_text, line_no)
+            slots.append(move)
+            if label_ref is not None:
+                fixups.append((move, len(program.instructions), slot_index, label_ref))
+        while len(slots) < arch.num_buses:
+            slots.append(None)
+        if len(slots) > arch.num_buses:
+            raise AssemblerError(
+                f"line {line_no}: {len(slots)} slots but only "
+                f"{arch.num_buses} buses"
+            )
+
+        label = pending_labels.pop(0) if pending_labels else None
+        instruction = Instruction(slots=slots, halt=halt, label=label)
+        program.append(instruction)
+        for extra in pending_labels:
+            program.labels[extra] = len(program.instructions) - 1
+        pending_labels.clear()
+
+    if pending_labels:
+        # Trailing labels point one past the end (used as an exit target).
+        for label in pending_labels:
+            program.labels[label] = len(program.instructions)
+
+    for move, instr_index, slot, label in fixups:
+        if label not in program.labels:
+            raise AssemblerError(f"undefined label {label!r}")
+        resolved = Move(
+            src=Literal(program.labels[label]),
+            dst=move.dst,
+            opcode=move.opcode,
+            src_reg=move.src_reg,
+            dst_reg=move.dst_reg,
+            guard=move.guard,
+        )
+        program.instructions[instr_index].slots[slot] = resolved
+    return program
+
+
+def _strip_comment(line: str) -> str:
+    in_comment = line.find(";")
+    # ';' is also the slot separator -- a comment must start the token,
+    # so only strip when preceded by whitespace and followed by space/char
+    # that cannot start a move.  Simpler, unambiguous rule: comments use
+    # '//' or lines starting with ';'.
+    if line.lstrip().startswith(";"):
+        return ""
+    if "//" in line:
+        line = line.split("//")[0]
+    return line
+
+
+def _parse_data(line: str, program: Program, line_no: int) -> None:
+    parts = line.split()
+    if len(parts) < 3:
+        raise AssemblerError(f"line {line_no}: .data needs an address and values")
+    try:
+        addr = int(parts[1], 0)
+        values = [int(p, 0) for p in parts[2:]]
+    except ValueError as exc:
+        raise AssemblerError(f"line {line_no}: bad .data literal: {exc}") from None
+    for offset, value in enumerate(values):
+        program.data[addr + offset] = value
+
+
+def _parse_move(text: str, line_no: int) -> tuple[Move, str | None]:
+    match = _MOVE_RE.match(text)
+    if match is None:
+        raise AssemblerError(f"line {line_no}: cannot parse move {text!r}")
+    guard = None
+    if match.group("greg") is not None:
+        guard = Guard(int(match.group("greg")), invert=match.group("inv") == "!")
+
+    src_text = match.group("src")
+    dst_text = match.group("dst")
+    label_ref: str | None = None
+
+    src: PortRef | Literal
+    src_reg = None
+    if src_text.startswith("#"):
+        try:
+            src = Literal(int(src_text[1:], 0))
+        except ValueError:
+            raise AssemblerError(
+                f"line {line_no}: bad immediate {src_text!r}"
+            ) from None
+    elif src_text.startswith("@"):
+        src = Literal(0)   # fixed up later
+        label_ref = src_text[1:]
+    else:
+        port = _PORT_RE.match(src_text)
+        if port is None or port.group("op") is not None:
+            raise AssemblerError(f"line {line_no}: bad source {src_text!r}")
+        src = PortRef(port.group("unit"), port.group("port"))
+        if port.group("reg") is not None:
+            src_reg = int(port.group("reg"))
+
+    port = _PORT_RE.match(dst_text)
+    if port is None:
+        raise AssemblerError(f"line {line_no}: bad destination {dst_text!r}")
+    dst = PortRef(port.group("unit"), port.group("port"))
+    dst_reg = int(port.group("reg")) if port.group("reg") is not None else None
+    opcode = port.group("op")
+
+    move = Move(
+        src=src,
+        dst=dst,
+        opcode=opcode,
+        src_reg=src_reg,
+        dst_reg=dst_reg,
+        guard=guard,
+    )
+    return move, label_ref

@@ -1,0 +1,282 @@
+"""Transport timing relations (paper eqs. 2-8) as a program validator.
+
+The stage-control FSM of Fig. 3 "ensures these conditions are fulfilled"
+in hardware; here the same conditions are checked statically on scheduled
+programs, so every scheduler bug that would deadlock or corrupt the
+pipeline surfaces as a :class:`TimingViolation` list instead of silence.
+
+Semantics note (eqs. 2 and 5): all moves of an instruction commit
+together at end-of-cycle and a trigger launches with the post-commit
+operand registers, so an operand move *in the trigger's cycle* feeds that
+trigger (C(T) - C(O) >= 0 with equality allowed); operands of in-flight
+operations are latched into the FU pipeline at trigger time, which is
+what makes relation (5) hold by construction for later operand writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.components.reference import ALU_OPS, CMP_OPS, MUL_OPS, SHIFTER_OPS
+from repro.components.spec import ComponentKind
+from repro.tta.arch import Architecture
+from repro.tta.isa import GUARD_UNIT, Literal, Move, PortRef, Program
+
+#: Opcodes understood by the behavioural FU dispatch.
+KNOWN_FU_OPS = set(ALU_OPS) | set(CMP_OPS) | set(MUL_OPS) | set(SHIFTER_OPS)
+LSU_OPCODES = {"ld", "ld_ls", "ld_lu", "ld_h", "st"}
+PC_OPCODES = {"jump"}
+
+
+@dataclass(frozen=True)
+class TimingViolation:
+    """One validator finding."""
+
+    cycle: int
+    bus: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"cycle {self.cycle}, bus {self.bus}: {self.message}"
+
+
+class _FUTracker:
+    """Per-FU operation bookkeeping for relations (3) and (4)."""
+
+    def __init__(self, latency: int):
+        self.latency = latency
+        self.trigger_cycles: list[int] = []
+        self.results_read: list[bool] = []
+        self.has_result: list[bool] = []
+
+    def trigger(self, cycle: int, has_result: bool = True) -> None:
+        self.trigger_cycles.append(cycle)
+        self.results_read.append(False)
+        self.has_result.append(has_result)
+
+    def landed_index(self, cycle: int) -> int | None:
+        """Most recent result-producing op that has landed by ``cycle``."""
+        landed = None
+        for i, t in enumerate(self.trigger_cycles):
+            if self.has_result[i] and t + self.latency <= cycle:
+                landed = i
+        return landed
+
+
+def validate_program(
+    arch: Architecture,
+    program: Program,
+    strict: bool = True,
+) -> list[TimingViolation]:
+    """Check a scheduled program against the architecture and eqs. 2-8.
+
+    With ``strict`` set, results that are overwritten before ever being
+    read are also reported (almost always a scheduler bug).
+    """
+    violations: list[TimingViolation] = []
+    trackers: dict[str, _FUTracker] = {}
+
+    def err(cycle: int, bus: int, message: str) -> None:
+        violations.append(TimingViolation(cycle, bus, message))
+
+    for cycle, instruction in enumerate(program.instructions):
+        if len(instruction.slots) > arch.num_buses:
+            err(cycle, 0, f"{len(instruction.slots)} slots > {arch.num_buses} buses")
+        if instruction.slots_used() > arch.num_buses:
+            # 1-bus convention: one long-immediate move may spill its
+            # extension word into the next instruction if that is empty.
+            next_empty = (
+                cycle + 1 < len(program.instructions)
+                and not program.instructions[cycle + 1].moves
+            ) or cycle + 1 >= len(program.instructions)
+            one_long = (
+                arch.num_buses == 1
+                and len(instruction.moves) == 1
+                and instruction.slots_used() == 2
+            )
+            if not (one_long and next_empty):
+                err(cycle, 0, "long immediates exceed available bus slots")
+
+        rf_port_use: dict[tuple[str, str], int] = {}
+        dst_use: dict[tuple[str, str], int] = {}
+        src_use: dict[tuple[str, str], int] = {}
+
+        for bus, move in enumerate(instruction.slots):
+            if move is None:
+                continue
+            _check_move_structure(arch, program, move, cycle, bus, err)
+            if isinstance(move.src, PortRef) and move.src.unit != GUARD_UNIT:
+                src_use[(move.src.unit, move.src.port)] = (
+                    src_use.get((move.src.unit, move.src.port), 0) + 1
+                )
+                _track_rf(arch, move.src, rf_port_use)
+            if move.dst.unit != GUARD_UNIT:
+                dst_use[(move.dst.unit, move.dst.port)] = (
+                    dst_use.get((move.dst.unit, move.dst.port), 0) + 1
+                )
+                _track_rf(arch, move.dst, rf_port_use)
+
+            _check_fu_timing(arch, move, cycle, bus, trackers, err)
+
+        for (unit, port), count in dst_use.items():
+            if count > 1:
+                err(cycle, 0, f"{count} moves write {unit}.{port} in one cycle")
+        for (unit, port), count in src_use.items():
+            if count > 1:
+                err(cycle, 0, f"output socket {unit}.{port} drives {count} buses")
+        for (unit, port), count in rf_port_use.items():
+            if count > 1:
+                err(cycle, 0, f"register-file port {unit}.{port} used {count}x")
+
+    if strict:
+        for name, tracker in trackers.items():
+            if not _has_result(arch, name):
+                continue
+            result_ops = [
+                (t, tracker.results_read[i])
+                for i, t in enumerate(tracker.trigger_cycles)
+                if tracker.has_result[i]
+            ]
+            for (t, was_read) in result_ops[:-1]:
+                if not was_read:
+                    err(
+                        t, 0,
+                        f"{name}: result of trigger at cycle {t} overwritten unread",
+                    )
+    return violations
+
+
+def _has_result(arch: Architecture, unit: str) -> bool:
+    spec = arch.unit(unit).spec
+    return bool(spec.output_ports) and spec.kind is ComponentKind.FU
+
+
+def _track_rf(
+    arch: Architecture, ref: PortRef, usage: dict[tuple[str, str], int]
+) -> None:
+    if ref.unit == GUARD_UNIT or ref.unit not in arch.units:
+        return
+    if arch.unit(ref.unit).spec.kind is ComponentKind.RF:
+        usage[(ref.unit, ref.port)] = usage.get((ref.unit, ref.port), 0) + 1
+
+
+def _check_move_structure(arch, program, move: Move, cycle, bus, err) -> None:
+    # Guard register range.
+    if move.guard is not None and not 0 <= move.guard.index < arch.num_guard_regs:
+        err(cycle, bus, f"guard g{move.guard.index} out of range")
+
+    # Destination.
+    if move.dst.unit == GUARD_UNIT:
+        index = _guard_index(move.dst.port)
+        if index is None or index >= arch.num_guard_regs:
+            err(cycle, bus, f"bad guard destination {move.dst}")
+    else:
+        try:
+            spec = arch.unit(move.dst.unit).spec
+        except Exception:
+            err(cycle, bus, f"unknown unit {move.dst.unit!r}")
+            return
+        try:
+            port = spec.port(move.dst.port)
+        except KeyError:
+            err(cycle, bus, f"unknown port {move.dst}")
+            return
+        if not port.is_input:
+            err(cycle, bus, f"{move.dst} is not an input port")
+        if bus not in arch.port_buses(move.dst.unit, move.dst.port):
+            err(cycle, bus, f"{move.dst} not connected to bus {bus}")
+        if spec.kind is ComponentKind.RF:
+            if move.dst_reg is None or not 0 <= move.dst_reg < spec.num_regs:
+                err(cycle, bus, f"bad register index on {move.dst}")
+        if port.is_trigger:
+            _check_opcode(arch, spec, move, cycle, bus, err)
+        if spec.kind is ComponentKind.PC:
+            target = move.src
+            if isinstance(target, Literal) and not 0 <= target.value <= len(
+                program.instructions
+            ):
+                err(cycle, bus, f"jump target {target.value} outside program")
+
+    # Source.
+    if isinstance(move.src, Literal):
+        if move.needs_long_immediate() and arch.imm_unit is None:
+            err(cycle, bus, "long immediate needs an immediate unit")
+        return
+    if move.src.unit == GUARD_UNIT:
+        index = _guard_index(move.src.port)
+        if index is None or index >= arch.num_guard_regs:
+            err(cycle, bus, f"bad guard source {move.src}")
+        return
+    try:
+        spec = arch.unit(move.src.unit).spec
+    except Exception:
+        err(cycle, bus, f"unknown unit {move.src.unit!r}")
+        return
+    try:
+        port = spec.port(move.src.port)
+    except KeyError:
+        err(cycle, bus, f"unknown port {move.src}")
+        return
+    if port.is_input:
+        err(cycle, bus, f"{move.src} is not an output port")
+    if bus not in arch.port_buses(move.src.unit, move.src.port):
+        err(cycle, bus, f"{move.src} not connected to bus {bus}")
+    if spec.kind is ComponentKind.RF:
+        if move.src_reg is None or not 0 <= move.src_reg < spec.num_regs:
+            err(cycle, bus, f"bad register index on {move.src}")
+
+
+def _check_opcode(arch, spec, move: Move, cycle, bus, err) -> None:
+    if spec.kind is ComponentKind.FU:
+        if move.opcode not in spec.ops:
+            err(cycle, bus, f"opcode {move.opcode!r} not supported by {move.dst.unit}")
+        elif move.opcode not in KNOWN_FU_OPS:
+            err(cycle, bus, f"opcode {move.opcode!r} has no behavioural model")
+    elif spec.kind is ComponentKind.LSU:
+        if move.opcode not in LSU_OPCODES:
+            err(cycle, bus, f"LSU opcode {move.opcode!r} invalid")
+    elif spec.kind is ComponentKind.PC:
+        if move.opcode not in PC_OPCODES:
+            err(cycle, bus, f"PC opcode {move.opcode!r} invalid")
+
+
+def _check_fu_timing(arch, move: Move, cycle, bus, trackers, err) -> None:
+    # Result reads: relation (3) — not before trigger + latency.
+    if isinstance(move.src, PortRef) and move.src.unit in arch.units:
+        unit = arch.unit(move.src.unit)
+        spec = unit.spec
+        is_result = (
+            spec.kind in (ComponentKind.FU, ComponentKind.LSU)
+            and not spec.port(move.src.port).is_input
+            if move.src.port in [p.name for p in spec.ports]
+            else False
+        )
+        if is_result:
+            tracker = trackers.get(move.src.unit)
+            landed = tracker.landed_index(cycle) if tracker else None
+            if landed is None:
+                err(
+                    cycle,
+                    bus,
+                    f"read of {move.src} before any result is ready "
+                    f"(eq. 3: C(R) - C(T) >= {spec.latency})",
+                )
+            else:
+                tracker.results_read[landed] = True
+
+    # Triggers: start a new operation record.
+    if move.dst.unit in arch.units:
+        spec = arch.unit(move.dst.unit).spec
+        port_names = [p.name for p in spec.ports]
+        if move.dst.port in port_names and spec.port(move.dst.port).is_trigger:
+            if spec.kind in (ComponentKind.FU, ComponentKind.LSU):
+                tracker = trackers.setdefault(
+                    move.dst.unit, _FUTracker(spec.latency)
+                )
+                tracker.trigger(cycle, has_result=move.opcode != "st")
+
+
+def _guard_index(port: str) -> int | None:
+    if port.startswith("g") and port[1:].isdigit():
+        return int(port[1:])
+    return None

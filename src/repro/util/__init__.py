@@ -1,0 +1,29 @@
+"""Small shared utilities: bit manipulation and deterministic RNG helpers."""
+
+from repro.util.bitops import (
+    bit,
+    bits_of,
+    from_bits,
+    mask,
+    parity,
+    popcount,
+    rotl,
+    rotr,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [
+    "bit",
+    "bits_of",
+    "from_bits",
+    "mask",
+    "parity",
+    "popcount",
+    "rotl",
+    "rotr",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,78 @@
+"""Bit-manipulation helpers shared by the netlist, ATPG and TTA layers.
+
+All routines treat integers as fixed-width unsigned words unless stated
+otherwise.  Width arguments are in bits and must be positive.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (0 = LSB) of ``value`` as 0 or 1."""
+    return (value >> index) & 1
+
+
+def bits_of(value: int, width: int) -> list[int]:
+    """Explode ``value`` into a list of ``width`` bits, LSB first."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: list[int]) -> int:
+    """Inverse of :func:`bits_of`: assemble an int from LSB-first bits."""
+    value = 0
+    for i, b in enumerate(bits):
+        if b:
+            value |= 1 << i
+    return value
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount of negative value is undefined")
+    return value.bit_count()
+
+
+def parity(value: int) -> int:
+    """Even/odd parity (XOR of all bits) of a non-negative integer."""
+    return popcount(value) & 1
+
+
+def rotl(value: int, amount: int, width: int) -> int:
+    """Rotate ``value`` left by ``amount`` within ``width`` bits."""
+    amount %= width
+    m = mask(width)
+    value &= m
+    return ((value << amount) | (value >> (width - amount))) & m
+
+
+def rotr(value: int, amount: int, width: int) -> int:
+    """Rotate ``value`` right by ``amount`` within ``width`` bits."""
+    return rotl(value, width - (amount % width), width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value &= mask(width)
+    if value >> (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Wrap a (possibly negative) integer into ``width`` unsigned bits."""
+    return value & mask(width)
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend the low ``from_width`` bits of ``value`` to ``to_width``."""
+    if to_width < from_width:
+        raise ValueError("cannot sign-extend to a narrower width")
+    return to_unsigned(to_signed(value, from_width), to_width)

@@ -1,0 +1,34 @@
+"""Bus-oriented VLIW ASIP extension (paper Sec. 3.2, Fig. 7).
+
+"Our approach can be extended to any type of regular bus-oriented VLIW
+ASIP architectures ... a few modifications are required if the
+components are connected to the bus through other components: the order
+of testing the components becomes relevant and a different set-up of the
+control signals has to take place."
+
+This package models the Fig. 7 template — register file, execution
+units, data cache on shared buses — where some components are only
+*indirectly* accessible, derives the required test order, and prices the
+test with the same eq. 11-style transport costs plus a path-length
+multiplier for indirect access.
+"""
+
+from repro.vliw.arch import VLIWComponent, VLIWTemplate, fig7_template
+from repro.vliw.testaccess import (
+    AccessPath,
+    TestOrderError,
+    test_access_paths,
+    test_order,
+    vliw_test_cost,
+)
+
+__all__ = [
+    "AccessPath",
+    "TestOrderError",
+    "VLIWComponent",
+    "VLIWTemplate",
+    "fig7_template",
+    "test_access_paths",
+    "test_order",
+    "vliw_test_cost",
+]

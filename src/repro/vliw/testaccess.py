@@ -1,0 +1,128 @@
+"""Test access analysis for the VLIW template.
+
+Sec. 3.2: "Since most of the components are directly accessible from the
+bus, their test can be done by means of the functional application of
+structural test patterns.  A few modifications are required if the
+components are connected to the bus through the other components ... the
+order of testing the components becomes relevant."
+
+The rules implemented here:
+
+* a component may be tested only after every component on its access
+  paths has been tested (trustworthy transparent paths);
+* each indirection hop adds one transport cycle per pattern on that side
+  (the pattern must flow through the intermediate component's datapath);
+* the resulting per-component cost reuses eq. 11 with the lengthened
+  transport latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.components.spec import ComponentKind
+from repro.memtest.march import MARCH_CM, march_pattern_count
+from repro.testcost.backannotate import component_backannotation
+from repro.testcost.cost import fu_test_cost, rf_test_cost
+from repro.vliw.arch import VLIWTemplate
+
+
+class TestOrderError(Exception):
+    """The access topology has no valid test order (a cycle)."""
+
+    __test__ = False   # keep pytest from collecting this exception class
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """How one component is reached during test."""
+
+    component: str
+    input_hops: int            # components between the bus and its inputs
+    output_hops: int           # components between its outputs and the bus
+    through: tuple[str, ...]   # the intermediates, in order
+
+
+def _hops(template: VLIWTemplate, name: str, direction: str) -> tuple[int, list[str]]:
+    """Count indirection hops walking toward the bus."""
+    hops = 0
+    through: list[str] = []
+    current = name
+    visited = {name}
+    while True:
+        component = template.component(current)
+        sources = (
+            component.inputs_from if direction == "in" else component.outputs_to
+        )
+        if "bus" in sources:
+            return hops, through
+        next_name = sources[0]
+        if next_name in visited:
+            raise TestOrderError(f"access cycle through {next_name!r}")
+        visited.add(next_name)
+        through.append(next_name)
+        hops += 1
+        current = next_name
+
+
+def test_access_paths(template: VLIWTemplate) -> dict[str, AccessPath]:
+    """Access path (hop counts + intermediates) per component."""
+    paths: dict[str, AccessPath] = {}
+    for name in template.components:
+        in_hops, in_through = _hops(template, name, "in")
+        out_hops, out_through = _hops(template, name, "out")
+        paths[name] = AccessPath(
+            component=name,
+            input_hops=in_hops,
+            output_hops=out_hops,
+            through=tuple(in_through + out_through),
+        )
+    return paths
+
+
+def test_order(template: VLIWTemplate) -> list[str]:
+    """A valid test schedule: dependencies (intermediates) first."""
+    paths = test_access_paths(template)
+    ordered: list[str] = []
+    remaining = dict(paths)
+    while remaining:
+        ready = [
+            name
+            for name, path in remaining.items()
+            if all(dep in ordered for dep in path.through)
+        ]
+        if not ready:
+            raise TestOrderError("circular test dependencies")
+        for name in sorted(ready, key=lambda n: len(remaining[n].through)):
+            ordered.append(name)
+            del remaining[name]
+    return ordered
+
+
+def vliw_test_cost(template: VLIWTemplate) -> dict[str, int]:
+    """Per-component functional test cost on the VLIW template.
+
+    Directly accessible components price exactly like the TTA (eq. 11
+    with CD = 3); each indirection hop adds one cycle of transport per
+    pattern on the affected side.
+    """
+    paths = test_access_paths(template)
+    costs: dict[str, int] = {}
+    for name, component in template.components.items():
+        spec = component.spec
+        back = component_backannotation(spec)
+        path = paths[name]
+        cd = 3 + path.input_hops + path.output_hops
+        if spec.kind is ComponentKind.RF:
+            np_rf = march_pattern_count(
+                MARCH_CM, spec.num_regs,
+                read_ports=spec.n_out, write_ports=spec.n_in,
+            )
+            costs[name] = rf_test_cost(
+                np_rf, cd, spec.n_in, spec.n_out, template.num_buses
+            )
+        else:
+            costs[name] = fu_test_cost(
+                back.num_patterns, cd, spec.n_conn, template.num_buses
+            )
+    return costs

@@ -1,0 +1,68 @@
+"""Shared fixtures: small architectures, deterministic RNG, cached IR."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.components.library import (
+    alu_spec,
+    cmp_spec,
+    imm_spec,
+    lsu_spec,
+    mul_spec,
+    pc_spec,
+    rf_spec,
+)
+from repro.tta.arch import Architecture, UnitInstance
+
+
+def make_arch(
+    num_buses: int = 2,
+    width: int = 16,
+    rf_setups: tuple[tuple[int, int, int], ...] = ((8, 1, 1),),
+    num_alus: int = 1,
+    with_mul: bool = False,
+    name: str | None = None,
+) -> Architecture:
+    """Small-architecture factory used across the suite.
+
+    ``rf_setups`` entries are (num_regs, read_ports, write_ports).
+    """
+    units = []
+    for i in range(num_alus):
+        units.append(UnitInstance(f"alu{i}", alu_spec(width)))
+    units.append(UnitInstance("cmp0", cmp_spec(width)))
+    if with_mul:
+        units.append(UnitInstance("mul0", mul_spec(width)))
+    for i, (regs, rp, wp) in enumerate(rf_setups):
+        units.append(
+            UnitInstance(f"rf{i}", rf_spec(regs, width, read_ports=rp, write_ports=wp))
+        )
+    units.append(UnitInstance("lsu0", lsu_spec(width)))
+    units.append(UnitInstance("pc", pc_spec(width)))
+    units.append(UnitInstance("imm0", imm_spec(width)))
+    return Architecture(
+        name=name or f"test-b{num_buses}",
+        width=width,
+        num_buses=num_buses,
+        units=units,
+    )
+
+
+@pytest.fixture
+def arch2() -> Architecture:
+    """Default two-bus test architecture."""
+    return make_arch(2)
+
+
+@pytest.fixture
+def arch3() -> Architecture:
+    """Three-bus architecture with two RFs (Fig. 9 flavour)."""
+    return make_arch(3, rf_setups=((8, 1, 1), (12, 1, 1)))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,230 @@
+"""Workload correctness: DES vectors, crypt(3), the IR kernels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.crypt3 import (
+    CRYPT_B64,
+    crypt_from_words,
+    crypt_rounds_words,
+    password_to_key,
+    salt_to_mask,
+    unix_crypt,
+)
+from repro.apps.crypt_kernel import build_crypt_ir, crypt_output_from_memory
+from repro.apps.des import (
+    des_decrypt_block,
+    des_encrypt_block,
+    f_function,
+    key_schedule,
+    permute,
+    subkey_chunks,
+    E,
+    IP,
+    FP,
+)
+from repro.apps.kernels import (
+    build_checksum_ir,
+    build_dotprod_ir,
+    build_fir_ir,
+    build_gcd_ir,
+    checksum_reference,
+    fir_reference,
+)
+from repro.compiler import IRInterpreter
+
+KEY64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+# ----------------------------------------------------------------------
+# DES
+# ----------------------------------------------------------------------
+def test_des_published_vector():
+    ct = des_encrypt_block(0x133457799BBCDFF1, 0x0123456789ABCDEF)
+    assert ct == 0x85E813540F0AB405
+
+
+def test_des_zero_vector():
+    assert des_encrypt_block(0, 0) == 0x8CA64DE9C1B123A7
+
+
+@settings(max_examples=20, deadline=None)
+@given(KEY64, KEY64)
+def test_des_roundtrip(key, plaintext):
+    ct = des_encrypt_block(key, plaintext)
+    assert des_decrypt_block(key, ct) == plaintext
+
+
+def test_ip_fp_are_inverses():
+    value = 0x0123456789ABCDEF
+    assert permute(permute(value, 64, IP), 64, FP) == value
+
+
+def test_key_schedule_properties():
+    subkeys = key_schedule(0x133457799BBCDFF1)
+    assert len(subkeys) == 16
+    assert all(0 <= k < (1 << 48) for k in subkeys)
+    # the classic first subkey for this key
+    assert subkeys[0] == 0b000110110000001011101111111111000111000001110010
+
+
+def test_subkey_chunks_reassemble():
+    subkeys = key_schedule(0xAABB09182736CCDD)
+    chunks = subkey_chunks(subkeys)
+    for key, chunk_row in zip(subkeys, chunks):
+        rebuilt = 0
+        for c in chunk_row:
+            rebuilt = (rebuilt << 6) | c
+        assert rebuilt == key
+
+
+def test_f_function_salt_zero_is_plain():
+    assert f_function(0x12345678, 0xABCDEF, 0) == f_function(
+        0x12345678, 0xABCDEF
+    )
+
+
+def test_f_function_salt_changes_result():
+    # a salt bit only matters when the swapped E-bits differ
+    r = 0x0000FFFF
+    plain = f_function(r, 0, 0)
+    salted = f_function(r, 0, 0xFFF)
+    assert plain != salted
+
+
+def test_expansion_table_structure():
+    # E is the classic sliding 6-bit window stepping by 4
+    assert len(E) == 48
+    assert E[0] == 32 and E[-1] == 1
+
+
+# ----------------------------------------------------------------------
+# crypt(3)
+# ----------------------------------------------------------------------
+def test_crypt_output_format():
+    h = unix_crypt("password", "ab")
+    assert len(h) == 13
+    assert h[:2] == "ab"
+    assert all(c in CRYPT_B64 for c in h)
+
+
+def test_crypt_salt_changes_hash():
+    assert unix_crypt("secret", "aa") != unix_crypt("secret", "ab")
+
+
+def test_crypt_password_changes_hash():
+    assert unix_crypt("secret1", "ab") != unix_crypt("secret2", "ab")
+
+
+def test_crypt_eight_char_truncation():
+    assert unix_crypt("12345678", "xy") == unix_crypt("12345678extra", "xy")
+
+
+def test_crypt_short_salt_padded():
+    h = unix_crypt("pw", "Z")
+    assert h[:2] == "Z."
+
+
+def test_password_to_key_seven_bit():
+    key = password_to_key("A")           # 0x41 << 1 in the top byte
+    assert key >> 56 == 0x41 << 1
+    assert password_to_key("") == 0
+
+
+def test_salt_to_mask():
+    assert salt_to_mask("..") == 0
+    assert salt_to_mask("/.") == 1
+    assert salt_to_mask("./") == 1 << 6
+    assert salt_to_mask("zz") == (63 << 6) | 63
+
+
+@pytest.mark.parametrize(
+    "password,salt",
+    [("password", "ab"), ("", ".."), ("secret42", "Zz"), ("a", "/.")],
+)
+def test_word_level_crypt_matches_reference(password, salt):
+    words = crypt_rounds_words(password, salt)
+    assert crypt_from_words(*words, salt) == unix_crypt(password, salt)
+
+
+def test_crypt_kernel_ir_bit_exact():
+    fn = build_crypt_ir("password", "ab")
+    result = IRInterpreter(fn, width=16).run()
+    out = crypt_output_from_memory(result.memory, "ab")
+    assert out == unix_crypt("password", "ab")
+    # 25 outer iterations x 16 rounds
+    assert result.block_counts["round"] == 400
+    assert result.block_counts["outer"] == 25
+
+
+def test_crypt_kernel_other_salt():
+    fn = build_crypt_ir("tta", "Zz")
+    result = IRInterpreter(fn, width=16).run()
+    assert crypt_output_from_memory(result.memory, "Zz") == unix_crypt(
+        "tta", "Zz"
+    )
+
+
+# ----------------------------------------------------------------------
+# small kernels
+# ----------------------------------------------------------------------
+def test_gcd_kernel():
+    fn = build_gcd_ir(1071, 462)
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[100] == 21
+
+
+def test_fir_kernel_matches_reference():
+    samples = [1, 2, 3, 4, 5, 6, 7, 8]
+    taps = [2, 1, 3]
+    fn = build_fir_ir(samples, taps)
+    result = IRInterpreter(fn, width=16).run()
+    expected = fir_reference(samples, taps)
+    got = [result.memory.get(600 + i, 0) for i in range(len(samples))]
+    assert got == expected
+
+
+def test_dotprod_kernel():
+    a = [3, 1, 4, 1, 5]
+    b = [2, 7, 1, 8, 2]
+    fn = build_dotprod_ir(a, b)
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[100] == sum(x * y for x, y in zip(a, b))
+
+
+def test_dotprod_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        build_dotprod_ir([1, 2], [1])
+
+
+def test_checksum_kernel_matches_reference():
+    words = [0xDEAD, 0xBEEF, 0x1234, 0x0001]
+    fn = build_checksum_ir(words)
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[100] == checksum_reference(words)
+
+
+def test_crc16_kernel_matches_reference():
+    from repro.apps.kernels import build_crc16_ir, crc16_reference
+
+    words = [0x3141, 0x5926, 0x5358, 0x9793]
+    fn = build_crc16_ir(words)
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[100] == crc16_reference(words)
+
+
+def test_crc16_on_tta():
+    from repro.apps.kernels import build_crc16_ir, crc16_reference
+    from repro.compiler import compile_ir
+    from repro.tta import TTASimulator
+    from tests.conftest import make_arch
+
+    words = [0xCAFE, 0xF00D]
+    fn = build_crc16_ir(words)
+    profile = IRInterpreter(fn, width=16).run().block_counts
+    arch = make_arch(2)
+    compiled = compile_ir(fn, arch, profile=profile)
+    sim = TTASimulator(arch, compiled.program)
+    sim.run(max_cycles=300_000)
+    assert sim.dmem_read(100) == crc16_reference(words)

@@ -1,0 +1,100 @@
+"""Unit and property tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit,
+    bits_of,
+    from_bits,
+    mask,
+    parity,
+    popcount,
+    rotl,
+    rotr,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+
+def test_mask_values():
+    assert mask(0) == 0
+    assert mask(1) == 1
+    assert mask(16) == 0xFFFF
+    assert mask(64) == (1 << 64) - 1
+
+
+def test_mask_negative_rejected():
+    with pytest.raises(ValueError):
+        mask(-1)
+
+
+def test_bit_extraction():
+    assert bit(0b1010, 0) == 0
+    assert bit(0b1010, 1) == 1
+    assert bit(0b1010, 3) == 1
+
+
+def test_bits_roundtrip_examples():
+    assert bits_of(0b1011, 4) == [1, 1, 0, 1]
+    assert from_bits([1, 1, 0, 1]) == 0b1011
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_bits_roundtrip_property(value):
+    assert from_bits(bits_of(value, 32)) == value
+
+
+@given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+def test_popcount_matches_bin(value):
+    assert popcount(value) == bin(value).count("1")
+
+
+def test_popcount_negative_rejected():
+    with pytest.raises(ValueError):
+        popcount(-5)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+def test_parity_is_popcount_lsb(value):
+    assert parity(value) == popcount(value) % 2
+
+
+@given(
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=40),
+)
+def test_rotl_rotr_inverse(value, amount):
+    assert rotr(rotl(value, amount, 16), amount, 16) == value
+
+
+def test_rotl_known():
+    assert rotl(0b1000_0000_0000_0001, 1, 16) == 0b0000_0000_0000_0011
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF))
+def test_rotl_full_turn_identity(value):
+    assert rotl(value, 16, 16) == value
+
+
+@given(st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+def test_signed_roundtrip(value):
+    assert to_signed(to_unsigned(value, 16), 16) == value
+
+
+def test_to_signed_extremes():
+    assert to_signed(0x8000, 16) == -32768
+    assert to_signed(0x7FFF, 16) == 32767
+    assert to_signed(0xFFFF, 16) == -1
+
+
+@given(st.integers(min_value=0, max_value=0xFF))
+def test_sign_extend_preserves_value(value):
+    assert to_signed(sign_extend(value, 8, 16), 16) == to_signed(value, 8)
+
+
+def test_sign_extend_narrowing_rejected():
+    with pytest.raises(ValueError):
+        sign_extend(3, 16, 8)

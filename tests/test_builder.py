@@ -1,0 +1,167 @@
+"""Property tests: WordBuilder primitives vs plain Python semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist import WordBuilder
+from repro.util.bitops import mask, to_signed, to_unsigned
+
+WORD8 = st.integers(min_value=0, max_value=255)
+WORD16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def _two_input_circuit(op_builder, width=8):
+    wb = WordBuilder("t")
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+    out = op_builder(wb, a, b)
+    if isinstance(out, int):
+        wb.output_bit("y", out)
+    else:
+        wb.output_word("y", out)
+    wb.netlist.check()
+    return wb.netlist
+
+
+@given(WORD8, WORD8)
+def test_xor_word(a, b):
+    nl = _two_input_circuit(lambda wb, x, y: wb.xor_word(x, y))
+    assert nl.evaluate_words({"a": a, "b": b})["y"] == a ^ b
+
+
+@given(WORD8, WORD8)
+def test_and_or_words(a, b):
+    nl = _two_input_circuit(lambda wb, x, y: wb.and_word(x, y))
+    assert nl.evaluate_words({"a": a, "b": b})["y"] == a & b
+    nl = _two_input_circuit(lambda wb, x, y: wb.or_word(x, y))
+    assert nl.evaluate_words({"a": a, "b": b})["y"] == a | b
+
+
+@given(WORD8)
+def test_not_word(a):
+    wb = WordBuilder("t")
+    word = wb.input_word("a", 8)
+    wb.output_word("y", wb.not_word(word))
+    assert wb.netlist.evaluate_words({"a": a})["y"] == (~a) & 0xFF
+
+
+@given(WORD8, WORD8)
+def test_ripple_adder(a, b):
+    nl = _two_input_circuit(lambda wb, x, y: wb.ripple_adder(x, y)[0])
+    assert nl.evaluate_words({"a": a, "b": b})["y"] == (a + b) & 0xFF
+
+
+@given(WORD8, WORD8)
+def test_adder_carry_out(a, b):
+    nl = _two_input_circuit(lambda wb, x, y: wb.ripple_adder(x, y)[1])
+    assert nl.evaluate_words({"a": a, "b": b})["y"] == int(a + b > 255)
+
+
+@given(WORD8, WORD8)
+def test_subtractor(a, b):
+    nl = _two_input_circuit(lambda wb, x, y: wb.subtractor(x, y)[0])
+    assert nl.evaluate_words({"a": a, "b": b})["y"] == (a - b) & 0xFF
+
+
+@given(WORD8)
+def test_incrementer(a):
+    wb = WordBuilder("t")
+    word = wb.input_word("a", 8)
+    inc, _ = wb.incrementer(word)
+    wb.output_word("y", inc)
+    assert wb.netlist.evaluate_words({"a": a})["y"] == (a + 1) & 0xFF
+
+
+@given(WORD8, WORD8)
+def test_equal(a, b):
+    nl = _two_input_circuit(lambda wb, x, y: wb.equal(x, y))
+    assert nl.evaluate_words({"a": a, "b": b})["y"] == int(a == b)
+
+
+@given(WORD8, WORD8)
+def test_less_than_unsigned(a, b):
+    nl = _two_input_circuit(lambda wb, x, y: wb.less_than_unsigned(x, y))
+    assert nl.evaluate_words({"a": a, "b": b})["y"] == int(a < b)
+
+
+@given(WORD8, WORD8)
+def test_less_than_signed(a, b):
+    nl = _two_input_circuit(lambda wb, x, y: wb.less_than_signed(x, y))
+    expected = int(to_signed(a, 8) < to_signed(b, 8))
+    assert nl.evaluate_words({"a": a, "b": b})["y"] == expected
+
+
+@given(WORD8)
+def test_is_zero(a):
+    wb = WordBuilder("t")
+    word = wb.input_word("a", 8)
+    wb.output_bit("y", wb.is_zero(word))
+    assert wb.netlist.evaluate_words({"a": a})["y"] == int(a == 0)
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_const_word(value):
+    wb = WordBuilder("t")
+    wb.output_word("y", wb.const_word(value, 8))
+    assert wb.netlist.evaluate_words({})["y"] == value
+
+
+@given(st.integers(min_value=0, max_value=7))
+def test_decoder_one_hot(sel):
+    wb = WordBuilder("t")
+    sels = wb.input_word("s", 3)
+    wb.output_word("y", wb.decoder(sels))
+    out = wb.netlist.evaluate_words({"s": sel})["y"]
+    assert out == 1 << sel
+
+
+@given(
+    st.lists(WORD8, min_size=1, max_size=8),
+    st.integers(min_value=0, max_value=7),
+)
+def test_mux_tree_selects(words, sel):
+    wb = WordBuilder("t")
+    sels = wb.input_word("s", 3)
+    word_nets = [wb.const_word(w, 8) for w in words]
+    wb.output_word("y", wb.mux_tree(sels, word_nets))
+    out = wb.netlist.evaluate_words({"s": sel})["y"]
+    assert out == words[sel % len(words)]
+
+
+@given(
+    WORD16,
+    st.integers(min_value=0, max_value=15),
+    st.booleans(),
+    st.booleans(),
+)
+def test_barrel_shifter(a, amount, right, arithmetic):
+    wb = WordBuilder("t")
+    word = wb.input_word("a", 16)
+    amt = wb.input_word("n", 4)
+    r = wb.input_bit("right")
+    ar = wb.input_bit("arith")
+    wb.output_word("y", wb.barrel_shifter(word, amt, r, ar))
+    out = wb.netlist.evaluate_words(
+        {"a": a, "n": amount, "right": int(right), "arith": int(arithmetic)}
+    )["y"]
+    if not right:
+        expected = (a << amount) & mask(16)
+    elif arithmetic:
+        expected = to_unsigned(to_signed(a, 16) >> amount, 16)
+    else:
+        expected = a >> amount
+    assert out == expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=10))
+def test_reductions(bits):
+    wb = WordBuilder("t")
+    word = wb.input_word("a", len(bits))
+    wb.output_bit("and", wb.and_reduce(list(word)))
+    wb.output_bit("or", wb.or_reduce(list(word)))
+    wb.output_bit("xor", wb.xor_reduce(list(word)))
+    value = sum(b << i for i, b in enumerate(bits))
+    result = wb.netlist.evaluate_words({"a": value})
+    assert result["and"] == int(all(bits))
+    assert result["or"] == int(any(bits))
+    assert result["xor"] == sum(bits) % 2

@@ -1,0 +1,209 @@
+"""IR construction, validation and the interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import IRBuilder, IRError, IRInterpreter
+from repro.compiler.ir import Branch, Halt, Jump, Op
+from repro.components.reference import alu_reference, cmp_reference
+
+WORD = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def test_builder_basic_function():
+    b = IRBuilder("t")
+    b.block("entry")
+    x = b.li(5)
+    y = b.add(x, 7)
+    b.store(10, y)
+    b.halt()
+    fn = b.finish()
+    assert fn.entry == "entry"
+    assert len(fn.blocks["entry"].ops) == 3
+    assert isinstance(fn.blocks["entry"].terminator, Halt)
+
+
+def test_unterminated_block_rejected():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.li(1)
+    with pytest.raises(IRError, match="terminator"):
+        b.finish()
+
+
+def test_double_terminator_rejected():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.halt()
+    with pytest.raises(IRError, match="already terminated"):
+        b.halt()
+
+
+def test_emit_after_terminator_rejected():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.halt()
+    with pytest.raises(IRError):
+        b.li(1)
+
+
+def test_missing_jump_target_rejected():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.jump("nowhere")
+    with pytest.raises(IRError, match="missing"):
+        b.finish()
+
+
+def test_duplicate_block_rejected():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.halt()
+    with pytest.raises(IRError, match="duplicate"):
+        b.block("entry")
+
+
+def test_op_validation():
+    with pytest.raises(IRError, match="unknown IR opcode"):
+        Op("frobnicate", "d", 1, 2)
+    with pytest.raises(IRError, match="destination"):
+        Op("add", None, 1, 2)
+    with pytest.raises(IRError, match="no destination"):
+        Op("st", "d", 1, 2)
+
+
+def test_listing_readable():
+    b = IRBuilder("demo")
+    b.block("entry")
+    x = b.li(5)
+    b.store(9, x)
+    b.halt()
+    listing = b.finish().listing()
+    assert "demo" in listing and "entry:" in listing and "mem[9]" in listing
+
+
+def test_successors():
+    b = IRBuilder("t")
+    b.block("a")
+    c = b.li(1)
+    b.branch(c, "b", "c")
+    b.block("b")
+    b.jump("c")
+    b.block("c")
+    b.halt()
+    fn = b.finish()
+    assert fn.blocks["a"].successors() == ["b", "c"]
+    assert fn.blocks["b"].successors() == ["c"]
+    assert fn.blocks["c"].successors() == []
+
+
+# ----------------------------------------------------------------------
+# interpreter semantics
+# ----------------------------------------------------------------------
+@settings(max_examples=60)
+@given(WORD, WORD, st.sampled_from(["add", "sub", "and", "or", "xor",
+                                    "shl", "shr", "sra"]))
+def test_interp_alu_ops_match_reference(a, b_val, op):
+    b = IRBuilder("t")
+    b.block("entry")
+    x = b.li(a)
+    y = b.li(b_val)
+    z = b._binary(op, x, y)
+    b.store(0, z)
+    b.halt()
+    result = IRInterpreter(b.finish(), width=16).run()
+    assert result.memory[0] == alu_reference(op, a, b_val, 16)
+
+
+@settings(max_examples=40)
+@given(WORD, WORD, st.sampled_from(["eq", "ne", "ltu", "geu", "lts", "ges"]))
+def test_interp_cmp_ops_match_reference(a, b_val, op):
+    b = IRBuilder("t")
+    b.block("entry")
+    z = b._binary(op, b.li(a), b.li(b_val))
+    b.store(0, z)
+    b.halt()
+    result = IRInterpreter(b.finish(), width=16).run()
+    assert result.memory[0] == cmp_reference(op, a, b_val, 16)
+
+
+def test_interp_loop_and_profile():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.li(0, "%i")
+    b.li(0, "%sum")
+    b.jump("loop")
+    b.block("loop")
+    b.add("%sum", "%i", "%sum")
+    b.add("%i", 1, "%i")
+    c = b.ltu("%i", 5)
+    b.branch(c, "loop", "done")
+    b.block("done")
+    b.store(0, "%sum")
+    b.halt()
+    result = IRInterpreter(b.finish(), width=16).run()
+    assert result.memory[0] == 0 + 1 + 2 + 3 + 4
+    assert result.block_counts == {"entry": 1, "loop": 5, "done": 1}
+
+
+def test_interp_memory_ops():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.store(5, 0x8182)
+    lo = b.load(5, mode="ld_ls")
+    hi = b.load(5, mode="ld_h")
+    b.store(6, lo)
+    b.store(7, hi)
+    b.halt()
+    result = IRInterpreter(b.finish(), width=16).run()
+    assert result.memory[6] == 0xFF82
+    assert result.memory[7] == 0x81
+
+
+def test_interp_undefined_vreg_rejected():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.add("%ghost", 1, "%x")
+    b.halt()
+    with pytest.raises(IRError, match="undefined vreg"):
+        IRInterpreter(b.finish(), width=16).run()
+
+
+def test_interp_op_budget():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.li(1, "%x")
+    b.jump("spin")
+    b.block("spin")
+    b.add("%x", 1, "%x")
+    b.jump("spin")
+    fn = b.finish()
+    interp = IRInterpreter(fn, width=16, max_ops=1000)
+    with pytest.raises(IRError, match="budget"):
+        interp.run()
+
+
+def test_interp_branch_invert():
+    b = IRBuilder("t")
+    b.block("entry")
+    c = b.eq(b.li(1), 2)       # false
+    b.branch(c, "yes", "no", invert=True)   # inverted: taken
+    b.block("yes")
+    b.store(0, 1)
+    b.halt()
+    b.block("no")
+    b.store(0, 2)
+    b.halt()
+    result = IRInterpreter(b.finish(), width=16).run()
+    assert result.memory[0] == 1
+
+
+def test_interp_initial_regs():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.add("%in", 1, "%out")
+    b.store(0, "%out")
+    b.halt()
+    result = IRInterpreter(b.finish(), width=16).run({"%in": 41})
+    assert result.memory[0] == 42

@@ -1,0 +1,173 @@
+"""Optimiser passes: each must preserve semantics and actually optimise."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_gcd_ir
+from repro.apps.crypt_kernel import build_crypt_ir
+from repro.compiler import IRBuilder, IRInterpreter, compile_ir, optimize_ir
+from repro.tta import TTASimulator
+
+from tests.conftest import make_arch
+
+
+def _total_ops(fn):
+    return sum(len(b.ops) for b in fn.blocks.values())
+
+
+def test_constant_folding_collapses_chain():
+    b = IRBuilder("t")
+    b.block("entry")
+    x = b.li(5)
+    y = b.add(x, 7)
+    z = b.shl(y, 2)
+    b.store(0, z)
+    b.halt()
+    fn = optimize_ir(b.finish())
+    ops = fn.blocks["entry"].ops
+    # the whole chain folds into a single literal store
+    assert len(ops) == 1
+    assert ops[0].opcode == "st" and ops[0].b == 48
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[0] == 48
+
+
+def test_folding_respects_redefinition():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.li(1, "%x")
+    b.mov("%x", "%y")          # %y = old %x
+    b.li(9, "%x")              # redefine %x
+    b.add("%y", 0, "%out")     # must still see the OLD value
+    b.store(0, "%out")
+    b.halt()
+    fn = optimize_ir(b.finish())
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[0] == 1
+
+
+def test_cse_removes_duplicate_expression():
+    b = IRBuilder("t")
+    b.block("entry")
+    x = b.li(3, "%x")
+    a1 = b.add("%x", "%x")
+    a2 = b.add("%x", "%x")     # duplicate
+    b.store(0, a1)
+    b.store(1, a2)
+    b.halt()
+    fn = optimize_ir(b.finish(), fold_constants=False)
+    adds = [
+        op for op in fn.blocks["entry"].ops if op.opcode == "add"
+    ]
+    assert len(adds) == 1
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[0] == 6 and result.memory[1] == 6
+
+
+def test_cse_invalidated_by_redefinition():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.li(3, "%x")
+    a1 = b.add("%x", 1)
+    b.li(10, "%x")
+    a2 = b.add("%x", 1)        # NOT a duplicate: %x changed
+    b.store(0, a1)
+    b.store(1, a2)
+    b.halt()
+    fn = optimize_ir(b.finish(), fold_constants=False)
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[0] == 4 and result.memory[1] == 11
+
+
+def test_dce_drops_unused_pure_ops():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.li(1, "%used")
+    b.add("%used", 41, "%result")
+    b.xor("%used", 0xFF, "%dead")      # never used
+    b.load(5, dst="%dead_load")        # never used: loads are pure
+    b.store(0, "%result")
+    b.halt()
+    fn = optimize_ir(b.finish())
+    opcodes = [op.opcode for op in fn.blocks["entry"].ops]
+    assert "xor" not in opcodes
+    assert not any(o.startswith("ld") for o in opcodes)
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[0] == 42
+
+
+def test_dce_keeps_stores_and_live_loop_state():
+    fn = optimize_ir(build_gcd_ir(252, 105))
+    result = IRInterpreter(fn, width=16).run()
+    assert result.memory[100] == 21
+
+
+def test_optimizer_shrinks_crypt_kernel():
+    fn = build_crypt_ir("password", "ab")
+    before = _total_ops(fn)
+    optimized = optimize_ir(fn)
+    after = _total_ops(optimized)
+    assert after <= before
+    result = IRInterpreter(optimized, width=16).run()
+    from repro.apps.crypt_kernel import crypt_output_from_memory
+    from repro.apps.crypt3 import unix_crypt
+
+    assert crypt_output_from_memory(result.memory, "ab") == unix_crypt(
+        "password", "ab"
+    )
+
+
+def test_optimized_code_compiles_and_runs():
+    fn = optimize_ir(build_gcd_ir(1071, 462))
+    arch = make_arch(2)
+    profile = IRInterpreter(fn, width=16).run().block_counts
+    compiled = compile_ir(fn, arch, profile=profile)
+    sim = TTASimulator(arch, compiled.program)
+    sim.run(max_cycles=200_000)
+    assert sim.dmem_read(100) == 21
+
+
+# ----------------------------------------------------------------------
+# randomised differential testing: optimize_ir must be semantics-neutral
+# ----------------------------------------------------------------------
+_BINOPS = ["add", "sub", "and", "or", "xor", "shl", "shr", "mul"]
+
+
+def _random_function(seed: int):
+    rng = random.Random(seed)
+    b = IRBuilder(f"fuzz{seed}")
+    b.block("entry")
+    live = [b.li(rng.getrandbits(8)) for _ in range(3)]
+    for _ in range(rng.randrange(5, 25)):
+        choice = rng.random()
+        if choice < 0.6:
+            op = rng.choice(_BINOPS)
+            x = rng.choice(live)
+            y = rng.choice(live) if rng.random() < 0.7 else rng.getrandbits(8)
+            live.append(b._binary(op, x, y))
+        elif choice < 0.75:
+            live.append(b.li(rng.getrandbits(16)))
+        elif choice < 0.9:
+            live.append(b.mov(rng.choice(live)))
+        else:
+            addr = 200 + rng.randrange(8)
+            b.store(addr, rng.choice(live))
+            live.append(b.load(addr))
+    for i, v in enumerate(live[-4:]):
+        b.store(i, v)
+    b.halt()
+    return b.finish()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_optimizer_preserves_semantics_fuzz(seed):
+    fn = _random_function(seed)
+    reference = IRInterpreter(fn, width=16).run()
+    optimized = optimize_ir(fn)
+    result = IRInterpreter(optimized, width=16).run()
+    assert result.memory == reference.memory
+    assert _total_ops(optimized) <= _total_ops(fn)

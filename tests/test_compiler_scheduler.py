@@ -1,0 +1,175 @@
+"""Transport scheduler: compiled programs must simulate correctly on
+every architecture shape, and always pass the eq. 2-8 validator."""
+
+import pytest
+
+from repro.apps import build_checksum_ir, build_gcd_ir
+from repro.apps.kernels import checksum_reference
+from repro.compiler import IRBuilder, IRInterpreter, compile_ir
+from repro.compiler.scheduler import ScheduleError
+from repro.tta import TTASimulator, validate_program
+
+from tests.conftest import make_arch
+
+ARCH_SHAPES = [
+    dict(num_buses=1),
+    dict(num_buses=2),
+    dict(num_buses=3),
+    dict(num_buses=4, num_alus=2),
+    dict(num_buses=2, rf_setups=((4, 1, 1),)),
+    dict(num_buses=3, rf_setups=((8, 2, 1), (12, 1, 1))),
+    dict(num_buses=2, rf_setups=((4, 1, 1), (4, 1, 1))),
+]
+
+
+def _compile_and_run(fn, arch, max_cycles=300_000):
+    profile = IRInterpreter(fn, width=16).run().block_counts
+    compiled = compile_ir(fn, arch, profile=profile)
+    assert validate_program(arch, compiled.program, strict=False) == []
+    sim = TTASimulator(arch, compiled.program)
+    result = sim.run(max_cycles=max_cycles)
+    assert result.halted, "program must reach its halt"
+    return sim, compiled
+
+
+@pytest.mark.parametrize("shape", ARCH_SHAPES, ids=lambda s: str(s))
+def test_gcd_on_every_shape(shape):
+    arch = make_arch(**shape)
+    sim, _ = _compile_and_run(build_gcd_ir(252, 105), arch)
+    assert sim.dmem_read(100) == 21
+
+
+@pytest.mark.parametrize("shape", ARCH_SHAPES[:4], ids=lambda s: str(s))
+def test_checksum_on_shapes(shape):
+    words = [0x1234, 0xFFFF, 0x0001, 0xABCD, 0x5555, 0x0F0F]
+    arch = make_arch(**shape)
+    sim, _ = _compile_and_run(build_checksum_ir(words), arch)
+    assert sim.dmem_read(100) == checksum_reference(words)
+
+
+def test_more_buses_never_hurt_much():
+    """Resource monotonicity: 3 buses beat 1 bus on the same workload."""
+    fn = build_gcd_ir(1071, 462)
+    profile = IRInterpreter(fn, width=16).run().block_counts
+    cycles = {}
+    for buses in (1, 3):
+        arch = make_arch(buses)
+        compiled = compile_ir(fn, arch, profile=profile)
+        cycles[buses] = compiled.static_cycles(profile)
+    assert cycles[3] < cycles[1]
+
+
+def test_slot_antidependence_regression():
+    """Reused RF slots must not be clobbered before their last read.
+
+    Regression for the bug where the crypt round block's L/R swap was
+    scheduled with a write landing before an earlier tenant's read.
+    """
+    b = IRBuilder("swap")
+    b.block("entry")
+    b.li(0x1111, "%a")
+    b.li(0x2222, "%b")
+    b.jump("body")
+    b.block("body")
+    # chains of temps that force slot reuse, then a swap pattern
+    t1 = b.xor("%a", "%b")
+    t2 = b.xor(t1, 0x0F0F)
+    t3 = b.add(t2, t1)
+    b.mov("%a", "%t")
+    b.mov("%b", "%a")
+    b.mov("%t", "%b")
+    t4 = b.xor("%a", t3)
+    b.store(0, t4)
+    b.store(1, "%a")
+    b.store(2, "%b")
+    b.halt()
+    fn = b.finish()
+
+    expected = IRInterpreter(fn, width=16).run().memory
+    for shape in ARCH_SHAPES:
+        arch = make_arch(**shape)
+        sim, _ = _compile_and_run(fn, arch)
+        for addr in (0, 1, 2):
+            assert sim.dmem_read(addr) == expected[addr], shape
+
+
+def test_missing_fu_rejected():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.store(0, b.mul(b.li(3), 5))
+    b.halt()
+    fn = b.finish()
+    arch = make_arch(2)          # no multiplier
+    with pytest.raises(ScheduleError, match="no FU supports"):
+        compile_ir(fn, arch)
+
+
+def test_mul_schedules_with_mul_unit():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.store(0, b.mul(b.li(7), 6))
+    b.halt()
+    fn = b.finish()
+    arch = make_arch(2, with_mul=True)
+    sim, _ = _compile_and_run(fn, arch)
+    assert sim.dmem_read(0) == 42
+
+
+def test_static_estimate_matches_straightline_simulation():
+    """For branch-free code the static estimate is exact."""
+    b = IRBuilder("t")
+    b.block("entry")
+    acc = b.li(1)
+    for i in range(6):
+        acc = b.add(acc, i)
+    b.store(0, acc)
+    b.halt()
+    fn = b.finish()
+    arch = make_arch(2)
+    profile = {"entry": 1}
+    compiled = compile_ir(fn, arch, profile=profile)
+    sim = TTASimulator(arch, compiled.program)
+    result = sim.run()
+    assert compiled.static_cycles(profile) == result.cycles
+
+
+def test_branch_fusion_writes_guard_directly():
+    fn = build_gcd_ir(10, 4)
+    arch = make_arch(2)
+    compiled = compile_ir(fn, arch)
+    guard_writes = [
+        m
+        for i in compiled.program.instructions
+        for m in i.moves
+        if m.dst.unit == "guard"
+    ]
+    # the cmp feeding each branch goes straight to g0 (no RF round trip)
+    assert guard_writes
+    assert all(m.src.unit == "cmp0" for m in guard_writes)
+
+
+def test_memory_ops_stay_ordered():
+    b = IRBuilder("t")
+    b.block("entry")
+    b.store(5, 1)
+    b.store(5, 2)
+    v = b.load(5)
+    b.store(6, v)
+    b.halt()
+    fn = b.finish()
+    for shape in ARCH_SHAPES[:4]:
+        arch = make_arch(**shape)
+        sim, _ = _compile_and_run(fn, arch)
+        assert sim.dmem_read(6) == 2, "store-store-load order must hold"
+
+
+def test_compile_result_metadata():
+    fn = build_gcd_ir(12, 8)
+    arch = make_arch(2)
+    profile = IRInterpreter(fn, width=16).run().block_counts
+    compiled = compile_ir(fn, arch, profile=profile)
+    assert set(compiled.block_starts) == set(compiled.block_cycles)
+    assert compiled.total_moves > 0
+    assert compiled.static_cycles(profile) >= sum(
+        compiled.block_cycles[b] for b in compiled.block_cycles if b == "entry"
+    )

@@ -1,0 +1,101 @@
+"""Fault-dictionary diagnosis: injected faults must be localised."""
+
+import random
+
+import pytest
+
+from repro.atpg import run_atpg
+from repro.atpg.diagnosis import FaultDictionary
+from repro.atpg.faults import collapse_faults
+from repro.atpg.faultsim import FaultSimulator
+from repro.netlist import WordBuilder
+
+
+def _adder(width=4):
+    wb = WordBuilder(f"diag_add{width}")
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+    s, c = wb.ripple_adder(a, b)
+    wb.output_word("s", s)
+    wb.output_bit("cout", c)
+    return wb.netlist
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    netlist = _adder()
+    atpg = run_atpg(netlist, use_cache=False)
+    return FaultDictionary(netlist, atpg.patterns)
+
+
+def test_dictionary_covers_faults(dictionary):
+    assert dictionary.num_faults > 50
+    assert len(dictionary.patterns) > 0
+
+
+def test_injected_fault_is_top_candidate(dictionary):
+    rng = random.Random(11)
+    netlist = dictionary.netlist
+    faults, _ = collapse_faults(netlist)
+    sim = FaultSimulator(netlist)
+    testable = [
+        f for f in faults
+        if any(
+            sim.simulate_word([p], [f])[f] for p in dictionary.patterns
+        )
+    ]
+    for fault in rng.sample(testable, 10):
+        failing = dictionary.expected_failures(fault)
+        candidates = dictionary.diagnose(failing)
+        assert candidates, fault.describe(netlist)
+        top = candidates[0]
+        assert top.exact
+        # the true fault (or an equivalent with identical signature)
+        assert dictionary.signature_of(top.fault) == dictionary.signature_of(
+            fault
+        )
+
+
+def test_partial_observation_still_ranks_fault(dictionary):
+    netlist = dictionary.netlist
+    faults, _ = collapse_faults(netlist)
+    fault = next(
+        f for f in faults if len(dictionary.expected_failures(f)) >= 3
+    )
+    failing = dictionary.expected_failures(fault)[:-1]   # one escaped
+    candidates = dictionary.diagnose(failing, max_candidates=5)
+    signatures = {dictionary.signature_of(c.fault) for c in candidates}
+    assert dictionary.signature_of(fault) in signatures
+
+
+def test_no_failures_no_candidates(dictionary):
+    assert dictionary.diagnose([]) == []
+
+
+def test_bad_pattern_index_rejected(dictionary):
+    with pytest.raises(ValueError):
+        dictionary.diagnose([10_000])
+
+
+def test_diagnose_from_raw_responses(dictionary):
+    netlist = dictionary.netlist
+    faults, _ = collapse_faults(netlist)
+    fault = next(
+        f for f in faults if dictionary.expected_failures(f)
+    )
+    sim = FaultSimulator(netlist)
+    responses = []
+    for pattern in dictionary.patterns:
+        detected = bool(sim.simulate_word([pattern], [fault])[fault])
+        pi_map = {
+            pi: (pattern >> i) & 1 for i, pi in enumerate(netlist.inputs)
+        }
+        golden = [v & 1 for v in netlist.evaluate_outputs(pi_map, 1)]
+        if detected:
+            golden[0] ^= 1      # some output flipped on the real device
+        responses.append(golden)
+    candidates = dictionary.diagnose_responses(responses)
+    assert candidates
+    observed = dictionary.expected_failures(fault)
+    top_predicted = dictionary.expected_failures(candidates[0].fault)
+    assert set(observed) & set(top_predicted)

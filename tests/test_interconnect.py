@@ -1,0 +1,73 @@
+"""Interconnect test cost and the interconnect-first test plan."""
+
+from repro.explore import ArchConfig, RFConfig, build_architecture
+from repro.testcost import architecture_test_cost, schedule_tests
+from repro.testcost.interconnect import (
+    INTERCONNECT_SESSION,
+    interconnect_sessions,
+    interconnect_test_cost,
+)
+
+
+def _arch(buses=2):
+    return build_architecture(
+        ArchConfig(num_buses=buses, rfs=(RFConfig(8), RFConfig(12)))
+    )
+
+
+def test_cost_structure():
+    arch = _arch(2)
+    cost = interconnect_test_cost(arch)
+    assert cost.num_buses == 2
+    assert cost.bus_patterns == 2 * 16 + 2
+    assert cost.bus_cycles == 2 * cost.bus_patterns * 2
+    assert cost.num_connections == arch.num_connections
+    assert cost.total == cost.bus_cycles + cost.addressing_cycles
+
+
+def test_cost_grows_with_buses():
+    assert interconnect_test_cost(_arch(3)).total > interconnect_test_cost(
+        _arch(1)
+    ).total
+
+
+def test_sessions_have_interconnect_first():
+    arch = _arch(2)
+    breakdown = architecture_test_cost(arch)
+    sessions = interconnect_sessions(arch, breakdown)
+    names = [s.name for s in sessions]
+    assert names[0] == INTERCONNECT_SESSION
+    socket_sessions = [s for s in sessions if s.name.endswith(".sockets")]
+    assert socket_sessions
+    for s in socket_sessions:
+        assert s.after == (INTERCONNECT_SESSION,)
+
+
+def test_schedule_honours_interconnect_precedence():
+    arch = _arch(2)
+    breakdown = architecture_test_cost(arch)
+    sessions = interconnect_sessions(arch, breakdown)
+    schedule = schedule_tests(sessions, num_resources=3)
+    ic_end = schedule.window_of(INTERCONNECT_SESSION)[1]
+    for s in sessions:
+        if s.name != INTERCONNECT_SESSION:
+            assert schedule.window_of(s.name)[0] >= ic_end or not s.name.endswith(
+                ".sockets"
+            )
+    # every functional test runs after its socket test, which runs after
+    # the interconnect test: total order spot-check on one unit
+    alu_socket_start = schedule.window_of("alu0.sockets")[0]
+    alu_start = schedule.window_of("alu0")[0]
+    assert alu_socket_start >= ic_end
+    assert alu_start >= schedule.window_of("alu0.sockets")[1]
+
+
+def test_single_resource_total_is_sum():
+    arch = _arch(2)
+    breakdown = architecture_test_cost(arch)
+    sessions = interconnect_sessions(arch, breakdown)
+    schedule = schedule_tests(sessions, num_resources=1)
+    assert schedule.makespan == sum(s.cycles for s in sessions)
+    assert schedule.makespan == (
+        interconnect_test_cost(arch).total + breakdown.total
+    )

@@ -1,0 +1,213 @@
+"""March algorithms vs the injectable memory fault model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memtest import (
+    MARCH_ALGORITHMS,
+    MARCH_CM,
+    MARCH_X,
+    MARCH_Y,
+    MATS_PLUS,
+    CouplingFault,
+    FaultyMemory,
+    MarchElement,
+    StuckAtCellFault,
+    TransitionFault,
+    march_pattern_count,
+    run_march,
+)
+
+ALL_MARCHES = list(MARCH_ALGORITHMS.values())
+
+
+# ----------------------------------------------------------------------
+# memory model
+# ----------------------------------------------------------------------
+def test_clean_memory_read_write():
+    mem = FaultyMemory(8, 16)
+    mem.write(3, 0xBEEF)
+    assert mem.read(3) == 0xBEEF
+    assert mem.read(0) == 0
+
+
+def test_address_bounds():
+    mem = FaultyMemory(4, 8)
+    with pytest.raises(IndexError):
+        mem.read(4)
+    with pytest.raises(IndexError):
+        mem.write(-1, 0)
+
+
+def test_fault_site_validated():
+    with pytest.raises(ValueError):
+        FaultyMemory(4, 8, [StuckAtCellFault(9, 0)])
+
+
+def test_stuck_cell_behaviour():
+    mem = FaultyMemory(4, 8, [StuckAtCellFault(1, 3, value=1)])
+    assert mem.read(1) == 0b1000
+    mem.write(1, 0)
+    assert mem.read(1) == 0b1000
+
+
+def test_transition_fault_behaviour():
+    mem = FaultyMemory(4, 8, [TransitionFault(2, 0, rising=True)])
+    mem.write(2, 1)
+    assert mem.read(2) == 0         # up-transition blocked
+    mem2 = FaultyMemory(4, 8, [TransitionFault(2, 0, rising=False)])
+    mem2.write(2, 1)
+    assert mem2.read(2) == 1        # up works
+    mem2.write(2, 0)
+    assert mem2.read(2) == 1        # down blocked
+
+
+def test_coupling_idempotent():
+    fault = CouplingFault(0, 0, victim_word=2, victim_bit=0, rising=True,
+                          forced_value=1)
+    mem = FaultyMemory(4, 8, [fault])
+    mem.write(2, 0)
+    mem.write(0, 1)     # aggressor rises -> victim forced to 1
+    assert mem.read(2) & 1 == 1
+
+
+def test_coupling_inversion():
+    fault = CouplingFault(0, 0, victim_word=2, victim_bit=0, rising=True,
+                          inversion=True)
+    mem = FaultyMemory(4, 8, [fault])
+    mem.write(2, 1)
+    mem.write(0, 1)
+    assert mem.read(2) & 1 == 0     # inverted
+
+
+# ----------------------------------------------------------------------
+# march algorithms
+# ----------------------------------------------------------------------
+def test_march_lengths_classic():
+    assert MATS_PLUS.length(8) == 5 * 8
+    assert MARCH_X.length(8) == 6 * 8
+    assert MARCH_Y.length(8) == 8 * 8
+    assert MARCH_CM.length(8) == 10 * 8
+
+
+@pytest.mark.parametrize("march", ALL_MARCHES, ids=lambda m: m.name)
+def test_clean_memory_passes(march):
+    assert run_march(march, FaultyMemory(8, 16)).passed
+
+
+@pytest.mark.parametrize("march", ALL_MARCHES, ids=lambda m: m.name)
+@pytest.mark.parametrize("value", [0, 1])
+def test_all_marches_detect_saf(march, value):
+    for word in (0, 3, 7):
+        for bit_index in (0, 7, 15):
+            mem = FaultyMemory(8, 16, [StuckAtCellFault(word, bit_index, value)])
+            assert not run_march(march, mem).passed, (
+                f"{march.name} missed SAF({word},{bit_index})={value}"
+            )
+
+
+@pytest.mark.parametrize("march", [MARCH_X, MARCH_Y, MARCH_CM], ids=lambda m: m.name)
+@pytest.mark.parametrize("rising", [True, False])
+def test_transition_faults_detected(march, rising):
+    for word in (0, 4, 7):
+        mem = FaultyMemory(8, 16, [TransitionFault(word, 2, rising=rising)])
+        assert not run_march(march, mem).passed
+
+
+@pytest.mark.parametrize("rising", [True, False])
+@pytest.mark.parametrize("inversion", [True, False])
+def test_march_cm_detects_coupling(rising, inversion):
+    """March C- covers CFin and CFid in both aggressor/victim orders."""
+    for aggressor, victim in ((1, 5), (5, 1)):
+        fault = CouplingFault(
+            aggressor, 0, victim_word=victim, victim_bit=0,
+            rising=rising, inversion=inversion, forced_value=1,
+        )
+        mem = FaultyMemory(8, 16, [fault])
+        assert not run_march(MARCH_CM, mem).passed, (
+            f"March C- missed CF {aggressor}->{victim} "
+            f"rising={rising} inv={inversion}"
+        )
+
+
+def test_mats_plus_misses_some_coupling():
+    """Sanity: the cheapest march is genuinely weaker than March C-."""
+    missed = 0
+    for aggressor, victim in ((1, 5), (5, 1)):
+        for rising in (True, False):
+            fault = CouplingFault(
+                aggressor, 0, victim_word=victim, victim_bit=0,
+                rising=rising, inversion=False, forced_value=0,
+            )
+            mem = FaultyMemory(8, 16, [fault])
+            if run_march(MATS_PLUS, mem).passed:
+                missed += 1
+    assert missed > 0
+
+
+def test_march_element_validation():
+    with pytest.raises(ValueError):
+        MarchElement("sideways", (("r", 0),))
+    with pytest.raises(ValueError):
+        MarchElement("up", (("x", 0),))
+    with pytest.raises(ValueError):
+        MarchElement("up", (("r", 2),))
+
+
+def test_march_element_addresses():
+    up = MarchElement("up", (("r", 0),))
+    down = MarchElement("down", (("r", 0),))
+    assert list(up.addresses(4)) == [0, 1, 2, 3]
+    assert list(down.addresses(4)) == [3, 2, 1, 0]
+
+
+def test_background_patterns():
+    mem = FaultyMemory(8, 16, [StuckAtCellFault(3, 5, value=1)])
+    result = run_march(MARCH_CM, mem, background=0xAAAA)
+    # bit 5 of 0xAAAA is 1: 'w0' writes 1 there, stuck-at-1 hides until w1
+    assert not result.passed
+
+
+# ----------------------------------------------------------------------
+# pattern counting (n_p for eq. 12)
+# ----------------------------------------------------------------------
+def test_pattern_count_base():
+    assert march_pattern_count(MARCH_CM, 8) == 80
+    assert march_pattern_count(MARCH_CM, 12) == 120
+
+
+def test_pattern_count_backgrounds_multiply():
+    assert march_pattern_count(MARCH_CM, 8, backgrounds=2) == 160
+
+
+def test_pattern_count_port_overhead():
+    base = march_pattern_count(MARCH_CM, 8)
+    two_read = march_pattern_count(MARCH_CM, 8, read_ports=2)
+    assert two_read == base + 2 * 8
+    assert march_pattern_count(MARCH_CM, 8, read_ports=2, write_ports=2) == (
+        base + 4 * 8
+    )
+
+
+def test_pattern_count_validation():
+    with pytest.raises(ValueError):
+        march_pattern_count(MARCH_CM, 8, backgrounds=0)
+
+
+@given(st.integers(min_value=2, max_value=64))
+def test_pattern_count_monotone_in_size(n):
+    assert march_pattern_count(MARCH_CM, n + 1) > march_pattern_count(MARCH_CM, n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=0, max_value=11),
+    st.sampled_from(ALL_MARCHES),
+)
+def test_march_operation_count_matches_length(words, seed, march):
+    mem = FaultyMemory(words, 8)
+    result = run_march(march, mem)
+    assert result.passed
+    assert result.operations == march.length(words)

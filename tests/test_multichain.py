@@ -1,0 +1,111 @@
+"""Multi-chain test scheduling (the paper's noted extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import ArchConfig, RFConfig, build_architecture
+from repro.testcost import architecture_test_cost
+from repro.testcost.multichain import (
+    TestSession,
+    schedule_tests,
+    sessions_from_breakdown,
+)
+
+
+def _sessions(*lengths):
+    return [TestSession(f"s{i}", c) for i, c in enumerate(lengths)]
+
+
+def test_single_resource_is_paper_sum():
+    sessions = _sessions(877, 884, 882, 1144)
+    schedule = schedule_tests(sessions, num_resources=1)
+    assert schedule.makespan == 877 + 884 + 882 + 1144
+
+
+def test_enough_resources_is_max():
+    sessions = _sessions(100, 300, 200)
+    schedule = schedule_tests(sessions, num_resources=3)
+    assert schedule.makespan == 300
+
+
+def test_lpt_two_resources():
+    sessions = _sessions(8, 7, 6, 5, 4)
+    schedule = schedule_tests(sessions, num_resources=2)
+    # LPT places 8|7, 6->r1, 5->r0, 4 ties to r0: makespan 17 (optimal
+    # is 15; LPT's 4/3 bound guarantees <= 20).
+    assert schedule.makespan == 17
+
+
+def test_no_overlap_on_a_resource():
+    sessions = _sessions(5, 5, 5, 5, 5)
+    schedule = schedule_tests(sessions, num_resources=2)
+    windows: dict[int, list[tuple[int, int]]] = {}
+    for name in schedule.assignment:
+        resource = schedule.resource_of(name)
+        windows.setdefault(resource, []).append(schedule.window_of(name))
+    for spans in windows.values():
+        spans.sort()
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+def test_precedence_respected():
+    sessions = [
+        TestSession("sockets", 100),
+        TestSession("fu", 50, after=("sockets",)),
+    ]
+    schedule = schedule_tests(sessions, num_resources=4)
+    s_end = schedule.window_of("sockets")[1]
+    f_start = schedule.window_of("fu")[0]
+    assert f_start >= s_end
+    assert schedule.makespan == 150
+
+
+def test_precedence_cycle_detected():
+    sessions = [
+        TestSession("a", 1, after=("b",)),
+        TestSession("b", 1, after=("a",)),
+    ]
+    with pytest.raises(ValueError, match="circular"):
+        schedule_tests(sessions, num_resources=1)
+
+
+def test_unknown_predecessor_rejected():
+    with pytest.raises(ValueError, match="unknown predecessor"):
+        schedule_tests([TestSession("a", 1, after=("ghost",))])
+
+
+def test_zero_resources_rejected():
+    with pytest.raises(ValueError):
+        schedule_tests(_sessions(1), num_resources=0)
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=12),
+    st.integers(min_value=1, max_value=4),
+)
+def test_makespan_bounds(lengths, k):
+    sessions = _sessions(*lengths)
+    schedule = schedule_tests(sessions, num_resources=k)
+    total, longest = sum(lengths), max(lengths)
+    assert max(longest, -(-total // k)) <= schedule.makespan <= total
+    # more resources never hurt
+    more = schedule_tests(sessions, num_resources=k + 1)
+    assert more.makespan <= schedule.makespan
+
+
+def test_sessions_from_breakdown_and_paper_sum():
+    arch = build_architecture(
+        ArchConfig(num_buses=2, rfs=(RFConfig(8), RFConfig(12)))
+    )
+    breakdown = architecture_test_cost(arch)
+    sessions = sessions_from_breakdown(breakdown)
+    # socket session + functional session per counted unit
+    counted = [u for u in breakdown.units if u.counted]
+    assert len(sessions) == 2 * len(counted)
+    single = schedule_tests(sessions, num_resources=1)
+    assert single.makespan == breakdown.total   # the paper's summation
+    dual = schedule_tests(sessions, num_resources=2)
+    assert dual.makespan < single.makespan

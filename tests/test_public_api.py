@@ -1,0 +1,27 @@
+"""The documented public API must import and be complete."""
+
+import repro
+
+
+def test_all_symbols_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_quickstart_surface():
+    """The names the README quickstart uses exist."""
+    for name in (
+        "build_crypt_ir",
+        "crypt_space",
+        "explore",
+        "attach_test_costs",
+        "select_architecture",
+        "build_table1",
+        "TTASimulator",
+        "assemble",
+    ):
+        assert name in repro.__all__

@@ -1,0 +1,58 @@
+"""CSV/JSON exporters round-trip the exploration and Table 1 data."""
+
+import csv
+import io
+import json
+
+from repro.apps import build_gcd_ir
+from repro.explore import explore, small_space
+from repro.explore import ArchConfig, RFConfig, build_architecture
+from repro.reporting import (
+    exploration_to_csv,
+    exploration_to_json,
+    table1_to_csv,
+    table1_to_json,
+)
+from repro.testcost import attach_test_costs, build_table1
+
+
+def _points():
+    result = explore(build_gcd_ir(24, 18), small_space()[:4])
+    attach_test_costs(result.feasible_points)
+    return result.feasible_points
+
+
+def test_exploration_csv_parses_back():
+    points = _points()
+    text = exploration_to_csv(points)
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == len(points)
+    assert rows[0]["architecture"] == points[0].label
+    assert int(rows[0]["cycles"]) == points[0].cycles
+
+
+def test_exploration_json_structure():
+    points = _points()
+    data = json.loads(exploration_to_json(points))
+    assert len(data) == len(points)
+    for entry in data:
+        assert set(entry) >= {"architecture", "area", "cycles", "test_cost"}
+        assert entry["feasible"] is True
+
+
+def test_empty_exports():
+    assert exploration_to_csv([]) == ""
+    assert json.loads(exploration_to_json([])) == []
+
+
+def test_table1_exports():
+    arch = build_architecture(ArchConfig(num_buses=2, rfs=(RFConfig(8),)))
+    rows, _ = build_table1(arch)
+    text = table1_to_csv(rows)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == len(rows)
+    data = json.loads(table1_to_json(rows))
+    counted = [d for d in data if d["counted"]]
+    for entry in counted:
+        assert entry["our_approach_cycles"] < entry["full_scan_cycles"]
+        assert entry["advantage"] > 1.0

@@ -1,0 +1,94 @@
+"""Scan chain bookkeeping, cost formula, scan-view composition."""
+
+import pytest
+
+from repro.components import build_alu
+from repro.components.socket import build_socket
+from repro.scan import (
+    ScanChain,
+    compose_netlists,
+    full_scan_cycles,
+    scan_test_cycles,
+    scan_view,
+    stitch_chains,
+)
+
+
+def test_chain_length_accumulates():
+    chain = ScanChain("c")
+    chain.add_segment("alu", 57)
+    chain.add_segment("cmp", 42)
+    assert chain.length == 99
+    assert chain.offset_of("alu") == 0
+    assert chain.offset_of("cmp") == 57
+
+
+def test_chain_rejects_negative_segment():
+    chain = ScanChain()
+    with pytest.raises(ValueError):
+        chain.add_segment("x", -1)
+
+
+def test_chain_missing_component():
+    chain = ScanChain()
+    with pytest.raises(KeyError):
+        chain.offset_of("ghost")
+
+
+def test_stitch_single_chain():
+    a = ScanChain("a")
+    a.add_segment("alu", 10)
+    b = ScanChain("b")
+    b.add_segment("rf", 20)
+    top = stitch_chains([a, b])
+    assert top.length == 30
+    assert top.offset_of("b.rf") == 10
+
+
+def test_scan_cycles_formula():
+    # n_p * (n_l + 1) + n_l: the paper's ALU row shape (7208 on a 58 chain)
+    assert scan_test_cycles(0, 58) == 0
+    assert scan_test_cycles(1, 58) == 59 + 58
+    assert scan_test_cycles(122, 58) == 122 * 59 + 58
+    assert full_scan_cycles(10, 7) == scan_test_cycles(10, 7)
+
+
+def test_scan_cycles_validation():
+    with pytest.raises(ValueError):
+        scan_test_cycles(-1, 10)
+
+
+def test_compose_netlists_disjoint_union():
+    alu = build_alu(8)
+    sock = build_socket()
+    view = compose_netlists("v", [alu, sock])
+    assert view.num_gates == alu.num_gates + sock.num_gates
+    assert len(view.inputs) == len(alu.inputs) + len(sock.inputs)
+    assert len(view.outputs) == len(alu.outputs) + len(sock.outputs)
+    view.check()
+
+
+def test_compose_preserves_function():
+    alu = build_alu(8)
+    sock = build_socket()
+    view = scan_view(alu, [sock])
+    # drive the ALU part: a=3, b=5, op=0 (add)
+    pi_values = {}
+    for pi in view.inputs:
+        name = view.net_name(pi)
+        if name.startswith("u0_"):
+            base = name[len("u0_alu8."):]
+            if base.startswith("a["):
+                bit_index = int(base[2:-1])
+                pi_values[pi] = (3 >> bit_index) & 1
+            elif base.startswith("b["):
+                bit_index = int(base[2:-1])
+                pi_values[pi] = (5 >> bit_index) & 1
+    values = view.evaluate(pi_values)
+    out = 0
+    for po in view.outputs:
+        name = view.net_name(po)
+        if name.startswith("u0_") and ".y[" in name:
+            bit_index = int(name[name.index("y[") + 2 : -1])
+            out |= (values[po] & 1) << bit_index
+    assert out == 8  # 3 + 5

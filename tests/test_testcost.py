@@ -1,0 +1,196 @@
+"""The analytical cost model: eqs. 9-14 and the Fig. 6 effect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.components.library import alu_spec, pc_spec, rf_spec
+from repro.explore import ArchConfig, RFConfig, build_architecture
+from repro.testcost import (
+    fu_test_cost,
+    rf_test_cost,
+    socket_test_cost,
+    transport_latency,
+)
+from repro.testcost import test_bus_assignment as bus_assignment_of
+from repro.tta import Architecture, UnitInstance
+
+
+def _arch_with_binding(num_buses, connectivity=None):
+    return Architecture(
+        "t", 16, num_buses,
+        [UnitInstance("fu", alu_spec(16)), UnitInstance("pc", pc_spec(16))],
+        connectivity=connectivity,
+    )
+
+
+# ----------------------------------------------------------------------
+# transport latency (eqs. 9-10)
+# ----------------------------------------------------------------------
+def test_cd_minimum_three_with_enough_buses():
+    arch = _arch_with_binding(3)
+    assert transport_latency(arch, "fu") == 3
+
+
+def test_cd_four_when_inputs_share_bus():
+    arch = _arch_with_binding(
+        3,
+        {("fu", "a"): frozenset({0}), ("fu", "b"): frozenset({0})},
+    )
+    assert transport_latency(arch, "fu") == 4
+
+
+def test_cd_five_when_everything_shares():
+    arch = _arch_with_binding(
+        3,
+        {("fu", "a"): frozenset({0}), ("fu", "b"): frozenset({0}),
+         ("fu", "y"): frozenset({0})},
+    )
+    assert transport_latency(arch, "fu") == 5
+
+
+def test_cd_single_bus_architecture():
+    arch = _arch_with_binding(1)
+    assert transport_latency(arch, "fu") == 5   # 2 inputs + result on 1 bus
+
+
+def test_test_bus_assignment_spreads():
+    arch = _arch_with_binding(3)
+    assignment = bus_assignment_of(arch, "fu")
+    assert assignment["a"] != assignment["b"]
+    assert assignment["y"] not in (assignment["a"], assignment["b"])
+
+
+def test_fig6_identical_fus_different_costs():
+    """The paper's Fig. 6: same FU, different connectors, ftf1 < ftf2."""
+    arch = Architecture(
+        "fig6", 16, 3,
+        [UnitInstance("fu1", alu_spec(16)), UnitInstance("fu2", alu_spec(16)),
+         UnitInstance("pc", pc_spec(16))],
+        connectivity={
+            ("fu2", "a"): frozenset({0}),
+            ("fu2", "b"): frozenset({0}),
+        },
+    )
+    cd1 = transport_latency(arch, "fu1")
+    cd2 = transport_latency(arch, "fu2")
+    assert cd1 < cd2
+    np = 100
+    ftf1 = fu_test_cost(np, cd1, 3, 3)
+    ftf2 = fu_test_cost(np, cd2, 3, 3)
+    assert ftf1 < ftf2
+
+
+# ----------------------------------------------------------------------
+# eq. 11
+# ----------------------------------------------------------------------
+def test_fu_cost_base():
+    assert fu_test_cost(100, 3, 3, 4) == 300       # ports fit: ratio 1
+    assert fu_test_cost(100, 3, 3, 3) == 300
+    assert fu_test_cost(100, 3, 3, 2) == 450       # 1.5x ratio
+    assert fu_test_cost(100, 3, 3, 1) == 900
+
+
+def test_fu_cost_validation():
+    with pytest.raises(ValueError):
+        fu_test_cost(-1, 3, 3, 2)
+    with pytest.raises(ValueError):
+        fu_test_cost(1, 0, 3, 2)
+
+
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=3, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+def test_fu_cost_monotone_in_everything(np, cd, nconn, nb):
+    base = fu_test_cost(np, cd, nconn, nb)
+    assert fu_test_cost(np + 1, cd, nconn, nb) >= base
+    assert fu_test_cost(np, cd + 1, nconn, nb) >= base
+    assert fu_test_cost(np, cd, nconn, nb + 1) <= base
+
+
+# ----------------------------------------------------------------------
+# eq. 12 (reconstruction)
+# ----------------------------------------------------------------------
+def test_rf_cost_parallel_ports_help():
+    # within the bus budget, more ports divide the application time
+    assert rf_test_cost(80, 3, 1, 1, 2) == 240
+    assert rf_test_cost(80, 3, 2, 2, 2) == 120
+    assert rf_test_cost(80, 3, 2, 4, 2) == 120    # min side limits
+
+
+def test_rf_cost_pathological_port_excess():
+    # both sides beyond the buses: serialisation penalty kicks in
+    narrow = rf_test_cost(80, 3, 3, 3, 2)
+    wide = rf_test_cost(80, 3, 2, 2, 2)
+    assert narrow > wide
+
+
+def test_rf_cost_validation():
+    with pytest.raises(ValueError):
+        rf_test_cost(80, 3, 0, 1, 1)
+
+
+@given(
+    st.integers(min_value=10, max_value=400),
+    st.integers(min_value=3, max_value=5),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+def test_rf_cost_monotone_in_patterns(np, cd, nin, nout, nb):
+    assert rf_test_cost(np + 10, cd, nin, nout, nb) >= rf_test_cost(
+        np, cd, nin, nout, nb
+    )
+
+
+# ----------------------------------------------------------------------
+# eq. 13 + architecture-level composition (eq. 14)
+# ----------------------------------------------------------------------
+def test_socket_cost():
+    assert socket_test_cost(14, 58) == 812      # the paper's own numbers
+    assert socket_test_cost(14, 75) == 1050
+    with pytest.raises(ValueError):
+        socket_test_cost(-1, 10)
+
+
+def test_architecture_cost_composition():
+    from repro.testcost import architecture_test_cost
+
+    arch = build_architecture(
+        ArchConfig(num_buses=2, rfs=(RFConfig(8), RFConfig(12)))
+    )
+    breakdown = architecture_test_cost(arch)
+    counted = [u for u in breakdown.units if u.counted]
+    excluded = [u for u in breakdown.units if not u.counted]
+    # eq. 14: the total is the sum over counted units
+    assert breakdown.total == sum(u.total for u in counted)
+    # LSU/PC/IMM excluded ("they contribute equally", Sec. 4)
+    assert {u.unit_name for u in excluded} == {"lsu0", "pc", "imm0"}
+    # RF2 (12 words) must cost more than RF1 (8 words)
+    rf_costs = {u.unit_name: u.component_cost for u in counted
+                if u.unit_name.startswith("rf")}
+    assert rf_costs["rf1"] > rf_costs["rf0"]
+
+
+def test_more_buses_reduce_test_cost():
+    from repro.testcost import architecture_test_cost
+
+    totals = []
+    for buses in (1, 2, 3):
+        arch = build_architecture(
+            ArchConfig(num_buses=buses, rfs=(RFConfig(8),))
+        )
+        totals.append(architecture_test_cost(arch).total)
+    assert totals[0] > totals[1] >= totals[2]
+
+
+def test_march_choice_scales_rf_cost():
+    from repro.testcost import architecture_test_cost
+
+    arch = build_architecture(ArchConfig(num_buses=2, rfs=(RFConfig(8),)))
+    cheap = architecture_test_cost(arch, march_name="MATS+")
+    thorough = architecture_test_cost(arch, march_name="March C-")
+    assert cheap.unit("rf0").component_cost < thorough.unit("rf0").component_cost

@@ -1,0 +1,134 @@
+"""Architecture template validation and cost model."""
+
+import pytest
+
+from repro.components.library import (
+    alu_spec,
+    imm_spec,
+    lsu_spec,
+    pc_spec,
+    rf_spec,
+)
+from repro.components.spec import ComponentKind
+from repro.tta import Architecture, ArchitectureError, UnitInstance
+
+from tests.conftest import make_arch
+
+
+def test_basic_composition(arch2):
+    assert arch2.num_buses == 2
+    assert len(arch2.fus) == 2          # alu0 + cmp0
+    assert len(arch2.rfs) == 1
+    assert arch2.lsu is not None
+    assert arch2.pc_unit.spec.kind is ComponentKind.PC
+    assert arch2.imm_unit is not None
+
+
+def test_requires_pc():
+    with pytest.raises(ArchitectureError, match="program counter"):
+        Architecture("x", 16, 1, [UnitInstance("alu0", alu_spec(16))])
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ArchitectureError, match="duplicate"):
+        Architecture(
+            "x", 16, 1,
+            [UnitInstance("a", alu_spec(16)), UnitInstance("a", alu_spec(16)),
+             UnitInstance("pc", pc_spec(16))],
+        )
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(ArchitectureError, match="width"):
+        Architecture(
+            "x", 16, 1,
+            [UnitInstance("alu0", alu_spec(8)), UnitInstance("pc", pc_spec(16))],
+        )
+
+
+def test_at_most_one_lsu():
+    with pytest.raises(ArchitectureError, match="at most one"):
+        Architecture(
+            "x", 16, 1,
+            [UnitInstance("l0", lsu_spec(16)), UnitInstance("l1", lsu_spec(16)),
+             UnitInstance("pc", pc_spec(16))],
+        )
+
+
+def test_default_full_connectivity(arch2):
+    assert arch2.port_buses("alu0", "a") == frozenset({0, 1})
+    assert arch2.test_bus("alu0", "a") == 0
+
+
+def test_sparse_connectivity():
+    arch = Architecture(
+        "x", 16, 2,
+        [UnitInstance("alu0", alu_spec(16)), UnitInstance("pc", pc_spec(16))],
+        connectivity={("alu0", "a"): frozenset({1})},
+    )
+    assert arch.port_buses("alu0", "a") == frozenset({1})
+    assert arch.port_buses("alu0", "b") == frozenset({0, 1})
+
+
+def test_empty_connectivity_rejected():
+    with pytest.raises(ArchitectureError, match="no bus"):
+        Architecture(
+            "x", 16, 2,
+            [UnitInstance("alu0", alu_spec(16)), UnitInstance("pc", pc_spec(16))],
+            connectivity={("alu0", "a"): frozenset()},
+        )
+
+
+def test_connectivity_to_missing_bus_rejected():
+    with pytest.raises(ArchitectureError, match="missing bus"):
+        Architecture(
+            "x", 16, 2,
+            [UnitInstance("alu0", alu_spec(16)), UnitInstance("pc", pc_spec(16))],
+            connectivity={("alu0", "a"): frozenset({5})},
+        )
+
+
+def test_ops_supported(arch2):
+    ops = arch2.ops_supported()
+    assert "add" in ops and "eq" in ops
+    assert arch2.fu_for_op("xor")[0].name == "alu0"
+    assert arch2.fu_for_op("mul") == []
+
+
+def test_unknown_unit_rejected(arch2):
+    with pytest.raises(ArchitectureError):
+        arch2.unit("ghost")
+    with pytest.raises(ArchitectureError):
+        arch2.port_buses("ghost", "a")
+
+
+def test_area_grows_with_resources():
+    small = make_arch(1)
+    bigger_bus = make_arch(3)
+    more_alus = make_arch(1, num_alus=2)
+    more_regs = make_arch(1, rf_setups=((8, 1, 1), (12, 1, 1)))
+    assert bigger_bus.area() > small.area()
+    assert more_alus.area() > small.area()
+    assert more_regs.area() > small.area()
+
+
+def test_num_sockets_counts_ports(arch2):
+    expected = sum(len(u.spec.ports) for u in arch2.units.values())
+    assert arch2.num_sockets == expected
+
+
+def test_describe_mentions_units(arch2):
+    text = arch2.describe()
+    assert "alu0" in text and "rf0" in text and "buses=2" in text
+
+
+def test_rf_spec_port_counts():
+    spec = rf_spec(8, 16, read_ports=2, write_ports=1)
+    assert spec.n_in == 1 and spec.n_out == 2
+    assert spec.n_conn == 3
+    assert spec.num_regs == 8
+
+
+def test_scan_chain_length_matches_paper_order():
+    # the paper reports n_l = 58 for its 16-bit ALU; ours is 57
+    assert abs(alu_spec(16).scan_chain_length - 58) <= 2

@@ -1,0 +1,132 @@
+"""Assembler syntax, labels, data directives and error reporting."""
+
+import pytest
+
+from repro.tta import AssemblerError, Literal, PortRef, assemble
+
+from tests.conftest import make_arch
+
+
+@pytest.fixture
+def arch():
+    return make_arch(2)
+
+
+def test_basic_moves(arch):
+    p = assemble("#5 -> alu0.a ; #7 -> alu0.b:add\n", arch)
+    assert len(p) == 1
+    moves = p.instructions[0].moves
+    assert moves[0].src == Literal(5)
+    assert moves[0].dst == PortRef("alu0", "a")
+    assert moves[1].opcode == "add"
+
+
+def test_register_indices(arch):
+    p = assemble("rf0.r0[3] -> alu0.a\n", arch)
+    move = p.instructions[0].moves[0]
+    assert move.src_reg == 3
+    assert move.dst_reg is None
+
+
+def test_guards(arch):
+    p = assemble("(g0) #1 -> rf0.w0[0]\n(!g2) #2 -> rf0.w0[1]\n", arch)
+    g0 = p.instructions[0].moves[0].guard
+    g2 = p.instructions[1].moves[0].guard
+    assert g0.index == 0 and not g0.invert
+    assert g2.index == 2 and g2.invert
+
+
+def test_labels_resolve(arch):
+    p = assemble(
+        """
+    start:
+        #1 -> rf0.w0[0]
+        @start -> pc.target:jump
+        nop
+        """,
+        arch,
+    )
+    assert p.labels["start"] == 0
+    jump = p.instructions[1].moves[0]
+    assert jump.src == Literal(0)
+
+
+def test_forward_label(arch):
+    p = assemble(
+        """
+        @end -> pc.target:jump
+        nop
+    end:
+        halt
+        """,
+        arch,
+    )
+    assert p.instructions[0].moves[0].src == Literal(2)
+
+
+def test_trailing_label_points_past_end(arch):
+    p = assemble(
+        """
+        #1 -> rf0.w0[0]
+    exit:
+        """,
+        arch,
+    )
+    assert p.labels["exit"] == 1
+
+
+def test_halt_variants(arch):
+    p = assemble("halt\n", arch)
+    assert p.instructions[0].halt
+    p = assemble("#1 -> rf0.w0[0] ; halt\n", arch)
+    assert p.instructions[0].halt
+    assert len(p.instructions[0].moves) == 1
+
+
+def test_data_directive(arch):
+    p = assemble(".data 100 1 0x10 3\nhalt\n", arch)
+    assert p.data == {100: 1, 101: 16, 102: 3}
+
+
+def test_comments_ignored(arch):
+    p = assemble(
+        """
+        ; a full-line comment
+        #1 -> rf0.w0[0]   // trailing comment
+        """,
+        arch,
+    )
+    assert len(p) == 1
+
+
+def test_hex_and_negative_immediates(arch):
+    p = assemble("#0x1F -> rf0.w0[0]\n#-3 -> rf0.w0[1]\n", arch)
+    assert p.instructions[0].moves[0].src == Literal(31)
+    assert p.instructions[1].moves[0].src == Literal(-3)
+
+
+def test_too_many_slots_rejected(arch):
+    with pytest.raises(AssemblerError, match="buses"):
+        assemble("#1 -> rf0.w0[0] ; #2 -> rf0.w0[1] ; #3 -> rf0.w0[2]\n", arch)
+
+
+def test_bad_move_rejected(arch):
+    with pytest.raises(AssemblerError, match="cannot parse"):
+        assemble("this is not a move\n", arch)
+
+
+def test_undefined_label_rejected(arch):
+    with pytest.raises(AssemblerError, match="undefined label"):
+        assemble("@nowhere -> pc.target:jump\n", arch)
+
+
+def test_bad_data_rejected(arch):
+    with pytest.raises(AssemblerError, match=".data"):
+        assemble(".data 100\n", arch)
+    with pytest.raises(AssemblerError, match="literal"):
+        assemble(".data 100 xyz\n", arch)
+
+
+def test_bad_immediate_rejected(arch):
+    with pytest.raises(AssemblerError, match="bad immediate"):
+        assemble("#zz -> rf0.w0[0]\n", arch)

@@ -1,0 +1,237 @@
+"""Cycle-accurate simulator semantics (the hybrid pipelining of Fig. 3)."""
+
+import pytest
+
+from repro.tta import TTASimulator, assemble
+from repro.tta.simulator import SimulationError
+
+from tests.conftest import make_arch
+
+
+def run(src, arch=None, max_cycles=10_000, **kwargs):
+    arch = arch or make_arch(2)
+    program = assemble(src, arch)
+    sim = TTASimulator(arch, program, **kwargs)
+    result = sim.run(max_cycles=max_cycles)
+    return sim, result
+
+
+def test_add_through_rf():
+    sim, result = run(
+        """
+        #5 -> alu0.a
+        #7 -> alu0.b:add
+        alu0.y -> rf0.w0[0]
+        halt
+        """
+    )
+    assert result.halted and result.reason == "halt"
+    assert sim.rf_value("rf0", 0) == 12
+
+
+def test_same_cycle_operand_and_trigger():
+    """Eq. 2 with equality: operand in the trigger's cycle feeds it."""
+    sim, _ = run(
+        """
+        #5 -> alu0.a ; #7 -> alu0.b:add
+        alu0.y -> rf0.w0[0]
+        halt
+        """
+    )
+    assert sim.rf_value("rf0", 0) == 12
+
+
+def test_result_not_readable_same_cycle():
+    """Eq. 3: reading R in the trigger's own cycle is a runtime error."""
+    with pytest.raises(SimulationError, match="eq. 3"):
+        run(
+            """
+            #5 -> alu0.a
+            #7 -> alu0.b:add ; alu0.y -> rf0.w0[0]
+            halt
+            """
+        )
+
+
+def test_operand_register_persistence():
+    """O registers hold their value across operations (operand reuse)."""
+    sim, _ = run(
+        """
+        #10 -> alu0.a
+        #1 -> alu0.b:add
+        alu0.y -> rf0.w0[0]
+        #2 -> alu0.b:add
+        alu0.y -> rf0.w0[1]
+        halt
+        """
+    )
+    assert sim.rf_value("rf0", 0) == 11
+    assert sim.rf_value("rf0", 1) == 12
+
+
+def test_rf_write_visible_next_cycle():
+    sim, _ = run(
+        """
+        #42 -> rf0.w0[3]
+        rf0.r0[3] -> rf0.w0[4]
+        halt
+        """
+    )
+    assert sim.rf_value("rf0", 4) == 42
+
+
+def test_guard_squash_and_pass():
+    sim, result = run(
+        """
+        #1 -> guard.g0
+        (g0) #11 -> rf0.w0[0] ; (!g0) #22 -> rf0.w0[1]
+        halt
+        """
+    )
+    assert sim.rf_value("rf0", 0) == 11
+    assert sim.rf_value("rf0", 1) == 0
+    assert result.moves_squashed == 1
+
+
+def test_jump_has_one_delay_slot():
+    sim, _ = run(
+        """
+        @target -> pc.target:jump
+        #1 -> rf0.w0[0]
+        #2 -> rf0.w0[1]
+    target:
+        #3 -> rf0.w0[2]
+        halt
+        """
+    )
+    assert sim.rf_value("rf0", 0) == 1     # delay slot executes
+    assert sim.rf_value("rf0", 1) == 0     # skipped
+    assert sim.rf_value("rf0", 2) == 3
+
+
+def test_guarded_jump_not_taken():
+    sim, _ = run(
+        """
+        #0 -> guard.g0
+        (g0) @skip -> pc.target:jump
+        #1 -> rf0.w0[0]
+        halt
+    skip:
+        #2 -> rf0.w0[0]
+        halt
+        """
+    )
+    assert sim.rf_value("rf0", 0) == 1
+
+
+def test_store_load_roundtrip():
+    sim, _ = run(
+        """
+        #77 -> lsu0.wdata ; #100 -> lsu0.addr:st
+        #100 -> lsu0.addr:ld
+        nop
+        lsu0.rdata -> rf0.w0[0]
+        halt
+        """
+    )
+    assert sim.dmem_read(100) == 77
+    assert sim.rf_value("rf0", 0) == 77
+
+
+def test_load_extension_modes():
+    sim, _ = run(
+        """
+        .data 50 0x8182
+        #50 -> lsu0.addr:ld_ls
+        nop
+        lsu0.rdata -> rf0.w0[0]
+        #50 -> lsu0.addr:ld_lu
+        nop
+        lsu0.rdata -> rf0.w0[1]
+        #50 -> lsu0.addr:ld_h
+        nop
+        lsu0.rdata -> rf0.w0[2]
+        halt
+        """
+    )
+    assert sim.rf_value("rf0", 0) == 0xFF82   # sign-extended low byte
+    assert sim.rf_value("rf0", 1) == 0x0082
+    assert sim.rf_value("rf0", 2) == 0x0081
+
+
+def test_cmp_writes_guard():
+    sim, _ = run(
+        """
+        #5 -> cmp0.a
+        #5 -> cmp0.b:eq
+        cmp0.y -> guard.g1
+        (g1) #9 -> rf0.w0[0]
+        halt
+        """
+    )
+    assert sim.rf_value("rf0", 0) == 9
+
+
+def test_rf_read_port_overflow_detected():
+    arch = make_arch(2)
+    with pytest.raises(RuntimeError, match="read-port overflow"):
+        run(
+            """
+            #1 -> rf0.w0[0]
+            rf0.r0[0] -> alu0.a ; rf0.r0[0] -> alu0.b:add
+            halt
+            """,
+            arch=arch,
+        )
+
+
+def test_end_of_program_halts():
+    sim, result = run("#1 -> rf0.w0[0]\n")
+    assert result.halted
+    assert result.reason == "end-of-program"
+
+
+def test_max_cycles_guard():
+    sim, result = run(
+        """
+    spin:
+        @spin -> pc.target:jump
+        nop
+        """,
+        max_cycles=50,
+    )
+    assert not result.halted
+    assert result.reason == "max-cycles"
+    assert result.cycles == 50
+
+
+def test_data_image_loaded():
+    sim, _ = run(
+        """
+        .data 10 1 2 3
+        halt
+        """
+    )
+    assert sim.dmem_read(10) == 1
+    assert sim.dmem_read(12) == 3
+
+
+def test_read_before_result_rejected():
+    with pytest.raises(SimulationError, match="before any result"):
+        run(
+            """
+            alu0.y -> rf0.w0[0]
+            halt
+            """
+        )
+
+
+def test_ipc_accounting():
+    _, result = run(
+        """
+        #1 -> rf0.w0[0] ; #2 -> alu0.a
+        halt
+        """
+    )
+    assert result.moves_executed == 2
+    assert 0 < result.ipc <= 2

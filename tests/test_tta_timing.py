@@ -1,0 +1,181 @@
+"""The eq. 2-8 program validator: every class of violation is caught."""
+
+from repro.tta import (
+    Guard,
+    Instruction,
+    Literal,
+    Move,
+    PortRef,
+    Program,
+    assemble,
+    validate_program,
+)
+
+from tests.conftest import make_arch
+
+
+def _program(arch, *instructions):
+    p = Program()
+    for slots in instructions:
+        padded = list(slots) + [None] * (arch.num_buses - len(slots))
+        p.append(Instruction(slots=padded))
+    return p
+
+
+def test_clean_program_validates(arch2):
+    src = """
+        #5 -> alu0.a
+        #7 -> alu0.b:add
+        alu0.y -> rf0.w0[0]
+        halt
+    """
+    assert validate_program(arch2, assemble(src, arch2)) == []
+
+
+def test_eq3_early_result_read(arch2):
+    p = _program(
+        arch2,
+        [Move(Literal(1), PortRef("alu0", "b"), opcode="add"),
+         Move(PortRef("alu0", "y"), PortRef("rf0", "w0"), dst_reg=0)],
+    )
+    violations = validate_program(arch2, p)
+    assert any("eq. 3" in str(v) for v in violations)
+
+
+def test_read_before_any_trigger(arch2):
+    p = _program(
+        arch2,
+        [Move(PortRef("alu0", "y"), PortRef("rf0", "w0"), dst_reg=0)],
+    )
+    assert any("before any result" in str(v) for v in validate_program(arch2, p))
+
+
+def test_unread_result_overwritten_strict(arch2):
+    p = _program(
+        arch2,
+        [Move(Literal(1), PortRef("alu0", "b"), opcode="add")],
+        [Move(Literal(2), PortRef("alu0", "b"), opcode="add")],
+        [Move(PortRef("alu0", "y"), PortRef("rf0", "w0"), dst_reg=0)],
+    )
+    strict = validate_program(arch2, p, strict=True)
+    assert any("overwritten unread" in str(v) for v in strict)
+    relaxed = validate_program(arch2, p, strict=False)
+    assert not any("overwritten unread" in str(v) for v in relaxed)
+
+
+def test_unknown_unit_and_port(arch2):
+    p = _program(arch2, [Move(Literal(1), PortRef("ghost", "x"))])
+    assert any("unknown unit" in str(v) for v in validate_program(arch2, p))
+    p = _program(arch2, [Move(Literal(1), PortRef("alu0", "zz"))])
+    assert any("unknown port" in str(v) for v in validate_program(arch2, p))
+
+
+def test_direction_checks(arch2):
+    # writing an output port
+    p = _program(arch2, [Move(Literal(1), PortRef("alu0", "y"))])
+    assert any("not an input port" in str(v) for v in validate_program(arch2, p))
+    # reading an input port
+    p = _program(
+        arch2, [Move(PortRef("alu0", "a"), PortRef("rf0", "w0"), dst_reg=0)]
+    )
+    assert any("not an output port" in str(v) for v in validate_program(arch2, p))
+
+
+def test_bad_opcode(arch2):
+    p = _program(
+        arch2, [Move(Literal(1), PortRef("alu0", "b"), opcode="frobnicate")]
+    )
+    assert any("not supported" in str(v) for v in validate_program(arch2, p))
+
+
+def test_rf_index_range(arch2):
+    p = _program(
+        arch2,
+        [Move(Literal(1), PortRef("rf0", "w0"), dst_reg=99)],
+    )
+    assert any("bad register index" in str(v) for v in validate_program(arch2, p))
+
+
+def test_guard_range(arch2):
+    p = _program(
+        arch2,
+        [Move(Literal(1), PortRef("rf0", "w0"), dst_reg=0, guard=Guard(17))],
+    )
+    assert any("guard g17" in str(v) for v in validate_program(arch2, p))
+
+
+def test_double_write_same_port(arch2):
+    p = _program(
+        arch2,
+        [Move(Literal(1), PortRef("alu0", "a")),
+         Move(Literal(2), PortRef("alu0", "a"))],
+    )
+    assert any("moves write" in str(v) for v in validate_program(arch2, p))
+
+
+def test_output_socket_single_bus(arch3):
+    # one output port cannot drive two buses in one cycle
+    p = _program(
+        arch3,
+        [Move(Literal(1), PortRef("alu0", "b"), opcode="add")],
+        [Move(PortRef("alu0", "y"), PortRef("rf0", "w0"), dst_reg=0),
+         Move(PortRef("alu0", "y"), PortRef("rf1", "w0"), dst_reg=0)],
+    )
+    assert any("drives" in str(v) for v in validate_program(arch3, p))
+
+
+def test_rf_port_capacity(arch2):
+    # rf0 has one read port: two same-cycle reads violate
+    p = _program(
+        arch2,
+        [Move(Literal(1), PortRef("rf0", "w0"), dst_reg=0)],
+        [Move(PortRef("rf0", "r0"), PortRef("alu0", "a"), src_reg=0),
+         Move(PortRef("rf0", "r0"), PortRef("alu0", "b"), opcode="add", src_reg=0)],
+    )
+    assert any("used 2x" in str(v) for v in validate_program(arch2, p))
+
+
+def test_long_immediate_needs_imm_unit():
+    arch = make_arch(2)
+    # remove the immediate unit by building a custom arch
+    from repro.components.library import alu_spec, pc_spec, rf_spec
+    from repro.tta import Architecture, UnitInstance
+
+    bare = Architecture(
+        "bare", 16, 2,
+        [UnitInstance("alu0", alu_spec(16)),
+         UnitInstance("rf0", rf_spec(8, 16)),
+         UnitInstance("pc", pc_spec(16))],
+    )
+    p = _program(bare, [Move(Literal(5000), PortRef("rf0", "w0"), dst_reg=0)])
+    assert any("immediate unit" in str(v) for v in validate_program(bare, p))
+    p_ok = _program(arch, [Move(Literal(5000), PortRef("rf0", "w0"), dst_reg=0)])
+    assert not any(
+        "immediate unit" in str(v) for v in validate_program(arch, p_ok)
+    )
+
+
+def test_one_bus_long_immediate_convention():
+    arch1 = make_arch(1)
+    # long immediate with empty next instruction: allowed
+    p = _program(
+        arch1,
+        [Move(Literal(5000), PortRef("rf0", "w0"), dst_reg=0)],
+        [None],
+    )
+    assert validate_program(arch1, p) == []
+    # long immediate followed by a busy instruction: rejected
+    p = _program(
+        arch1,
+        [Move(Literal(5000), PortRef("rf0", "w0"), dst_reg=0)],
+        [Move(Literal(1), PortRef("rf0", "w0"), dst_reg=1)],
+    )
+    assert any("long immediates" in str(v) for v in validate_program(arch1, p))
+
+
+def test_jump_target_range(arch2):
+    p = _program(
+        arch2,
+        [Move(Literal(999), PortRef("pc", "target"), opcode="jump")],
+    )
+    assert any("outside program" in str(v) for v in validate_program(arch2, p))

@@ -1,0 +1,77 @@
+"""The Fig. 7 VLIW extension: access paths, test order, costs."""
+
+import pytest
+
+from repro.components.library import alu_spec, rf_spec
+from repro.vliw import (
+    TestOrderError,
+    VLIWComponent,
+    VLIWTemplate,
+    fig7_template,
+    vliw_test_cost,
+)
+from repro.vliw import test_access_paths as access_paths_of
+from repro.vliw import test_order as order_of
+
+
+def test_fig7_shape():
+    template = fig7_template(num_units=3)
+    assert set(template.components) == {"eu0", "eu1", "eu2", "rf", "dcache"}
+    assert template.directly_accessible("eu0")
+    assert not template.directly_accessible("rf")
+
+
+def test_fig7_access_paths():
+    template = fig7_template(num_units=2)
+    paths = access_paths_of(template)
+    assert paths["eu0"].input_hops == 0 and paths["eu0"].output_hops == 0
+    assert paths["rf"].input_hops == 0
+    assert paths["rf"].output_hops == 1
+    assert paths["rf"].through == ("eu0",)
+
+
+def test_test_order_dependencies_first():
+    template = fig7_template(num_units=3)
+    order = order_of(template)
+    assert set(order) == set(template.components)
+    assert order.index("eu0") < order.index("rf")
+
+
+def test_costs_positive_and_indirection_penalised():
+    template = fig7_template(num_units=2)
+    costs = vliw_test_cost(template)
+    assert all(c > 0 for c in costs.values())
+
+    # a directly-connected RF of the same spec would be cheaper
+    direct = VLIWTemplate("direct", 16, 2)
+    direct.add(VLIWComponent("eu0", alu_spec(16)))
+    direct.add(VLIWComponent("rf", rf_spec(16, 16, read_ports=2, write_ports=1)))
+    direct_costs = vliw_test_cost(direct)
+    assert direct_costs["rf"] < costs["rf"]
+
+
+def test_duplicate_component_rejected():
+    template = VLIWTemplate("t", 16, 1)
+    template.add(VLIWComponent("a", alu_spec(16)))
+    with pytest.raises(ValueError, match="duplicate"):
+        template.add(VLIWComponent("a", alu_spec(16)))
+
+
+def test_undefined_source_rejected():
+    template = VLIWTemplate("t", 16, 1)
+    with pytest.raises(ValueError, match="not yet defined"):
+        template.add(
+            VLIWComponent("x", alu_spec(16), inputs_from=("ghost",))
+        )
+
+
+def test_access_cycle_detected():
+    template = VLIWTemplate("t", 16, 1)
+    template.add(VLIWComponent("a", alu_spec(16)))
+    # b reaches the bus only through c, c only through b: a cycle.
+    template.add(VLIWComponent("b", alu_spec(16), outputs_to=("a",)))
+    template.components["a"] = VLIWComponent(
+        "a", alu_spec(16), outputs_to=("b",)
+    )
+    with pytest.raises(TestOrderError):
+        access_paths_of(template)
