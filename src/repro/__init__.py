@@ -100,6 +100,16 @@ from repro.testcost import (
     transport_latency,
 )
 
+# Campaign engine (also behind the `python -m repro` CLI)
+from repro.apps.registry import build_workload, workload_names
+from repro.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    ResultCache,
+    run_campaign,
+)
+from repro.explore.space import dsp_space, space_by_name, space_names
+
 # VLIW extension
 from repro.vliw import fig7_template, test_order, vliw_test_cost
 
@@ -115,6 +125,8 @@ __all__ = [
     "ATPGResult",
     "ArchConfig",
     "Architecture",
+    "CampaignResult",
+    "CampaignSpec",
     "CompileResult",
     "ComponentKind",
     "ComponentSpec",
@@ -132,6 +144,7 @@ __all__ = [
     "PortRef",
     "Program",
     "RFConfig",
+    "ResultCache",
     "SimResult",
     "TTASimulator",
     "UnitInstance",
@@ -145,11 +158,13 @@ __all__ = [
     "build_fir_ir",
     "build_gcd_ir",
     "build_table1",
+    "build_workload",
     "compile_ir",
     "component_datasheet",
     "crypt_output_from_memory",
     "crypt_space",
     "default_catalog",
+    "dsp_space",
     "exploration_to_csv",
     "exploration_to_json",
     "explore",
@@ -164,14 +179,18 @@ __all__ = [
     "optimize_ir",
     "pareto_filter",
     "run_atpg",
+    "run_campaign",
     "run_march",
     "schedule_tests",
     "select_architecture",
     "sessions_from_breakdown",
     "small_space",
+    "space_by_name",
+    "space_names",
     "test_order",
     "transport_latency",
     "unix_crypt",
     "validate_program",
     "vliw_test_cost",
+    "workload_names",
 ]

@@ -1,0 +1,293 @@
+"""The ``python -m repro`` command line.
+
+Four subcommands drive the paper's flow at campaign scale:
+
+* ``explore``  — one workload on one named space (a one-job campaign),
+* ``campaign`` — a full spec (JSON file or flags): workloads x spaces x
+  widths, parallel workers, on-disk result cache, per-run exports,
+* ``report``   — re-emit / Pareto-filter previously exported results,
+* ``list``     — show the registered workloads and spaces.
+
+All tabular output goes through :mod:`repro.reporting`, so files written
+here feed straight back into ``report`` (and any spreadsheet).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.apps.registry import workload_entry, workload_names
+from repro.campaign import CampaignResult, CampaignSpec, ResultCache, run_campaign
+from repro.explore.pareto import pareto_filter
+from repro.explore.space import space_by_name, space_names
+from repro.reporting import (
+    exploration_from_csv,
+    exploration_from_json,
+    exploration_rows,
+    exploration_to_csv,
+    exploration_to_json,
+)
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output:
+        Path(output).write_text(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _progress(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
+def _make_cache(args: argparse.Namespace) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _points_text(points, fmt: str) -> str:
+    if fmt == "csv":
+        return exploration_to_csv(points)
+    return exploration_to_json(points)
+
+
+def _selection_lines(campaign: CampaignResult) -> list[str]:
+    lines = []
+    for run in campaign.runs:
+        if run.selection is not None:
+            sel = run.selection
+            lines.append(
+                f"selected [{run.label}]: {sel.point.label} "
+                f"(norm={sel.norm:.4f})"
+            )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# explore
+# ----------------------------------------------------------------------
+def cmd_explore(args: argparse.Namespace) -> int:
+    spec = CampaignSpec(
+        name=f"explore-{args.workload}",
+        workloads=(args.workload,),
+        spaces=(args.space,),
+        widths=(args.width,),
+        attach_test_costs=args.test_costs,
+        select=args.select,
+        march=args.march,
+    )
+    campaign = run_campaign(
+        spec,
+        workers=args.workers,
+        cache=_make_cache(args),
+        progress=None if args.quiet else _progress,
+    )
+    run = campaign.runs[0]
+    points = run.result.pareto2d if args.pareto else run.result.points
+    if args.format == "summary":
+        text = run.result.summary()
+        text += (
+            f"\n  cache: {run.stats.cache_hits} hits, "
+            f"{run.stats.evaluated} evaluated in {run.stats.elapsed:.2f}s"
+        )
+        for line in _selection_lines(campaign):
+            text += "\n" + line
+    else:
+        text = _points_text(points, args.format)
+    _emit(text, args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# campaign
+# ----------------------------------------------------------------------
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec:
+        return CampaignSpec.from_json(Path(args.spec).read_text())
+    if not args.workloads:
+        raise SystemExit("campaign: need --spec FILE or --workloads LIST")
+    return CampaignSpec(
+        name=args.name,
+        workloads=tuple(args.workloads.split(",")),
+        spaces=tuple(args.spaces.split(",")),
+        widths=tuple(int(w) for w in args.widths.split(",")),
+        attach_test_costs=args.test_costs,
+        select=args.select,
+        march=args.march,
+    )
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    campaign = run_campaign(
+        spec,
+        workers=args.workers,
+        cache=_make_cache(args),
+        progress=None if args.quiet else _progress,
+    )
+    if args.out_dir:
+        out = Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "spec.json").write_text(spec.to_json() + "\n")
+        for run in campaign.runs:
+            stem = run.label.replace("/", "__")
+            text = _points_text(run.result.points, args.format)
+            suffix = "csv" if args.format == "csv" else "json"
+            (out / f"{stem}.{suffix}").write_text(text)
+        print(f"wrote {len(campaign.runs)} result files to {out}",
+              file=sys.stderr)
+    print(campaign.summary())
+    for line in _selection_lines(campaign):
+        print(line)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+def cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.input)
+    text = path.read_text()
+    if path.suffix == ".csv":
+        points = exploration_from_csv(text)
+    else:
+        points = exploration_from_json(text)
+    if args.pareto:
+        feasible = [p for p in points if p.feasible]
+        points = pareto_filter(feasible, key=lambda p: p.cost2d())
+    if args.format == "summary":
+        rows = exploration_rows(points)
+        widths = {k: max(len(k), *(len(str(r[k])) for r in rows))
+                  for k in rows[0]} if rows else {}
+        cols = [k for k in widths if k != "config"]
+        lines = ["  ".join(k.ljust(widths[k]) for k in cols)]
+        for r in rows:
+            lines.append(
+                "  ".join(str(r[k]).ljust(widths[k]) for k in cols)
+            )
+        out = "\n".join(lines)
+    else:
+        out = _points_text(points, args.format)
+    _emit(out, args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# list
+# ----------------------------------------------------------------------
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in workload_names():
+        entry = workload_entry(name)
+        mul = "  [needs MUL]" if entry.needs_mul else ""
+        print(f"  {name:<10} {entry.description}{mul}")
+    print("spaces:")
+    for name in space_names():
+        print(f"  {name:<10} {len(space_by_name(name))} configurations")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                        "$REPRO_CAMPAIGN_CACHE or ~/.cache/repro-tta/campaign)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="re-evaluate every point, touch no cache")
+
+
+def _add_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size; 1 = serial (default)")
+    p.add_argument("--test-costs", action="store_true",
+                   help="attach analytical test costs to the Pareto set")
+    p.add_argument("--select", action="store_true",
+                   help="pick an architecture with the weighted norm")
+    p.add_argument("--march", default="March C-",
+                   help="march algorithm for RF test costs")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="suppress progress lines on stderr")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Design and test space exploration of TTAs "
+                    "(DATE 2000) — campaign driver.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("explore", help="one workload on one space")
+    p.add_argument("--workload", required=True,
+                   help=f"one of: {', '.join(workload_names())}")
+    p.add_argument("--space", default="small",
+                   help=f"one of: {', '.join(space_names())}")
+    p.add_argument("--width", type=int, default=16)
+    p.add_argument("--pareto", action="store_true",
+                   help="export only the 2-D Pareto points")
+    p.add_argument("--format", choices=("summary", "csv", "json"),
+                   default="summary")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to file instead of stdout")
+    _add_run_args(p)
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("campaign", help="run a multi-workload campaign")
+    p.add_argument("--spec", default=None,
+                   help="campaign spec JSON file (overrides the flags)")
+    p.add_argument("--name", default="campaign")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload names")
+    p.add_argument("--spaces", default="small",
+                   help="comma-separated space names")
+    p.add_argument("--widths", default="16",
+                   help="comma-separated datapath widths")
+    p.add_argument("--out-dir", default=None,
+                   help="write spec.json + per-run result files here")
+    p.add_argument("--format", choices=("csv", "json"), default="csv",
+                   help="format of the per-run result files")
+    _add_run_args(p)
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("report",
+                       help="re-emit exported results (CSV or JSON)")
+    p.add_argument("input", help="a result file written by explore/campaign")
+    p.add_argument("--pareto", action="store_true",
+                   help="keep only the 2-D Pareto points")
+    p.add_argument("--format", choices=("summary", "csv", "json"),
+                   default="summary")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("list", help="show known workloads and spaces")
+    p.set_defaults(func=cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, OSError) as exc:
+        # str(KeyError) is the repr of its message; unwrap for clean output
+        message = (
+            exc.args[0]
+            if isinstance(exc, KeyError) and exc.args
+            else exc
+        )
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,14 +35,23 @@ from repro.apps.kernels import (
     build_fir_ir,
     build_gcd_ir,
 )
+from repro.apps.registry import (
+    WorkloadEntry,
+    build_workload,
+    register_workload,
+    workload_entry,
+    workload_names,
+)
 
 __all__ = [
     "CRYPT_B64",
+    "WorkloadEntry",
     "build_checksum_ir",
     "build_crypt_ir",
     "build_dotprod_ir",
     "build_fir_ir",
     "build_gcd_ir",
+    "build_workload",
     "crypt_output_from_memory",
     "crypt_rounds_words",
     "des_decrypt_block",
@@ -50,7 +59,10 @@ __all__ = [
     "final_permutation",
     "initial_permutation",
     "key_schedule",
+    "register_workload",
     "salt_to_mask",
     "subkey_chunks",
     "unix_crypt",
+    "workload_entry",
+    "workload_names",
 ]

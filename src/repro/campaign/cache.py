@@ -1,0 +1,127 @@
+"""The on-disk evaluated-point cache.
+
+Each point of a sweep is one small JSON file keyed by a stable hash of
+``(workload name, ArchConfig, width)`` — the full evaluation inputs, so
+a key collision can only mean an identical evaluation.  Writes go
+through a temp-file rename, which makes a campaign interruptible at any
+point: whatever finished is durable, and the next run resumes from the
+surviving entries instead of re-compiling them.
+
+The cache stores *results* (area, cycles, test cost), never compiled
+programs — entries are a few hundred bytes and safe to version or rsync
+between machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.explore.evaluate import EvaluatedPoint
+from repro.explore.space import ArchConfig
+
+_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CAMPAIGN_CACHE`` or ``~/.cache/repro-tta/campaign``."""
+    env = os.environ.get("REPRO_CAMPAIGN_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-tta" / "campaign"
+
+
+def cache_key(workload: str, config: ArchConfig, width: int) -> str:
+    """Stable content hash of one evaluation's inputs."""
+    payload = json.dumps(
+        {
+            "schema": _SCHEMA,
+            "workload": workload,
+            "width": width,
+            "config": config.to_dict(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of evaluated points, one JSON file per cache key."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(
+        self,
+        workload: str,
+        config: ArchConfig,
+        width: int,
+        march: str | None = None,
+    ) -> EvaluatedPoint | None:
+        """Return the cached point, or None on a miss.
+
+        Unreadable or schema-mismatched entries count as misses — a
+        killed writer or an old cache degrades to re-evaluation, never
+        to a crash or a wrong result.  A stored test cost is only
+        restored when it was computed for the same ``march`` algorithm;
+        the (area, cycles) evaluation is march-independent.
+        """
+        path = self._path(cache_key(workload, config, width))
+        try:
+            data = json.loads(path.read_text())
+            if data.get("schema") != _SCHEMA:
+                return None
+            cycles = data["cycles"]
+            test_cost = data.get("test_cost")
+            if test_cost is not None and data.get("march") != march:
+                test_cost = None
+            return EvaluatedPoint(
+                config=ArchConfig.from_dict(data["config"]),
+                area=float(data["area"]),
+                cycles=None if cycles is None else int(cycles),
+                test_cost=None if test_cost is None else int(test_cost),
+            )
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None
+
+    def put(
+        self,
+        workload: str,
+        point: EvaluatedPoint,
+        width: int,
+        march: str | None = None,
+    ) -> None:
+        """Persist one evaluated point (atomic: temp file + rename)."""
+        key = cache_key(workload, point.config, width)
+        data = {
+            "schema": _SCHEMA,
+            "workload": workload,
+            "width": width,
+            "config": point.config.to_dict(),
+            "area": point.area,
+            "cycles": point.cycles,
+            "test_cost": point.test_cost,
+            "march": march if point.test_cost is not None else None,
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(data, sort_keys=True))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

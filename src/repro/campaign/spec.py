@@ -1,0 +1,95 @@
+"""Declarative campaign descriptions.
+
+A :class:`CampaignSpec` is the *what* of a sweep — which workloads, over
+which configuration grids, at which datapath widths, and whether the
+test-cost axis and the final selection run.  It deliberately excludes
+the *how* (worker count, cache directory): those are execution
+parameters of :func:`repro.campaign.runner.run_campaign`, so the same
+spec file reproduces the same results on a laptop and a 64-core box.
+
+Specs round-trip through plain dicts / JSON so they can live in version
+control next to the results they produced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.apps.registry import workload_entry
+from repro.explore.space import space_by_name
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign: the cross product of workloads x spaces x widths."""
+
+    name: str
+    workloads: tuple[str, ...]
+    spaces: tuple[str, ...] = ("crypt",)
+    widths: tuple[int, ...] = (16,)
+    attach_test_costs: bool = False
+    march: str = "March C-"
+    select: bool = False
+    weights: tuple[float, ...] = (1.0, 1.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign needs a name")
+        if not self.workloads:
+            raise ValueError("campaign needs at least one workload")
+        if not self.spaces:
+            raise ValueError("campaign needs at least one space")
+        if not self.widths or any(w <= 0 for w in self.widths):
+            raise ValueError("widths must be positive")
+
+    def validate(self) -> None:
+        """Resolve every referenced workload/space name (raises KeyError)."""
+        for workload in self.workloads:
+            workload_entry(workload)
+        for space in self.spaces:
+            space_by_name(space)
+
+    @property
+    def jobs(self) -> list[tuple[str, str, int]]:
+        """The (workload, space, width) combinations, in run order."""
+        return [
+            (workload, space, width)
+            for workload in self.workloads
+            for space in self.spaces
+            for width in self.widths
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "workloads": list(self.workloads),
+            "spaces": list(self.spaces),
+            "widths": list(self.widths),
+            "attach_test_costs": self.attach_test_costs,
+            "march": self.march,
+            "select": self.select,
+            "weights": list(self.weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> CampaignSpec:
+        return cls(
+            name=str(data["name"]),
+            workloads=tuple(data["workloads"]),
+            spaces=tuple(data.get("spaces", ("crypt",))),
+            widths=tuple(int(w) for w in data.get("widths", (16,))),
+            attach_test_costs=bool(data.get("attach_test_costs", False)),
+            march=str(data.get("march", "March C-")),
+            select=bool(data.get("select", False)),
+            weights=tuple(
+                float(w) for w in data.get("weights", (1.0, 1.0, 1.0))
+            ),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> CampaignSpec:
+        return cls.from_dict(json.loads(text))

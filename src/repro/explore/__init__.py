@@ -12,9 +12,18 @@ from repro.explore.space import (
     RFConfig,
     build_architecture,
     crypt_space,
+    dsp_space,
     small_space,
+    space_by_name,
+    space_names,
 )
-from repro.explore.evaluate import EvaluatedPoint, evaluate_config, evaluate_space
+from repro.explore.evaluate import (
+    EvaluatedPoint,
+    evaluate_config,
+    evaluate_config_worker,
+    evaluate_space,
+    init_evaluation_worker,
+)
 from repro.explore.pareto import dominates, pareto_filter
 from repro.explore.explorer import ExplorationResult, explore
 from repro.explore.iterative import IterativeResult, iterative_explore, neighbours
@@ -28,9 +37,12 @@ __all__ = [
     "build_architecture",
     "crypt_space",
     "dominates",
+    "dsp_space",
     "evaluate_config",
+    "evaluate_config_worker",
     "evaluate_space",
     "explore",
+    "init_evaluation_worker",
     "iterative_explore",
     "IterativeResult",
     "neighbours",
@@ -38,4 +50,6 @@ __all__ = [
     "pareto_filter",
     "select_architecture",
     "small_space",
+    "space_by_name",
+    "space_names",
 ]

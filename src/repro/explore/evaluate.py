@@ -68,6 +68,38 @@ def evaluate_config(
     )
 
 
+# ----------------------------------------------------------------------
+# process-pool entry points
+#
+# ``ProcessPoolExecutor`` can only ship module-level callables, and the
+# workload/profile are identical for every configuration of a sweep, so
+# they travel once per worker (via the pool initializer) instead of once
+# per task.
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: dict[str, object] = {}
+
+
+def init_evaluation_worker(
+    workload: IRFunction, profile: dict[str, int], width: int
+) -> None:
+    """Pool initializer: pin the shared per-sweep evaluation inputs."""
+    _WORKER_CONTEXT["workload"] = workload
+    _WORKER_CONTEXT["profile"] = profile
+    _WORKER_CONTEXT["width"] = width
+
+
+def evaluate_config_worker(config: ArchConfig) -> EvaluatedPoint:
+    """Evaluate one configuration against the pinned worker context."""
+    if "workload" not in _WORKER_CONTEXT:
+        raise RuntimeError("init_evaluation_worker() was not called")
+    return evaluate_config(
+        config,
+        _WORKER_CONTEXT["workload"],        # type: ignore[arg-type]
+        _WORKER_CONTEXT["profile"],         # type: ignore[arg-type]
+        _WORKER_CONTEXT["width"],           # type: ignore[arg-type]
+    )
+
+
 def evaluate_space(
     space: list[ArchConfig],
     workload: IRFunction,

@@ -25,6 +25,12 @@ class ExplorationResult:
     workload: str
     profile: dict[str, int]
     points: list[EvaluatedPoint] = field(default_factory=list)
+    _pareto2d: tuple[int, list[EvaluatedPoint]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _pareto3d: tuple[tuple[int | None, ...], list[EvaluatedPoint]] | None = (
+        field(default=None, init=False, repr=False, compare=False)
+    )
 
     @property
     def feasible_points(self) -> list[EvaluatedPoint]:
@@ -32,8 +38,18 @@ class ExplorationResult:
 
     @property
     def pareto2d(self) -> list[EvaluatedPoint]:
-        """Fig. 2: non-dominated in the (area, execution time) plane."""
-        return pareto_filter(self.feasible_points, key=lambda p: p.cost2d())
+        """Fig. 2: non-dominated in the (area, execution time) plane.
+
+        Memoized — the filter is O(n^2) and callers treat this as a
+        cheap attribute.  The cache is keyed on ``len(points)`` so
+        appending points (the list is public) recomputes the front.
+        """
+        if self._pareto2d is None or self._pareto2d[0] != len(self.points):
+            self._pareto2d = (
+                len(self.points),
+                pareto_filter(self.feasible_points, key=lambda p: p.cost2d()),
+            )
+        return self._pareto2d[1]
 
     @property
     def pareto3d(self) -> list[EvaluatedPoint]:
@@ -43,9 +59,19 @@ class ExplorationResult:
         the test axis *on the 2-D Pareto points*, preserving the already
         achieved area/throughput ratio — so the base set here is the 2-D
         Pareto set, not the whole space.
+
+        Memoized against the attached test costs: ``attach_test_costs``
+        mutates points after the first access, so the cache is keyed on
+        the test-cost fingerprint of the 2-D Pareto set.
         """
-        candidates = [p for p in self.pareto2d if p.test_cost is not None]
-        return pareto_filter(candidates, key=lambda p: p.cost3d())
+        fingerprint = tuple(p.test_cost for p in self.pareto2d)
+        if self._pareto3d is None or self._pareto3d[0] != fingerprint:
+            candidates = [p for p in self.pareto2d if p.test_cost is not None]
+            self._pareto3d = (
+                fingerprint,
+                pareto_filter(candidates, key=lambda p: p.cost3d()),
+            )
+        return self._pareto3d[1]
 
     def summary(self) -> str:
         feasible = self.feasible_points

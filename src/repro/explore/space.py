@@ -37,6 +37,21 @@ class RFConfig:
     def __str__(self) -> str:
         return f"{self.num_regs}r{self.read_ports}R{self.write_ports}W"
 
+    def to_dict(self) -> dict:
+        return {
+            "num_regs": self.num_regs,
+            "read_ports": self.read_ports,
+            "write_ports": self.write_ports,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> RFConfig:
+        return cls(
+            num_regs=int(data["num_regs"]),
+            read_ports=int(data.get("read_ports", 1)),
+            write_ports=int(data.get("write_ports", 1)),
+        )
+
 
 @dataclass(frozen=True)
 class ArchConfig:
@@ -64,6 +79,30 @@ class ArchConfig:
     @property
     def total_registers(self) -> int:
         return sum(rf.num_regs for rf in self.rfs)
+
+    def to_dict(self) -> dict:
+        return {
+            "num_buses": self.num_buses,
+            "num_alus": self.num_alus,
+            "num_cmps": self.num_cmps,
+            "num_shifters": self.num_shifters,
+            "num_muls": self.num_muls,
+            "rfs": [rf.to_dict() for rf in self.rfs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ArchConfig:
+        return cls(
+            num_buses=int(data["num_buses"]),
+            num_alus=int(data.get("num_alus", 1)),
+            num_cmps=int(data.get("num_cmps", 1)),
+            num_shifters=int(data.get("num_shifters", 0)),
+            num_muls=int(data.get("num_muls", 0)),
+            rfs=tuple(
+                RFConfig.from_dict(rf)
+                for rf in data.get("rfs", ({"num_regs": 8},))
+            ),
+        )
 
 
 def build_architecture(config: ArchConfig, width: int = 16) -> Architecture:
@@ -136,3 +175,45 @@ def small_space() -> list[ArchConfig]:
         for rfs in ((RFConfig(8),), (RFConfig(8), RFConfig(12))):
             space.append(ArchConfig(num_buses=buses, num_alus=alus, rfs=rfs))
     return space
+
+
+def dsp_space() -> list[ArchConfig]:
+    """A MUL-equipped sub-grid for the DSP kernels (FIR, dot product).
+
+    The plain Crypt grids carry no multiplier, so ``mul``-using workloads
+    compile on none of their points; this grid adds one MUL to every
+    template (12 points).
+    """
+    space = []
+    for buses, alus, rfs in itertools.product(
+        (2, 3, 4),
+        (1, 2),
+        ((RFConfig(8),), (RFConfig(8, read_ports=2), RFConfig(12))),
+    ):
+        space.append(
+            ArchConfig(num_buses=buses, num_alus=alus, num_muls=1, rfs=rfs)
+        )
+    return space
+
+
+#: Named configuration grids addressable from specs and the CLI.
+_SPACE_BUILDERS = {
+    "crypt": crypt_space,
+    "small": small_space,
+    "dsp": dsp_space,
+}
+
+
+def space_names() -> list[str]:
+    """Names accepted by :func:`space_by_name` (sorted)."""
+    return sorted(_SPACE_BUILDERS)
+
+
+def space_by_name(name: str) -> list[ArchConfig]:
+    """Build a named configuration grid (``crypt``, ``small``, ``dsp``)."""
+    try:
+        builder = _SPACE_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(space_names())
+        raise KeyError(f"unknown space {name!r} (known: {known})") from None
+    return builder()

@@ -12,11 +12,17 @@ import io
 import json
 
 from repro.explore.evaluate import EvaluatedPoint
+from repro.explore.space import ArchConfig
 from repro.testcost.table import Table1Row
 
 
 def exploration_rows(points: list[EvaluatedPoint]) -> list[dict]:
-    """Plain-dict view of evaluated points (stable key order)."""
+    """Plain-dict view of evaluated points (stable key order).
+
+    The ``config`` column holds the full :class:`ArchConfig` as compact
+    JSON (CSV-safe), so rows round-trip back into evaluated points via
+    :func:`point_from_row` without loss.
+    """
     rows = []
     for p in points:
         rows.append(
@@ -30,9 +36,48 @@ def exploration_rows(points: list[EvaluatedPoint]) -> list[dict]:
                 "cycles": p.cycles,
                 "test_cost": p.test_cost,
                 "feasible": p.feasible,
+                "config": json.dumps(
+                    p.config.to_dict(), sort_keys=True,
+                    separators=(",", ":"),
+                ),
             }
         )
     return rows
+
+
+def point_from_row(row: dict) -> EvaluatedPoint:
+    """Rebuild one evaluated point from an exploration row.
+
+    Accepts both typed values (JSON) and all-string values (CSV): the
+    numeric columns are coerced, and empty strings mean None.
+    """
+    config = row.get("config")
+    if not config:
+        raise ValueError("row lacks a 'config' column; cannot round-trip")
+    if isinstance(config, str):
+        config = json.loads(config)
+    cycles = row.get("cycles")
+    cycles = None if cycles in (None, "") else int(cycles)
+    test_cost = row.get("test_cost")
+    test_cost = None if test_cost in (None, "") else int(test_cost)
+    return EvaluatedPoint(
+        config=ArchConfig.from_dict(config),
+        area=float(row["area"]),
+        cycles=cycles,
+        test_cost=test_cost,
+    )
+
+
+def exploration_from_csv(text: str) -> list[EvaluatedPoint]:
+    """Inverse of :func:`exploration_to_csv`."""
+    return [
+        point_from_row(row) for row in csv.DictReader(io.StringIO(text))
+    ]
+
+
+def exploration_from_json(text: str) -> list[EvaluatedPoint]:
+    """Inverse of :func:`exploration_to_json`."""
+    return [point_from_row(row) for row in json.loads(text)]
 
 
 def exploration_to_csv(points: list[EvaluatedPoint]) -> str:

@@ -1,0 +1,115 @@
+"""The ``python -m repro`` command line, driven through ``main()``."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_list(capsys):
+    code, out, _ = _run(capsys, "list")
+    assert code == 0
+    assert "crypt" in out and "spaces:" in out
+
+
+def test_explore_summary(capsys):
+    code, out, _ = _run(
+        capsys, "explore", "--workload", "gcd", "--space", "small",
+        "--no-cache", "-q",
+    )
+    assert code == 0
+    assert "exploration of gcd" in out
+    assert "Pareto" in out
+
+
+def test_explore_csv_pareto(capsys, tmp_path):
+    out_file = tmp_path / "points.csv"
+    code, _, _ = _run(
+        capsys, "explore", "--workload", "gcd", "--no-cache", "-q",
+        "--format", "csv", "--pareto", "-o", str(out_file),
+    )
+    assert code == 0
+    rows = list(csv.DictReader(io.StringIO(out_file.read_text())))
+    assert rows and all(r["feasible"] == "True" for r in rows)
+    assert "config" in rows[0]
+
+
+def test_explore_unknown_workload_fails(capsys):
+    code, _, err = _run(capsys, "explore", "--workload", "nope", "-q")
+    assert code == 1
+    assert "unknown workload" in err
+
+
+def test_campaign_flags_and_resume(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    out_dir = tmp_path / "out"
+    argv = (
+        "campaign", "--workloads", "gcd,checksum", "--spaces", "small",
+        "--cache-dir", str(cache), "--out-dir", str(out_dir), "-q",
+    )
+    code, out, _ = _run(capsys, *argv)
+    assert code == 0
+    assert "24 evaluated, 0 cache hits" in out
+    assert (out_dir / "spec.json").exists()
+    assert (out_dir / "gcd__small__w16.csv").exists()
+
+    code, out, _ = _run(capsys, *argv)
+    assert code == 0
+    assert "0 evaluated, 24 cache hits" in out
+
+
+def test_campaign_spec_file(capsys, tmp_path):
+    from repro.campaign import CampaignSpec
+
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(
+        CampaignSpec(
+            name="from-file", workloads=("gcd",), spaces=("small",),
+            select=True,
+        ).to_json()
+    )
+    code, out, _ = _run(
+        capsys, "campaign", "--spec", str(spec_file), "--no-cache", "-q",
+    )
+    assert code == 0
+    assert "campaign 'from-file'" in out
+    assert "selected [gcd/small/w16]" in out
+
+
+def test_campaign_needs_spec_or_workloads(capsys):
+    with pytest.raises(SystemExit):
+        main(["campaign", "-q"])
+
+
+def test_report_round_trip(capsys, tmp_path):
+    result = tmp_path / "points.json"
+    code, _, _ = _run(
+        capsys, "explore", "--workload", "gcd", "--no-cache", "-q",
+        "--format", "json", "-o", str(result),
+    )
+    assert code == 0
+
+    code, out, _ = _run(capsys, "report", str(result), "--format", "json")
+    assert code == 0
+    assert json.loads(out) == json.loads(result.read_text())
+
+    code, out, _ = _run(
+        capsys, "report", str(result), "--pareto", "--format", "summary",
+    )
+    assert code == 0
+    assert "architecture" in out
+
+
+def test_report_missing_file(capsys, tmp_path):
+    code, _, err = _run(capsys, "report", str(tmp_path / "missing.json"))
+    assert code == 1
+    assert "error:" in err

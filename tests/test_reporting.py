@@ -5,11 +5,14 @@ import io
 import json
 
 from repro.apps import build_gcd_ir
-from repro.explore import explore, small_space
+from repro.explore import EvaluatedPoint, explore, small_space
 from repro.explore import ArchConfig, RFConfig, build_architecture
 from repro.reporting import (
+    exploration_from_csv,
+    exploration_from_json,
     exploration_to_csv,
     exploration_to_json,
+    point_from_row,
     table1_to_csv,
     table1_to_json,
 )
@@ -43,6 +46,46 @@ def test_exploration_json_structure():
 def test_empty_exports():
     assert exploration_to_csv([]) == ""
     assert json.loads(exploration_to_json([])) == []
+
+
+def _assert_points_equal(rebuilt, originals):
+    assert len(rebuilt) == len(originals)
+    for got, want in zip(rebuilt, originals):
+        assert got.config == want.config
+        assert got.area == want.area
+        assert got.cycles == want.cycles
+        assert got.test_cost == want.test_cost
+
+
+def test_csv_round_trips_through_from_dict():
+    points = _points()
+    rebuilt = exploration_from_csv(exploration_to_csv(points))
+    _assert_points_equal(rebuilt, points)
+    # and the rebuilt points serialise identically
+    assert exploration_to_csv(rebuilt) == exploration_to_csv(points)
+
+
+def test_json_round_trips_through_from_dict():
+    points = _points()
+    rebuilt = exploration_from_json(exploration_to_json(points))
+    _assert_points_equal(rebuilt, points)
+    assert exploration_to_json(rebuilt) == exploration_to_json(points)
+
+
+def test_round_trip_keeps_infeasible_points():
+    infeasible = EvaluatedPoint(
+        config=ArchConfig(num_buses=1), area=7.5, cycles=None
+    )
+    rebuilt = exploration_from_csv(exploration_to_csv([infeasible]))
+    assert rebuilt[0].cycles is None and not rebuilt[0].feasible
+    assert rebuilt[0].config == infeasible.config
+
+
+def test_point_from_row_requires_config():
+    import pytest
+
+    with pytest.raises(ValueError, match="config"):
+        point_from_row({"architecture": "b1", "area": 1.0})
 
 
 def test_table1_exports():
