@@ -1,0 +1,30 @@
+"""End-to-end evaluation-pipeline benchmark (tracked in git).
+
+Times the reference (pre-caching) evaluation pipeline against the
+``EvaluationContext`` fast path on the small and medium sweeps, checks
+both produce identical Pareto sets, and writes ``BENCH_evaluate.json``
+at the repository root.
+
+Not a pytest module on purpose: run it directly —
+
+    PYTHONPATH=src python benchmarks/bench_evaluate.py
+
+or through the CLI, ``python -m repro bench``.  CI runs the small suite
+as a smoke test and uploads the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench import DEFAULT_OUTPUT, main
+
+    argv = sys.argv[1:]
+    if not any(a.startswith(("-o", "--output")) for a in argv):
+        argv += ["--output", str(REPO_ROOT / DEFAULT_OUTPUT)]
+    raise SystemExit(main(argv))

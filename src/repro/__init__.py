@@ -80,6 +80,7 @@ from repro.apps import (
 from repro.explore import (
     ArchConfig,
     EvaluatedPoint,
+    EvaluationContext,
     ExplorationResult,
     RFConfig,
     build_architecture,
@@ -87,6 +88,7 @@ from repro.explore import (
     explore,
     iterative_explore,
     pareto_filter,
+    pareto_filter_naive,
     select_architecture,
     small_space,
 )
@@ -131,6 +133,7 @@ __all__ = [
     "ComponentKind",
     "ComponentSpec",
     "EvaluatedPoint",
+    "EvaluationContext",
     "ExplorationResult",
     "Guard",
     "IRBuilder",
@@ -178,6 +181,7 @@ __all__ = [
     "MoveEncoder",
     "optimize_ir",
     "pareto_filter",
+    "pareto_filter_naive",
     "run_atpg",
     "run_campaign",
     "run_march",

@@ -6,7 +6,11 @@ Four subcommands drive the paper's flow at campaign scale:
 * ``campaign`` — a full spec (JSON file or flags): workloads x spaces x
   widths, parallel workers, on-disk result cache, per-run exports,
 * ``report``   — re-emit / Pareto-filter previously exported results,
-* ``list``     — show the registered workloads and spaces.
+* ``list``     — show the registered workloads and spaces,
+* ``bench``    — run the tracked evaluation-pipeline benchmark suite.
+
+``explore`` and ``campaign`` accept ``--profile`` to dump a cProfile
+top-25 (cumulative) of the run to stderr.
 
 All tabular output goes through :mod:`repro.reporting`, so files written
 here feed straight back into ``report`` (and any spreadsheet).
@@ -42,6 +46,33 @@ def _emit(text: str, output: str | None) -> None:
 
 def _progress(line: str) -> None:
     print(line, file=sys.stderr)
+
+
+def _run_campaign_maybe_profiled(args: argparse.Namespace, spec):
+    """Run a campaign, optionally under cProfile (top-25 to stderr)."""
+    kwargs = dict(
+        workers=args.workers,
+        cache=_make_cache(args),
+        progress=None if args.quiet else _progress,
+    )
+    if not getattr(args, "profile", False):
+        return run_campaign(spec, **kwargs)
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        campaign = run_campaign(spec, **kwargs)
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats(
+            "cumulative"
+        ).print_stats(25)
+        print(stream.getvalue(), file=sys.stderr)
+    return campaign
 
 
 def _make_cache(args: argparse.Namespace) -> ResultCache | None:
@@ -81,12 +112,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         select=args.select,
         march=args.march,
     )
-    campaign = run_campaign(
-        spec,
-        workers=args.workers,
-        cache=_make_cache(args),
-        progress=None if args.quiet else _progress,
-    )
+    campaign = _run_campaign_maybe_profiled(args, spec)
     run = campaign.runs[0]
     points = run.result.pareto2d if args.pareto else run.result.points
     if args.format == "summary":
@@ -124,12 +150,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    campaign = run_campaign(
-        spec,
-        workers=args.workers,
-        cache=_make_cache(args),
-        progress=None if args.quiet else _progress,
-    )
+    campaign = _run_campaign_maybe_profiled(args, spec)
     if args.out_dir:
         out = Path(args.out_dir)
         out.mkdir(parents=True, exist_ok=True)
@@ -178,6 +199,23 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# bench
+# ----------------------------------------------------------------------
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_report, run_benchmarks, write_report
+
+    suites = (
+        ("small", "medium") if args.suite == "full" else (args.suite,)
+    )
+    report = run_benchmarks(suites=suites)
+    print(format_report(report))
+    if not args.no_write:
+        out = write_report(report, args.output)
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # list
 # ----------------------------------------------------------------------
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -212,6 +250,8 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
                    help="pick an architecture with the weighted norm")
     p.add_argument("--march", default="March C-",
                    help="march algorithm for RF test costs")
+    p.add_argument("--profile", action="store_true",
+                   help="dump cProfile top-25 (cumulative) to stderr")
     p.add_argument("-q", "--quiet", action="store_true",
                    help="suppress progress lines on stderr")
 
@@ -267,6 +307,17 @@ def build_parser() -> argparse.ArgumentParser:
                    default="summary")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("bench",
+                       help="run the evaluation-pipeline benchmark suite")
+    p.add_argument("--suite", choices=("small", "medium", "full"),
+                   default="full",
+                   help="which sweep sizes to time (default: full)")
+    p.add_argument("-o", "--output", default="BENCH_evaluate.json",
+                   help="benchmark report file (default: ./BENCH_evaluate.json)")
+    p.add_argument("--no-write", action="store_true",
+                   help="print the report without touching the file")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("list", help="show known workloads and spaces")
     p.set_defaults(func=cmd_list)

@@ -1,0 +1,273 @@
+"""The tracked evaluation-pipeline benchmark suite.
+
+Times end-to-end exploration sweeps twice per (workload, space) pair —
+once through a **reference** pipeline that re-does per-configuration
+work the way the pre-caching evaluator did (fresh architecture, fresh
+netlist statistics, fresh register allocation, quadratic Pareto filter)
+and once through the **optimized** :class:`~repro.explore.evaluate.
+EvaluationContext` path — asserts both produce identical Pareto sets,
+and writes the numbers to ``BENCH_evaluate.json`` so the perf
+trajectory is tracked in version control from PR 2 onward.
+
+Run via ``python -m repro bench`` or ``python benchmarks/bench_evaluate.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from time import perf_counter
+from typing import Callable
+
+from repro.apps.registry import build_workload
+from repro.compiler.interp import IRInterpreter
+from repro.compiler.regalloc import AllocationError
+from repro.compiler.scheduler import ScheduleError, compile_ir
+from repro.components.library import component_datasheet
+from repro.explore.evaluate import EvaluatedPoint, EvaluationContext
+from repro.explore.pareto import pareto_filter, pareto_filter_naive
+from repro.explore.space import ArchConfig, build_architecture, space_by_name
+from repro.netlist.stats import netlist_stats
+from repro.tta.arch import BUS_AREA_PER_BIT, CONNECTION_AREA, Architecture
+
+#: Suite name -> (space name, rough sweep size) of the timed sweeps.
+SUITES: dict[str, str] = {
+    "small": "small",
+    "medium": "crypt",
+}
+
+#: Workloads timed per suite (no multiplier, so every space maps them).
+BENCH_WORKLOADS: tuple[str, ...] = ("crypt", "gcd")
+
+#: Synthetic point count for the Pareto-filter micro-benchmark.
+PARETO_POINTS = 2000
+
+#: Benchmark file written at the repository root (tracked in git).
+DEFAULT_OUTPUT = "BENCH_evaluate.json"
+
+_SCHEMA = 1
+
+
+def _reference_area(arch: Architecture) -> float:
+    """``Architecture.area()`` with the pre-caching cost structure.
+
+    The seed's area model re-ran :func:`netlist_stats` for every unit of
+    every configuration; this mirrors that exactly (same formulas, same
+    rounding — the benchmark asserts value equality against the cached
+    path), so the "before" timing charges the work the caches remove.
+    """
+    component_area = 0.0
+    for unit in arch.units.values():
+        datasheet = component_datasheet(unit.spec)
+        netlist = datasheet.netlist()
+        if netlist is None:                 # RF macro: formula, no netlist
+            core = datasheet.core_area
+        else:
+            core = netlist_stats(netlist).area
+        component_area += round(
+            core + datasheet.register_area + datasheet.socket_area, 3
+        )
+    bus_area = arch.num_buses * arch.width * BUS_AREA_PER_BIT
+    switch_area = arch.num_connections * CONNECTION_AREA
+    return round(component_area + bus_area + switch_area, 3)
+
+
+def _evaluate_config_reference(
+    config: ArchConfig, workload, profile: dict[str, int], width: int
+) -> EvaluatedPoint:
+    """The pre-caching evaluation of one configuration.
+
+    Reproduces what ``evaluate_config`` did before the shared-work
+    caches: build the architecture from scratch, recompute the netlist
+    statistics behind the area model, and compile with a fresh register
+    allocation and a full workload re-validation.
+    """
+    arch = build_architecture(config, width)
+    area = _reference_area(arch)
+    try:
+        compiled = compile_ir(workload, arch, profile=profile)
+    except (AllocationError, ScheduleError):
+        return EvaluatedPoint(config=config, area=area, cycles=None)
+    return EvaluatedPoint(
+        config=config, area=area, cycles=compiled.static_cycles(profile)
+    )
+
+
+def _time_sweep(evaluate: Callable[[], list[EvaluatedPoint]]) -> tuple[
+    float, list[EvaluatedPoint]
+]:
+    start = perf_counter()
+    points = evaluate()
+    return perf_counter() - start, points
+
+
+def bench_sweep(
+    workload_name: str, space_name: str, suite: str, width: int = 16
+) -> dict:
+    """Benchmark one (workload, space) sweep, reference vs. optimized."""
+    workload = build_workload(workload_name)
+    profile = IRInterpreter(workload, width=width).run().block_counts
+    configs = space_by_name(space_name)
+
+    # Warm the netlist-construction caches (the seed also built each
+    # component netlist only once per process), then time.
+    _evaluate_config_reference(configs[0], workload, profile, width)
+
+    before_s, ref_points = _time_sweep(
+        lambda: [
+            _evaluate_config_reference(c, workload, profile, width)
+            for c in configs
+        ]
+    )
+    context = EvaluationContext(workload, profile, width)
+    after_s, opt_points = _time_sweep(lambda: context.evaluate_space(configs))
+
+    if [(p.label, p.area, p.cycles) for p in ref_points] != [
+        (p.label, p.area, p.cycles) for p in opt_points
+    ]:
+        raise AssertionError(
+            f"{workload_name}/{space_name}: optimized pipeline diverged "
+            "from the reference evaluation"
+        )
+    feasible = [p for p in opt_points if p.feasible]
+    ref_front = pareto_filter_naive(
+        [p for p in ref_points if p.feasible], key=lambda p: p.cost2d()
+    )
+    opt_front = pareto_filter(feasible, key=lambda p: p.cost2d())
+    if [p.label for p in ref_front] != [p.label for p in opt_front]:
+        raise AssertionError(
+            f"{workload_name}/{space_name}: sort-based Pareto diverged "
+            "from the naive filter"
+        )
+    return {
+        "suite": suite,
+        "workload": workload_name,
+        "space": space_name,
+        "configs": len(configs),
+        "feasible": len(feasible),
+        "pareto": len(opt_front),
+        "before_s": round(before_s, 4),
+        "after_s": round(after_s, 4),
+        "speedup": round(before_s / after_s, 2) if after_s > 0 else None,
+        "pareto_identical": True,
+    }
+
+
+def bench_pareto(num_points: int = PARETO_POINTS, seed: int = 0) -> dict:
+    """Micro-benchmark: naive O(n^2) vs sort-based Pareto filtering."""
+    rng = random.Random(seed)
+    points = [
+        (rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(num_points)
+    ]
+    t0 = perf_counter()
+    naive = pareto_filter_naive(points, key=lambda p: p)
+    naive_s = perf_counter() - t0
+    t0 = perf_counter()
+    fast = pareto_filter(points, key=lambda p: p)
+    sweep_s = perf_counter() - t0
+    if naive != fast:
+        raise AssertionError("sort-based Pareto diverged on synthetic points")
+    return {
+        "points": num_points,
+        "front": len(fast),
+        "naive_s": round(naive_s, 4),
+        "sweep_s": round(sweep_s, 4),
+        "speedup": round(naive_s / sweep_s, 1) if sweep_s > 0 else None,
+    }
+
+
+def run_benchmarks(
+    suites: tuple[str, ...] = ("small", "medium"),
+    workloads: tuple[str, ...] = BENCH_WORKLOADS,
+    width: int = 16,
+) -> dict:
+    """Run the benchmark suite and return the report dict."""
+    sweeps = []
+    for suite in suites:
+        space_name = SUITES[suite]
+        for workload_name in workloads:
+            sweeps.append(bench_sweep(workload_name, space_name, suite, width))
+
+    report: dict = {
+        "schema": _SCHEMA,
+        "generated_by": "python -m repro bench",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "sweeps": sweeps,
+        "pareto_microbench": bench_pareto(),
+    }
+    for suite in suites:
+        rows = [s for s in sweeps if s["suite"] == suite]
+        before = sum(s["before_s"] for s in rows)
+        after = sum(s["after_s"] for s in rows)
+        report[f"{suite}_speedup"] = (
+            round(before / after, 2) if after > 0 else None
+        )
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of one benchmark report."""
+    lines = [
+        "evaluation pipeline benchmarks "
+        f"({report['host']['python']}, {report['host']['cpus']} cpus)",
+        f"{'sweep':<24} {'configs':>7} {'before':>9} {'after':>9} {'speedup':>8}",
+    ]
+    for s in report["sweeps"]:
+        label = f"{s['workload']}/{s['space']}"
+        lines.append(
+            f"{label:<24} {s['configs']:>7} {s['before_s']:>8.2f}s "
+            f"{s['after_s']:>8.2f}s {s['speedup']:>7.2f}x"
+        )
+    for key in ("small_speedup", "medium_speedup"):
+        if report.get(key) is not None:
+            lines.append(f"{key.replace('_', ' ')}: {report[key]:.2f}x")
+    pareto = report["pareto_microbench"]
+    lines.append(
+        f"pareto filter ({pareto['points']} pts): naive "
+        f"{pareto['naive_s']:.3f}s vs sweep {pareto['sweep_s']:.4f}s "
+        f"({pareto['speedup']}x)"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str | Path = DEFAULT_OUTPUT) -> Path:
+    """Persist a report next to previous runs (JSON, tracked in git)."""
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Stand-alone entry point (``python benchmarks/bench_evaluate.py``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite", choices=("small", "medium", "full"), default="full"
+    )
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-write", action="store_true")
+    args = parser.parse_args(argv)
+    suites = ("small", "medium") if args.suite == "full" else (args.suite,)
+    report = run_benchmarks(suites=suites)
+    print(format_report(report))
+    if not args.no_write:
+        out = write_report(report, args.output)
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

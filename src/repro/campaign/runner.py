@@ -25,7 +25,7 @@ from repro.campaign.spec import CampaignSpec
 from repro.compiler.interp import IRInterpreter
 from repro.explore.evaluate import (
     EvaluatedPoint,
-    evaluate_config,
+    EvaluationContext,
     evaluate_config_worker,
     init_evaluation_worker,
 )
@@ -126,8 +126,9 @@ def _iter_evaluations(
     results in submission order, chunk by chunk.
     """
     if workers <= 1 or len(configs) <= 1:
+        context = EvaluationContext(workload, profile, width)
         for config in configs:
-            yield evaluate_config(config, workload, profile, width)
+            yield context.evaluate(config)
         return
     chunksize = max(1, len(configs) // (workers * 4))
     with ProcessPoolExecutor(

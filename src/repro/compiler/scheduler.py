@@ -38,6 +38,7 @@ from repro.components.spec import ComponentKind
 from repro.tta.arch import Architecture
 from repro.tta.isa import (
     GUARD_UNIT,
+    SHORT_IMM_BITS,
     Guard,
     Instruction,
     Literal,
@@ -55,6 +56,9 @@ _JUMP_PLACEHOLDER = -1
 _JUMP_SLOTS = 2
 
 _SEARCH_LIMIT = 100_000
+
+#: Literals outside [-limit, limit) need a long-immediate extension slot.
+_SHORT_IMM_LIMIT = 1 << (SHORT_IMM_BITS - 1)
 
 
 class ScheduleError(Exception):
@@ -80,7 +84,7 @@ class CompileResult:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class _FUTrack:
     last_trigger: int = -1       # cycle of most recent trigger (eqs. 4/5)
     min_next_trigger: int = 0    # keep the result register drained (eq. 4)
@@ -92,10 +96,18 @@ class _BlockScheduler:
 
     def __init__(self, arch: Architecture, allocation: RegisterAllocation):
         self.arch = arch
+        self.num_buses = arch.num_buses
         self.allocation = allocation
         self.placed: list[tuple[int, Move]] = []
-        self.bus_load: dict[int, int] = {}
+        # Per-cycle bus occupancy, indexed by cycle (grown on demand):
+        # the schedule search probes slot availability cycle by cycle,
+        # and a flat list beats hashing every probe.
+        self.bus_load: list[int] = []
         self.port_busy: set[tuple[int, str, str]] = set()
+        # Per-RF-unit port name tuples (the spec views are cached, but
+        # the (unit -> names) resolution is per-architecture).
+        self._rf_read_ports: dict[str, tuple[str, ...]] = {}
+        self._rf_write_ports: dict[str, tuple[str, ...]] = {}
         self.avail: dict[str, int] = {}     # vreg -> first readable cycle
         self.fu: dict[str, _FUTrack] = {}
         self.guard_ready = 0
@@ -112,9 +124,18 @@ class _BlockScheduler:
     @staticmethod
     def _imm_slots(src) -> int:
         if isinstance(src, Literal):
-            move = Move(src, PortRef("x", "x"))
-            return 2 if move.needs_long_immediate() else 1
+            return 1 if -_SHORT_IMM_LIMIT <= src.value < _SHORT_IMM_LIMIT else 2
         return 1
+
+    def _load_at(self, cycle: int) -> int:
+        load = self.bus_load
+        return load[cycle] if cycle < len(load) else 0
+
+    def _add_load(self, cycle: int, amount: int) -> None:
+        load = self.bus_load
+        if cycle >= len(load):
+            load.extend([0] * (cycle + 1 - len(load)))
+        load[cycle] += amount
 
     def _bus_free(self, cycle: int, want: int) -> bool:
         """Slot availability, with the 1-bus long-immediate convention.
@@ -123,14 +144,11 @@ class _BlockScheduler:
         that extension word rides in the *next* instruction, which must
         stay completely empty (variable-length immediate fetch).
         """
-        nb = self.arch.num_buses
+        nb = self.num_buses
         if want <= nb:
-            return self.bus_load.get(cycle, 0) + want <= nb
+            return self._load_at(cycle) + want <= nb
         if nb == 1 and want == 2:
-            return (
-                self.bus_load.get(cycle, 0) == 0
-                and self.bus_load.get(cycle + 1, 0) == 0
-            )
+            return self._load_at(cycle) == 0 and self._load_at(cycle + 1) == 0
         return False
 
     def _port_free(self, cycle: int, unit: str, port: str) -> bool:
@@ -144,25 +162,30 @@ class _BlockScheduler:
         slots: int | None = None,
     ) -> None:
         want = slots if slots is not None else self._imm_slots(move.src)
-        nb = self.arch.num_buses
+        nb = self.num_buses
         if want > nb:
             # 1-bus long immediate: block the extension instruction.
-            self.bus_load[cycle] = self.bus_load.get(cycle, 0) + 1
-            self.bus_load[cycle + 1] = nb
+            self._add_load(cycle, 1)
+            self._add_load(cycle + 1, nb - self._load_at(cycle + 1))
             self.top = max(self.top, cycle + 2)
         else:
-            self.bus_load[cycle] = self.bus_load.get(cycle, 0) + want
+            self._add_load(cycle, want)
             self.top = max(self.top, cycle + 1)
         for unit, port in ports:
             self.port_busy.add((cycle, unit, port))
         self.placed.append((cycle, move))
 
     def _pick_rf_port(self, cycle: int, rf_unit: str, output: bool) -> str | None:
-        spec = self.arch.unit(rf_unit).spec
-        ports = spec.output_ports if output else spec.input_ports
-        for port in ports:
-            if self._port_free(cycle, rf_unit, port.name):
-                return port.name
+        cache = self._rf_read_ports if output else self._rf_write_ports
+        names = cache.get(rf_unit)
+        if names is None:
+            spec = self.arch.unit(rf_unit).spec
+            ports = spec.output_ports if output else spec.input_ports
+            names = cache[rf_unit] = tuple(p.name for p in ports)
+        busy = self.port_busy
+        for name in names:
+            if (cycle, rf_unit, name) not in busy:
+                return name
         return None
 
     # -- generic "deliver a value to an input port" -------------------------
@@ -180,22 +203,30 @@ class _BlockScheduler:
         literal = isinstance(operand, int)
         ready = 0 if literal else self.avail.get(operand, 0)
         cycle = max(earliest, ready, 0)
+        if literal:
+            lit_src = Literal(operand)
+            lit_slots = self._imm_slots(lit_src)
+        else:
+            rf_unit, index = self.allocation.home(operand)
+        port_busy = self.port_busy
+        bus_load = self.bus_load
+        nb = self.num_buses
+        dst_unit, dst_port = dst.unit, dst.port
         for _ in range(_SEARCH_LIMIT):
             ports: list[tuple[str, str]] = []
-            if reserve_dst_port and not self._port_free(cycle, dst.unit, dst.port):
+            if reserve_dst_port and (cycle, dst_unit, dst_port) in port_busy:
                 cycle += 1
                 continue
             if literal:
-                src: Literal | PortRef = Literal(operand)
+                src: Literal | PortRef = lit_src
                 src_reg = None
-                if not self._bus_free(cycle, self._imm_slots(src)):
+                if not self._bus_free(cycle, lit_slots):
                     cycle += 1
                     continue
             else:
-                if not self._bus_free(cycle, 1):
+                if (bus_load[cycle] if cycle < len(bus_load) else 0) >= nb:
                     cycle += 1
                     continue
-                rf_unit, index = self.allocation.home(operand)
                 rport = self._pick_rf_port(cycle, rf_unit, output=True)
                 if rport is None:
                     cycle += 1
@@ -208,10 +239,10 @@ class _BlockScheduler:
             move = Move(src, dst, opcode=opcode, src_reg=src_reg, dst_reg=dst_reg)
             self._place(cycle, move, ports)
             if not literal:
-                slot = self.allocation.home(operand)
-                self.slot_reads[slot] = max(
-                    self.slot_reads.get(slot, -1), cycle
-                )
+                slot = (rf_unit, index)
+                prior = self.slot_reads.get(slot, -1)
+                if cycle > prior:
+                    self.slot_reads[slot] = cycle
             return cycle
         raise ScheduleError(f"cannot deliver {operand!r} to {dst}")
 
@@ -233,10 +264,13 @@ class _BlockScheduler:
                 self.slot_reads.get(slot, -1),          # anti-dependence
                 self.slot_writes.get(slot, -1) + 1,     # output dependence
             )
+        port_busy = self.port_busy
+        bus_load = self.bus_load
+        nb = self.num_buses
         for _ in range(_SEARCH_LIMIT):
-            if not self._bus_free(cycle, 1) or not self._port_free(
+            if (bus_load[cycle] if cycle < len(bus_load) else 0) >= nb or (
                 cycle, unit_name, result_port
-            ):
+            ) in port_busy:
                 cycle += 1
                 continue
             if to_guard:
@@ -299,13 +333,21 @@ class _BlockScheduler:
             cycle += 1
         raise ScheduleError("cannot place literal copy")
 
+    def _track(self, unit_name: str) -> _FUTrack:
+        track = self.fu.get(unit_name)
+        if track is None:
+            track = self.fu[unit_name] = _FUTrack()
+        return track
+
     def _choose_fu(self, op: Op) -> "Unitlike":
         candidates = self.arch.fu_for_op(op.opcode)
         if not candidates:
             raise ScheduleError(f"no FU supports {op.opcode!r}")
+        if len(candidates) == 1:
+            return candidates[0]
 
         def pressure(unit) -> tuple[int, int]:
-            track = self.fu.setdefault(unit.name, _FUTrack())
+            track = self._track(unit.name)
             return (max(track.min_next_trigger, track.last_trigger + 1),
                     track.last_trigger)
 
@@ -314,7 +356,7 @@ class _BlockScheduler:
     def _schedule_fu_op(self, op: Op, guard_dst: bool) -> None:
         unit = self._choose_fu(op)
         spec = unit.spec
-        track = self.fu.setdefault(unit.name, _FUTrack())
+        track = self._track(unit.name)
         trigger_port = spec.trigger_port.name
         operand_port = next(
             (p.name for p in spec.input_ports if not p.is_trigger), None
@@ -346,7 +388,7 @@ class _BlockScheduler:
         if unit is None:
             raise ScheduleError("architecture has no load/store unit")
         spec = unit.spec
-        track = self.fu.setdefault(unit.name, _FUTrack())
+        track = self._track(unit.name)
         is_store = op.opcode == "st"
 
         t_op = track.last_trigger
@@ -453,7 +495,23 @@ def compile_ir(
     """Allocate, schedule and lay out ``fn`` for ``arch``."""
     fn.validate()
     rewritten, allocation = allocate(fn, arch, profile)
+    return schedule_allocated(rewritten, allocation, arch, validate=validate)
 
+
+def schedule_allocated(
+    rewritten: IRFunction,
+    allocation: RegisterAllocation,
+    arch: Architecture,
+    validate: bool = True,
+) -> CompileResult:
+    """Schedule and lay out an already register-allocated function.
+
+    ``rewritten``/``allocation`` must come from :func:`allocate` against
+    an architecture with the *same register files* — the scheduler reads
+    but never mutates them, so one allocation can be reused across every
+    configuration sharing an RF arrangement (the exploration sweeps do
+    exactly this via ``EvaluationContext``).
+    """
     block_instrs: dict[str, list[Instruction]] = {}
     jump_fixups: list[tuple[str, int, str]] = []   # (block, rel cycle, target)
     block_cycles: dict[str, int] = {}
@@ -506,7 +564,7 @@ def compile_ir(
         block_cycles[name] = length
 
     # Layout + jump patching.
-    program = Program(name=fn.name, data=dict(rewritten.data))
+    program = Program(name=rewritten.name, data=dict(rewritten.data))
     block_starts: dict[str, int] = {}
     for name in names:
         block_starts[name] = len(program.instructions)

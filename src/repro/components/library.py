@@ -207,8 +207,7 @@ class ComponentDatasheet:
         return _build_rf_ff_netlist(self.spec.name)
 
     def core_stats(self) -> NetlistStats | None:
-        nl = self.netlist()
-        return netlist_stats(nl) if nl is not None else None
+        return _core_stats(self.spec.name)
 
     # -- area model ------------------------------------------------------
     @property
@@ -272,6 +271,19 @@ def _build_core_netlist(spec_name: str) -> Netlist | None:
     if kind == "rf":
         return None
     raise ValueError(f"unknown component family in '{spec_name}'")
+
+
+@lru_cache(maxsize=None)
+def _core_stats(spec_name: str) -> NetlistStats | None:
+    """Area/delay statistics of a core netlist, computed once per type.
+
+    The explorer costs hundreds of architectures sharing a handful of
+    component types; without this cache every ``Architecture.area()``
+    re-walks the synthesised netlists (the dominant cost of a sweep's
+    area model).  Statistics are immutable, so sharing is safe.
+    """
+    netlist = _build_core_netlist(spec_name)
+    return netlist_stats(netlist) if netlist is not None else None
 
 
 @lru_cache(maxsize=None)

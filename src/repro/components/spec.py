@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 
 
 class ComponentKind(enum.Enum):
@@ -76,21 +77,30 @@ class ComponentSpec:
 
     # ------------------------------------------------------------------
     # port views
+    #
+    # Cached: the scheduler and the timing validator consult these for
+    # every single move they place or check, and ``ports`` is frozen.
+    # (``cached_property`` writes straight into ``__dict__``, which a
+    # frozen dataclass permits; dataclass eq/hash only see fields.)
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def input_ports(self) -> tuple[PortSpec, ...]:
         return tuple(p for p in self.ports if p.is_input)
 
-    @property
+    @cached_property
     def output_ports(self) -> tuple[PortSpec, ...]:
         return tuple(p for p in self.ports if not p.is_input)
 
-    @property
+    @cached_property
     def trigger_port(self) -> PortSpec | None:
         for p in self.ports:
             if p.is_trigger:
                 return p
         return None
+
+    @cached_property
+    def _port_map(self) -> dict[str, PortSpec]:
+        return {p.name: p for p in self.ports}
 
     @property
     def n_conn(self) -> int:
@@ -108,10 +118,10 @@ class ComponentSpec:
         return len(self.output_ports)
 
     def port(self, name: str) -> PortSpec:
-        for p in self.ports:
-            if p.name == name:
-                return p
-        raise KeyError(f"{self.name} has no port '{name}'")
+        try:
+            return self._port_map[name]
+        except KeyError:
+            raise KeyError(f"{self.name} has no port '{name}'") from None
 
     # ------------------------------------------------------------------
     # flip-flop accounting (drives scan-chain length n_l, eq. 13)

@@ -11,6 +11,7 @@ from repro.explore.space import (
     ArchConfig,
     RFConfig,
     build_architecture,
+    build_architecture_cached,
     crypt_space,
     dsp_space,
     small_space,
@@ -19,12 +20,14 @@ from repro.explore.space import (
 )
 from repro.explore.evaluate import (
     EvaluatedPoint,
+    EvaluationContext,
     evaluate_config,
     evaluate_config_worker,
     evaluate_space,
     init_evaluation_worker,
+    required_fu_opcodes,
 )
-from repro.explore.pareto import dominates, pareto_filter
+from repro.explore.pareto import dominates, pareto_filter, pareto_filter_naive
 from repro.explore.explorer import ExplorationResult, explore
 from repro.explore.iterative import IterativeResult, iterative_explore, neighbours
 from repro.explore.selection import normalize_points, select_architecture
@@ -32,9 +35,11 @@ from repro.explore.selection import normalize_points, select_architecture
 __all__ = [
     "ArchConfig",
     "EvaluatedPoint",
+    "EvaluationContext",
     "ExplorationResult",
     "RFConfig",
     "build_architecture",
+    "build_architecture_cached",
     "crypt_space",
     "dominates",
     "dsp_space",
@@ -48,6 +53,8 @@ __all__ = [
     "neighbours",
     "normalize_points",
     "pareto_filter",
+    "pareto_filter_naive",
+    "required_fu_opcodes",
     "select_architecture",
     "small_space",
     "space_by_name",

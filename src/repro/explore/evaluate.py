@@ -1,21 +1,69 @@
-"""Evaluation of one architecture configuration against a workload.
+"""Evaluation of architecture configurations against a workload.
 
 Mirrors the MOVE evaluation loop: compile the application onto the
 candidate, take the **profile-weighted static cycle count** as the
 throughput cost and the placed **area** from the component datasheets.
 Configurations the compiler cannot map (no RF capacity, missing FU
 classes) are reported infeasible rather than silently skipped.
+
+The sweep hot path is :class:`EvaluationContext`: one instance per
+(workload, profile, width) computes the work that is identical across
+the whole configuration grid exactly once —
+
+* the workload is IR-validated once, not per configuration;
+* register allocation is memoized by RF arrangement, because the
+  allocation reads only the register files, never the bus/FU mix;
+* unmappable configurations (too few registers, missing FU class) are
+  rejected by an exact pre-check before the scheduler ever runs;
+* architectures come from the shared builder cache, and their area
+  model reuses the per-component-type netlist statistics.
+
+Both the serial loop and the process-pool workers (via the pool
+initializer) evaluate through a context, so serial and parallel sweeps
+share one code path and produce identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compiler.ir import IRFunction
-from repro.compiler.regalloc import AllocationError
-from repro.compiler.scheduler import CompileResult, ScheduleError, compile_ir
-from repro.explore.space import ArchConfig, build_architecture
+from repro.compiler.ir import LOAD_OPCODES, IRFunction
+from repro.compiler.regalloc import (
+    _MIN_LOCAL_POOL,
+    AllocationError,
+    RegisterAllocation,
+    allocate,
+)
+from repro.compiler.scheduler import (
+    CompileResult,
+    ScheduleError,
+    schedule_allocated,
+)
+from repro.explore.space import (
+    ArchConfig,
+    build_architecture_cached,
+)
 from repro.tta.arch import Architecture
+
+#: Opcodes the scheduler lowers without a matching functional unit.
+_NON_FU_OPCODES = frozenset({"li", "st"}) | LOAD_OPCODES
+
+
+def required_fu_opcodes(workload: IRFunction) -> frozenset[str]:
+    """Opcodes of ``workload`` that must be backed by a functional unit.
+
+    Matches the scheduler's lowering exactly: literals, loads and stores
+    need no FU (the LSU is part of every template), and ``mov`` lowers
+    to ``or`` on an ALU.
+    """
+    ops: set[str] = set()
+    for block in workload.blocks.values():
+        for op in block.ops:
+            opcode = op.opcode
+            if opcode in _NON_FU_OPCODES:
+                continue
+            ops.add("or" if opcode == "mov" else opcode)
+    return frozenset(ops)
 
 
 @dataclass
@@ -45,6 +93,87 @@ class EvaluatedPoint:
         return (self.area, float(self.cycles), float(self.test_cost))
 
 
+class EvaluationContext:
+    """Shared-work cache for one sweep of a (workload, profile, width).
+
+    The context owns everything that is invariant across the sweep's
+    configurations, so ``evaluate`` touches only per-configuration work:
+    build (or fetch) the architecture, pre-check mappability, reuse the
+    RF-arrangement's register allocation, and schedule.
+    """
+
+    def __init__(
+        self,
+        workload: IRFunction,
+        profile: dict[str, int],
+        width: int = 16,
+        validate: bool = True,
+    ) -> None:
+        workload.validate()                 # once per sweep, not per config
+        self.workload = workload
+        self.profile = dict(profile)
+        self.width = width
+        self.validate = validate
+        self.required_ops = required_fu_opcodes(workload)
+        # RF arrangement -> (rewritten IR, allocation), or the message
+        # of the AllocationError the arrangement raises (stored as a
+        # plain string — re-raising one cached exception object would
+        # grow its traceback on every infeasible configuration).  The
+        # allocation reads only the register files, so every
+        # configuration sharing an arrangement shares one allocation
+        # verbatim.
+        self._allocations: dict[
+            tuple, tuple[IRFunction, RegisterAllocation] | str
+        ] = {}
+
+    def _allocation(
+        self, config: ArchConfig, arch: Architecture
+    ) -> tuple[IRFunction, RegisterAllocation]:
+        key = config.rfs
+        entry = self._allocations.get(key)
+        if entry is None:
+            try:
+                entry = allocate(self.workload, arch, self.profile)
+            except AllocationError as exc:
+                entry = str(exc)
+            self._allocations[key] = entry
+        if isinstance(entry, str):
+            raise AllocationError(entry)
+        return entry
+
+    def evaluate(
+        self, config: ArchConfig, keep_compile_result: bool = False
+    ) -> EvaluatedPoint:
+        """Compile the workload onto one configuration and cost it."""
+        arch = build_architecture_cached(config, self.width)
+        area = arch.area()
+        # Exact feasibility pre-checks: both conditions are precisely
+        # the early failures ``allocate``/``schedule_allocated`` would
+        # raise, so rejecting here changes nothing but the time spent.
+        if config.total_registers < _MIN_LOCAL_POOL:
+            return EvaluatedPoint(config=config, area=area, cycles=None)
+        if not self.required_ops <= arch.ops_supported():
+            return EvaluatedPoint(config=config, area=area, cycles=None)
+        try:
+            rewritten, allocation = self._allocation(config, arch)
+            compiled = schedule_allocated(
+                rewritten, allocation, arch, validate=self.validate
+            )
+        except (AllocationError, ScheduleError):
+            return EvaluatedPoint(config=config, area=area, cycles=None)
+        cycles = compiled.static_cycles(self.profile)
+        return EvaluatedPoint(
+            config=config,
+            area=area,
+            cycles=cycles,
+            compile_result=compiled if keep_compile_result else None,
+        )
+
+    def evaluate_space(self, space: list[ArchConfig]) -> list[EvaluatedPoint]:
+        """Evaluate every configuration (feasible or not) in ``space``."""
+        return [self.evaluate(config) for config in space]
+
+
 def evaluate_config(
     config: ArchConfig,
     workload: IRFunction,
@@ -52,20 +181,13 @@ def evaluate_config(
     width: int = 16,
     keep_compile_result: bool = False,
 ) -> EvaluatedPoint:
-    """Compile ``workload`` onto one configuration and cost it."""
-    arch = build_architecture(config, width)
-    area = arch.area()
-    try:
-        compiled = compile_ir(workload, arch, profile=profile)
-    except (AllocationError, ScheduleError):
-        return EvaluatedPoint(config=config, area=area, cycles=None)
-    cycles = compiled.static_cycles(profile)
-    return EvaluatedPoint(
-        config=config,
-        area=area,
-        cycles=cycles,
-        compile_result=compiled if keep_compile_result else None,
-    )
+    """Compile ``workload`` onto one configuration and cost it.
+
+    One-shot convenience wrapper; sweeps should hold an
+    :class:`EvaluationContext` so per-workload work is shared.
+    """
+    context = EvaluationContext(workload, profile, width)
+    return context.evaluate(config, keep_compile_result=keep_compile_result)
 
 
 # ----------------------------------------------------------------------
@@ -73,31 +195,26 @@ def evaluate_config(
 #
 # ``ProcessPoolExecutor`` can only ship module-level callables, and the
 # workload/profile are identical for every configuration of a sweep, so
-# they travel once per worker (via the pool initializer) instead of once
-# per task.
+# they travel once per worker (via the pool initializer), which then
+# pins a per-worker EvaluationContext — each worker gets the same
+# shared-work caching the serial loop enjoys.
 # ----------------------------------------------------------------------
-_WORKER_CONTEXT: dict[str, object] = {}
+_WORKER_CONTEXT: dict[str, EvaluationContext] = {}
 
 
 def init_evaluation_worker(
     workload: IRFunction, profile: dict[str, int], width: int
 ) -> None:
-    """Pool initializer: pin the shared per-sweep evaluation inputs."""
-    _WORKER_CONTEXT["workload"] = workload
-    _WORKER_CONTEXT["profile"] = profile
-    _WORKER_CONTEXT["width"] = width
+    """Pool initializer: pin the shared per-sweep evaluation context."""
+    _WORKER_CONTEXT["context"] = EvaluationContext(workload, profile, width)
 
 
 def evaluate_config_worker(config: ArchConfig) -> EvaluatedPoint:
     """Evaluate one configuration against the pinned worker context."""
-    if "workload" not in _WORKER_CONTEXT:
+    context = _WORKER_CONTEXT.get("context")
+    if context is None:
         raise RuntimeError("init_evaluation_worker() was not called")
-    return evaluate_config(
-        config,
-        _WORKER_CONTEXT["workload"],        # type: ignore[arg-type]
-        _WORKER_CONTEXT["profile"],         # type: ignore[arg-type]
-        _WORKER_CONTEXT["width"],           # type: ignore[arg-type]
-    )
+    return context.evaluate(config)
 
 
 def evaluate_space(
@@ -107,11 +224,9 @@ def evaluate_space(
     width: int = 16,
 ) -> list[EvaluatedPoint]:
     """Evaluate every configuration (feasible or not) in ``space``."""
-    return [
-        evaluate_config(config, workload, profile, width) for config in space
-    ]
+    return EvaluationContext(workload, profile, width).evaluate_space(space)
 
 
 def architecture_of(point: EvaluatedPoint, width: int = 16) -> Architecture:
-    """Re-instantiate the architecture of an evaluated point."""
-    return build_architecture(point.config, width)
+    """The architecture of an evaluated point (shared builder cache)."""
+    return build_architecture_cached(point.config, width)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.components.library import (
     alu_spec,
@@ -132,6 +133,20 @@ def build_architecture(config: ArchConfig, width: int = 16) -> Architecture:
         num_buses=config.num_buses,
         units=units,
     )
+
+
+@lru_cache(maxsize=1024)
+def build_architecture_cached(config: ArchConfig, width: int = 16) -> Architecture:
+    """Shared :class:`Architecture` instance for a (config, width) pair.
+
+    ``ArchConfig`` is frozen, so equal configs always instantiate the
+    same template; the evaluation pipeline and the test-cost layer both
+    consult this cache instead of rebuilding (``attach_test_costs`` used
+    to reconstruct every Pareto point's architecture from scratch).
+    Callers must treat the returned object as immutable — anyone who
+    needs a private mutable copy should call :func:`build_architecture`.
+    """
+    return build_architecture(config, width)
 
 
 #: Register-file arrangements offered to the Crypt exploration.

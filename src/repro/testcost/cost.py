@@ -95,6 +95,45 @@ class TestCostBreakdown:
         raise KeyError(f"no unit {name!r} in breakdown")
 
 
+#: (spec, march, num_buses, port->bus binding) -> (cd, component cost,
+#: back-annotation).  Everything eqs. 11-13 read about one unit is in
+#: that fingerprint, so two units agreeing on it — across architectures,
+#: sweeps and workloads — share one evaluation, and ``attach_test_costs``
+#: stops re-running the ATPG-backed math for every Pareto point that
+#: merely re-mixes already-seen components.
+_UNIT_COST_CACHE: dict[tuple, tuple[int, int, "Backannotation"]] = {}
+
+
+def _unit_cost(
+    arch: Architecture, unit_name: str, march_name: str
+) -> tuple[int, int, Backannotation]:
+    """(CD, component cost, back-annotation) for one unit, memoized."""
+    spec = arch.unit(unit_name).spec
+    binding = tuple(
+        (port.name, tuple(sorted(arch.port_buses(unit_name, port.name))))
+        for port in spec.ports
+    )
+    key = (spec, march_name, arch.num_buses, binding)
+    cached = _UNIT_COST_CACHE.get(key)
+    if cached is not None:
+        return cached
+    back = component_backannotation(spec, march_name)
+    cd = transport_latency(arch, unit_name)
+    if spec.kind is ComponentKind.FU:
+        component = fu_test_cost(
+            back.num_patterns, cd, spec.n_conn, arch.num_buses
+        )
+    elif spec.kind is ComponentKind.RF:
+        component = rf_test_cost(
+            back.num_patterns, cd, spec.n_in, spec.n_out, arch.num_buses
+        )
+    else:
+        component = 0
+    result = (cd, component, back)
+    _UNIT_COST_CACHE[key] = result
+    return result
+
+
 def architecture_test_cost(
     arch: Architecture,
     march_name: str = "March C-",
@@ -108,19 +147,8 @@ def architecture_test_cost(
     breakdown = TestCostBreakdown(arch_name=arch.name)
     for unit in arch.units.values():
         spec = unit.spec
-        back = component_backannotation(spec, march_name)
-        cd = transport_latency(arch, unit.name)
+        cd, component, back = _unit_cost(arch, unit.name, march_name)
         counted = spec.kind in (ComponentKind.FU, ComponentKind.RF)
-        if spec.kind is ComponentKind.FU:
-            component = fu_test_cost(
-                back.num_patterns, cd, spec.n_conn, arch.num_buses
-            )
-        elif spec.kind is ComponentKind.RF:
-            component = rf_test_cost(
-                back.num_patterns, cd, spec.n_in, spec.n_out, arch.num_buses
-            )
-        else:
-            component = 0
         breakdown.units.append(
             UnitTestCost(
                 unit_name=unit.name,
@@ -141,7 +169,14 @@ def attach_test_costs(
     march_name: str = "March C-",
     width: int = 16,
 ) -> list[EvaluatedPoint]:
-    """Annotate evaluated points with ``f_t`` (feasible points only)."""
+    """Annotate evaluated points with ``f_t`` (feasible points only).
+
+    Architectures come from the shared builder cache (the same instance
+    ``evaluate_config`` costed), and per-unit costs are served from the
+    component-fingerprint cache, so attaching costs to a Pareto set does
+    not re-instantiate templates or re-run the ATPG engine for component
+    types it has already seen.
+    """
     for point in points:
         if not point.feasible:
             continue

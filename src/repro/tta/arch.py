@@ -81,6 +81,11 @@ class Architecture:
                 self.connectivity[key] = frozenset(buses)
 
         self._validate_composition()
+        self._port_table: dict[
+            tuple[str, str], tuple[ComponentSpec, object, frozenset[int]]
+        ] | None = None
+        self._fu_op_table: dict[str, list[UnitInstance]] = {}
+        self._ops_supported: set[str] | None = None
 
     def _validate_composition(self) -> None:
         if not any(u.spec.kind is ComponentKind.PC for u in self.units.values()):
@@ -125,14 +130,25 @@ class Architecture:
         return imms[0] if imms else None
 
     def ops_supported(self) -> set[str]:
-        ops: set[str] = set()
-        for unit in self.fus:
-            ops |= set(unit.spec.ops)
-        return ops
+        if self._ops_supported is None:
+            ops: set[str] = set()
+            for unit in self.fus:
+                ops |= set(unit.spec.ops)
+            self._ops_supported = ops
+        return self._ops_supported
 
     def fu_for_op(self, op: str) -> list[UnitInstance]:
-        """FUs able to execute ``op`` (scheduler candidates)."""
-        return [u for u in self.fus if op in u.spec.ops]
+        """FUs able to execute ``op`` (scheduler candidates, memoized).
+
+        The scheduler asks for every operation it places; the unit set
+        never changes after construction, so the answer is computed once
+        per opcode.  Callers must not mutate the returned list.
+        """
+        candidates = self._fu_op_table.get(op)
+        if candidates is None:
+            candidates = [u for u in self.fus if op in u.spec.ops]
+            self._fu_op_table[op] = candidates
+        return candidates
 
     def port_buses(self, unit: str, port: str) -> frozenset[int]:
         try:
@@ -143,6 +159,26 @@ class Architecture:
     def test_bus(self, unit: str, port: str) -> int:
         """Designated bus for test transports (lowest connected)."""
         return min(self.port_buses(unit, port))
+
+    @property
+    def port_table(
+        self,
+    ) -> dict[tuple[str, str], tuple[ComponentSpec, object, frozenset[int]]]:
+        """(unit, port) -> (spec, port spec, connected buses), lazily built.
+
+        The timing validator consults unit/port/connectivity for every
+        move of every instruction; one flat lookup table turns that into
+        a single dict probe per move end.
+        """
+        table = self._port_table
+        if table is None:
+            table = {}
+            for unit in self.units.values():
+                for port in unit.spec.ports:
+                    key = (unit.name, port.name)
+                    table[key] = (unit.spec, port, self.connectivity[key])
+            self._port_table = table
+        return table
 
     # ------------------------------------------------------------------
     # cost model

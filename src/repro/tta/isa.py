@@ -21,7 +21,7 @@ GUARD_UNIT = "guard"
 SHORT_IMM_BITS = 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PortRef:
     """A unit port, e.g. ``alu0.a`` or ``rf0.r0``."""
 
@@ -32,7 +32,7 @@ class PortRef:
         return f"{self.unit}.{self.port}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal:
     """An immediate move source."""
 
@@ -42,7 +42,7 @@ class Literal:
         return f"#{self.value}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Guard:
     """Move predicate: guard register ``index``, optionally inverted."""
 
@@ -53,7 +53,7 @@ class Guard:
         return f"(!g{self.index})" if self.invert else f"(g{self.index})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Move:
     """One data transport.
 
@@ -95,7 +95,7 @@ class Move:
         return " ".join(parts)
 
 
-@dataclass
+@dataclass(slots=True)
 class Instruction:
     """One cycle's bus-slot vector: ``slots[b]`` is the move on bus b."""
 

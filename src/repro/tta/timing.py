@@ -15,6 +15,7 @@ what makes relation (5) hold by construction for later operand writes.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.components.reference import ALU_OPS, CMP_OPS, MUL_OPS, SHIFTER_OPS
@@ -55,12 +56,16 @@ class _FUTracker:
         self.has_result.append(has_result)
 
     def landed_index(self, cycle: int) -> int | None:
-        """Most recent result-producing op that has landed by ``cycle``."""
-        landed = None
-        for i, t in enumerate(self.trigger_cycles):
-            if self.has_result[i] and t + self.latency <= cycle:
-                landed = i
-        return landed
+        """Most recent result-producing op that has landed by ``cycle``.
+
+        ``trigger_cycles`` is ascending (the validator walks the program
+        in cycle order), so the latest landed trigger is found by bisect
+        instead of a scan over every operation the FU ever ran.
+        """
+        i = bisect_right(self.trigger_cycles, cycle - self.latency) - 1
+        while i >= 0 and not self.has_result[i]:
+            i -= 1
+        return i if i >= 0 else None
 
 
 def validate_program(
@@ -75,48 +80,69 @@ def validate_program(
     """
     violations: list[TimingViolation] = []
     trackers: dict[str, _FUTracker] = {}
+    port_table = arch.port_table
+    num_buses = arch.num_buses
 
     def err(cycle: int, bus: int, message: str) -> None:
         violations.append(TimingViolation(cycle, bus, message))
 
+    # The per-cycle conflict maps are reused (cleared) across cycles —
+    # allocating three dicts per instruction dominated the validator.
+    rf_port_use: dict[tuple[str, str], int] = {}
+    dst_use: dict[tuple[str, str], int] = {}
+    src_use: dict[tuple[str, str], int] = {}
+
     for cycle, instruction in enumerate(program.instructions):
-        if len(instruction.slots) > arch.num_buses:
-            err(cycle, 0, f"{len(instruction.slots)} slots > {arch.num_buses} buses")
-        if instruction.slots_used() > arch.num_buses:
+        slots = instruction.slots
+        if len(slots) > num_buses:
+            err(cycle, 0, f"{len(slots)} slots > {num_buses} buses")
+        num_moves = 0
+        slots_used = 0
+        for m in slots:
+            if m is not None:
+                num_moves += 1
+                slots_used += 2 if m.needs_long_immediate() else 1
+        if slots_used > num_buses:
             # 1-bus convention: one long-immediate move may spill its
             # extension word into the next instruction if that is empty.
             next_empty = (
                 cycle + 1 < len(program.instructions)
                 and not program.instructions[cycle + 1].moves
             ) or cycle + 1 >= len(program.instructions)
-            one_long = (
-                arch.num_buses == 1
-                and len(instruction.moves) == 1
-                and instruction.slots_used() == 2
-            )
+            one_long = num_buses == 1 and num_moves == 1 and slots_used == 2
             if not (one_long and next_empty):
                 err(cycle, 0, "long immediates exceed available bus slots")
 
-        rf_port_use: dict[tuple[str, str], int] = {}
-        dst_use: dict[tuple[str, str], int] = {}
-        src_use: dict[tuple[str, str], int] = {}
+        rf_port_use.clear()
+        dst_use.clear()
+        src_use.clear()
 
-        for bus, move in enumerate(instruction.slots):
+        for bus, move in enumerate(slots):
             if move is None:
                 continue
-            _check_move_structure(arch, program, move, cycle, bus, err)
-            if isinstance(move.src, PortRef) and move.src.unit != GUARD_UNIT:
-                src_use[(move.src.unit, move.src.port)] = (
-                    src_use.get((move.src.unit, move.src.port), 0) + 1
-                )
-                _track_rf(arch, move.src, rf_port_use)
-            if move.dst.unit != GUARD_UNIT:
-                dst_use[(move.dst.unit, move.dst.port)] = (
-                    dst_use.get((move.dst.unit, move.dst.port), 0) + 1
-                )
-                _track_rf(arch, move.dst, rf_port_use)
+            src = move.src
+            dst = move.dst
+            src_info = (
+                port_table.get((src.unit, src.port))
+                if type(src) is PortRef
+                else None
+            )
+            dst_info = port_table.get((dst.unit, dst.port))
+            _check_move_structure(
+                arch, program, move, cycle, bus, err, src_info, dst_info
+            )
+            if type(src) is PortRef and src.unit != GUARD_UNIT:
+                key = (src.unit, src.port)
+                src_use[key] = src_use.get(key, 0) + 1
+                if src_info is not None and src_info[0].kind is ComponentKind.RF:
+                    rf_port_use[key] = rf_port_use.get(key, 0) + 1
+            if dst.unit != GUARD_UNIT:
+                key = (dst.unit, dst.port)
+                dst_use[key] = dst_use.get(key, 0) + 1
+                if dst_info is not None and dst_info[0].kind is ComponentKind.RF:
+                    rf_port_use[key] = rf_port_use.get(key, 0) + 1
 
-            _check_fu_timing(arch, move, cycle, bus, trackers, err)
+            _check_fu_timing(move, cycle, bus, trackers, err, src_info, dst_info)
 
         for (unit, port), count in dst_use.items():
             if count > 1:
@@ -151,16 +177,9 @@ def _has_result(arch: Architecture, unit: str) -> bool:
     return bool(spec.output_ports) and spec.kind is ComponentKind.FU
 
 
-def _track_rf(
-    arch: Architecture, ref: PortRef, usage: dict[tuple[str, str], int]
+def _check_move_structure(
+    arch, program, move: Move, cycle, bus, err, src_info=None, dst_info=None
 ) -> None:
-    if ref.unit == GUARD_UNIT or ref.unit not in arch.units:
-        return
-    if arch.unit(ref.unit).spec.kind is ComponentKind.RF:
-        usage[(ref.unit, ref.port)] = usage.get((ref.unit, ref.port), 0) + 1
-
-
-def _check_move_structure(arch, program, move: Move, cycle, bus, err) -> None:
     # Guard register range.
     if move.guard is not None and not 0 <= move.guard.index < arch.num_guard_regs:
         err(cycle, bus, f"guard g{move.guard.index} out of range")
@@ -171,19 +190,18 @@ def _check_move_structure(arch, program, move: Move, cycle, bus, err) -> None:
         if index is None or index >= arch.num_guard_regs:
             err(cycle, bus, f"bad guard destination {move.dst}")
     else:
-        try:
-            spec = arch.unit(move.dst.unit).spec
-        except Exception:
-            err(cycle, bus, f"unknown unit {move.dst.unit!r}")
+        if dst_info is None:
+            dst_info = arch.port_table.get((move.dst.unit, move.dst.port))
+        if dst_info is None:
+            if move.dst.unit not in arch.units:
+                err(cycle, bus, f"unknown unit {move.dst.unit!r}")
+            else:
+                err(cycle, bus, f"unknown port {move.dst}")
             return
-        try:
-            port = spec.port(move.dst.port)
-        except KeyError:
-            err(cycle, bus, f"unknown port {move.dst}")
-            return
+        spec, port, buses = dst_info
         if not port.is_input:
             err(cycle, bus, f"{move.dst} is not an input port")
-        if bus not in arch.port_buses(move.dst.unit, move.dst.port):
+        if bus not in buses:
             err(cycle, bus, f"{move.dst} not connected to bus {bus}")
         if spec.kind is ComponentKind.RF:
             if move.dst_reg is None or not 0 <= move.dst_reg < spec.num_regs:
@@ -207,19 +225,18 @@ def _check_move_structure(arch, program, move: Move, cycle, bus, err) -> None:
         if index is None or index >= arch.num_guard_regs:
             err(cycle, bus, f"bad guard source {move.src}")
         return
-    try:
-        spec = arch.unit(move.src.unit).spec
-    except Exception:
-        err(cycle, bus, f"unknown unit {move.src.unit!r}")
+    if src_info is None:
+        src_info = arch.port_table.get((move.src.unit, move.src.port))
+    if src_info is None:
+        if move.src.unit not in arch.units:
+            err(cycle, bus, f"unknown unit {move.src.unit!r}")
+        else:
+            err(cycle, bus, f"unknown port {move.src}")
         return
-    try:
-        port = spec.port(move.src.port)
-    except KeyError:
-        err(cycle, bus, f"unknown port {move.src}")
-        return
+    spec, port, buses = src_info
     if port.is_input:
         err(cycle, bus, f"{move.src} is not an output port")
-    if bus not in arch.port_buses(move.src.unit, move.src.port):
+    if bus not in buses:
         err(cycle, bus, f"{move.src} not connected to bus {bus}")
     if spec.kind is ComponentKind.RF:
         if move.src_reg is None or not 0 <= move.src_reg < spec.num_regs:
@@ -240,40 +257,36 @@ def _check_opcode(arch, spec, move: Move, cycle, bus, err) -> None:
             err(cycle, bus, f"PC opcode {move.opcode!r} invalid")
 
 
-def _check_fu_timing(arch, move: Move, cycle, bus, trackers, err) -> None:
+def _check_fu_timing(
+    move: Move, cycle, bus, trackers, err, src_info, dst_info
+) -> None:
     # Result reads: relation (3) — not before trigger + latency.
-    if isinstance(move.src, PortRef) and move.src.unit in arch.units:
-        unit = arch.unit(move.src.unit)
-        spec = unit.spec
-        is_result = (
-            spec.kind in (ComponentKind.FU, ComponentKind.LSU)
-            and not spec.port(move.src.port).is_input
-            if move.src.port in [p.name for p in spec.ports]
-            else False
-        )
-        if is_result:
-            tracker = trackers.get(move.src.unit)
-            landed = tracker.landed_index(cycle) if tracker else None
-            if landed is None:
-                err(
-                    cycle,
-                    bus,
-                    f"read of {move.src} before any result is ready "
-                    f"(eq. 3: C(R) - C(T) >= {spec.latency})",
-                )
-            else:
-                tracker.results_read[landed] = True
+    if (
+        src_info is not None
+        and not src_info[1].is_input
+        and src_info[0].kind in (ComponentKind.FU, ComponentKind.LSU)
+    ):
+        src = move.src
+        tracker = trackers.get(src.unit)
+        landed = tracker.landed_index(cycle) if tracker else None
+        if landed is None:
+            err(
+                cycle,
+                bus,
+                f"read of {src} before any result is ready "
+                f"(eq. 3: C(R) - C(T) >= {src_info[0].latency})",
+            )
+        else:
+            tracker.results_read[landed] = True
 
     # Triggers: start a new operation record.
-    if move.dst.unit in arch.units:
-        spec = arch.unit(move.dst.unit).spec
-        port_names = [p.name for p in spec.ports]
-        if move.dst.port in port_names and spec.port(move.dst.port).is_trigger:
-            if spec.kind in (ComponentKind.FU, ComponentKind.LSU):
-                tracker = trackers.setdefault(
-                    move.dst.unit, _FUTracker(spec.latency)
-                )
-                tracker.trigger(cycle, has_result=move.opcode != "st")
+    if dst_info is not None and dst_info[1].is_trigger:
+        spec = dst_info[0]
+        if spec.kind in (ComponentKind.FU, ComponentKind.LSU):
+            tracker = trackers.setdefault(
+                move.dst.unit, _FUTracker(spec.latency)
+            )
+            tracker.trigger(cycle, has_result=move.opcode != "st")
 
 
 def _guard_index(port: str) -> int | None:

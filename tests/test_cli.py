@@ -113,3 +113,36 @@ def test_report_missing_file(capsys, tmp_path):
     code, _, err = _run(capsys, "report", str(tmp_path / "missing.json"))
     assert code == 1
     assert "error:" in err
+
+
+def test_explore_profile_flag(capsys):
+    code, out, err = _run(
+        capsys, "explore", "--workload", "gcd", "--space", "small",
+        "--no-cache", "-q", "--profile",
+    )
+    assert code == 0
+    assert "exploration of gcd" in out
+    # cProfile top-25 cumulative goes to stderr
+    assert "cumulative" in err and "ncalls" in err
+
+
+def test_bench_small_suite(capsys, tmp_path):
+    out_file = tmp_path / "bench.json"
+    code, out, _ = _run(
+        capsys, "bench", "--suite", "small", "-o", str(out_file),
+    )
+    assert code == 0
+    assert "speedup" in out
+    report = json.loads(out_file.read_text())
+    assert report["sweeps"] and all(
+        s["pareto_identical"] for s in report["sweeps"]
+    )
+    assert "small_speedup" in report
+
+
+def test_bench_no_write(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code, out, _ = _run(capsys, "bench", "--suite", "small", "--no-write")
+    assert code == 0
+    assert "pareto filter" in out
+    assert not (tmp_path / "BENCH_evaluate.json").exists()

@@ -1,0 +1,180 @@
+"""The fast evaluation pipeline: caches must never change results.
+
+Covers the PR-2 invariants: the sort-based Pareto filter matches the
+naive quadratic oracle on adversarial point sets, memoized register
+allocation produces byte-identical schedules, the feasibility pre-check
+agrees exactly with the compiler, and the worker entry points evaluate
+through the same context as the serial loop.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_gcd_ir
+from repro.apps.registry import build_workload
+from repro.compiler.interp import IRInterpreter
+from repro.compiler.regalloc import AllocationError
+from repro.compiler.scheduler import ScheduleError, compile_ir
+from repro.explore import (
+    ArchConfig,
+    EvaluationContext,
+    RFConfig,
+    build_architecture,
+    build_architecture_cached,
+    evaluate_config,
+    evaluate_config_worker,
+    init_evaluation_worker,
+    pareto_filter,
+    pareto_filter_naive,
+    required_fu_opcodes,
+    small_space,
+)
+from repro.explore.space import dsp_space
+
+
+def _workload_and_profile(name="gcd"):
+    if name == "gcd":
+        workload = build_gcd_ir(252, 105)
+    else:
+        workload = build_workload(name)
+    profile = IRInterpreter(workload, width=16).run().block_counts
+    return workload, profile
+
+
+# ----------------------------------------------------------------------
+# sort-based pareto filter vs the naive oracle
+# ----------------------------------------------------------------------
+# Narrow value ranges force heavy ties and exact duplicates — the cases
+# where a sweep with sloppy strictness handling diverges from dominance.
+@settings(max_examples=200)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+def test_pareto_sweep_matches_naive(dim, data):
+    points = data.draw(
+        st.lists(
+            st.tuples(*[st.integers(min_value=0, max_value=4)] * dim),
+            max_size=40,
+        )
+    )
+    items = list(enumerate(points))     # make duplicates distinguishable
+    fast = pareto_filter(items, key=lambda it: it[1])
+    naive = pareto_filter_naive(items, key=lambda it: it[1])
+    assert fast == naive
+
+
+def test_pareto_sweep_keeps_first_duplicate_and_order():
+    points = [("b", (2, 1)), ("a", (1, 2)), ("c", (1, 2)), ("d", (3, 3))]
+    kept = pareto_filter(points, key=lambda p: p[1])
+    # input order preserved, first duplicate kept, dominated (3,3) gone
+    assert [p[0] for p in kept] == ["b", "a"]
+
+
+def test_pareto_dimension_mismatch_raises():
+    with pytest.raises(ValueError):
+        pareto_filter([(1, 2), (1, 2, 3)], key=lambda p: p)
+
+
+def test_pareto_empty():
+    assert pareto_filter([], key=lambda p: p) == []
+
+
+# ----------------------------------------------------------------------
+# memoized register allocation
+# ----------------------------------------------------------------------
+def test_memoized_regalloc_schedules_byte_identical():
+    """Context-cached allocation must reproduce fresh compiles exactly."""
+    workload, profile = _workload_and_profile("gcd")
+    context = EvaluationContext(workload, profile, width=16)
+    for config in small_space():
+        point = context.evaluate(config, keep_compile_result=True)
+        arch = build_architecture(config, 16)
+        fresh = compile_ir(workload, arch, profile=profile)
+        assert point.feasible
+        assert point.compile_result is not None
+        assert (
+            point.compile_result.program.listing() == fresh.program.listing()
+        )
+        assert point.cycles == fresh.static_cycles(profile)
+    # the cache really was shared: one allocation per RF arrangement
+    distinct_rfs = {config.rfs for config in small_space()}
+    assert set(context._allocations) == distinct_rfs
+
+
+def test_context_matches_one_shot_evaluation():
+    workload, profile = _workload_and_profile("gcd")
+    context = EvaluationContext(workload, profile, width=16)
+    for config in small_space():
+        a = context.evaluate(config)
+        b = evaluate_config(config, workload, profile, 16)
+        assert (a.label, a.area, a.cycles) == (b.label, b.area, b.cycles)
+
+
+# ----------------------------------------------------------------------
+# feasibility pre-check is exact
+# ----------------------------------------------------------------------
+def _compiles(workload, profile, config, width=16):
+    arch = build_architecture(config, width)
+    try:
+        compile_ir(workload, arch, profile=profile)
+        return True
+    except (AllocationError, ScheduleError):
+        return False
+
+
+def test_precheck_rejects_exactly_what_the_compiler_rejects():
+    # fir needs a multiplier: infeasible on every mul-less small-space
+    # point, feasible on the dsp grid — the pre-check must agree with a
+    # real compile attempt on every single configuration.
+    for name, space in (("fir", small_space()), ("fir", dsp_space()),
+                        ("gcd", small_space())):
+        workload, profile = _workload_and_profile(name)
+        context = EvaluationContext(workload, profile, width=16)
+        for config in space:
+            assert context.evaluate(config).feasible == _compiles(
+                workload, profile, config
+            ), f"{name} on {config.label()}"
+
+
+def test_precheck_tiny_register_file():
+    workload, profile = _workload_and_profile("gcd")
+    context = EvaluationContext(workload, profile, width=16)
+    config = ArchConfig(num_buses=2, rfs=(RFConfig(2),))
+    point = context.evaluate(config)
+    assert not point.feasible
+    assert point.area > 0
+    assert not _compiles(workload, profile, config)
+
+
+def test_required_fu_opcodes():
+    workload, _ = _workload_and_profile("fir")
+    ops = required_fu_opcodes(workload)
+    assert "mul" in ops
+    # memory traffic and literals never require an FU
+    assert not ops & {"li", "mov", "ld", "st"}
+
+
+# ----------------------------------------------------------------------
+# shared architecture builder + worker path
+# ----------------------------------------------------------------------
+def test_cached_builder_returns_shared_instance():
+    config = small_space()[0]
+    assert build_architecture_cached(config, 16) is build_architecture_cached(
+        config, 16
+    )
+    # distinct widths are distinct cache entries
+    assert build_architecture_cached(config, 16) is not (
+        build_architecture_cached(config, 32)
+    )
+
+
+def test_worker_entry_points_share_context_semantics():
+    workload, profile = _workload_and_profile("gcd")
+    init_evaluation_worker(workload, profile, 16)
+    context = EvaluationContext(workload, profile, 16)
+    for config in small_space()[:4]:
+        a = evaluate_config_worker(config)
+        b = context.evaluate(config)
+        assert (a.label, a.area, a.cycles) == (b.label, b.area, b.cycles)
