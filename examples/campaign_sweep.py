@@ -1,43 +1,57 @@
 #!/usr/bin/env python3
-"""A two-workload campaign through the campaign engine.
+"""A two-workload sweep through the declarative Study API.
 
-Sweeps the Crypt kernel and a DSP kernel (FIR) over two configuration
-grids in one declarative spec, with the on-disk result cache making the
-second invocation near-free — run this script twice and watch the
-"evaluated" counts drop to zero.
+What used to need the separate campaign path is now two studies sharing
+one on-disk result cache: sweep the Crypt kernel over the small grid
+and the FIR kernel over the MUL-equipped DSP grid, select a winner with
+the weighted norm, and let the cache make the second invocation
+near-free — run this script twice and watch the "evaluated" counts drop
+to zero.
 
-The same campaign runs from the shell as:
+The same sweep runs from the shell as:
 
+    python -m repro study --workloads crypt --space small --select
+    python -m repro study --workloads fir --space dsp --select
+
+(or via the campaign alias:
     python -m repro campaign --workloads crypt,fir --spaces small,dsp \
-        --select --workers 4
+        --select --workers 4)
 
 Run:  python examples/campaign_sweep.py
 """
 
-from repro import CampaignSpec, ResultCache, run_campaign
-
-spec = CampaignSpec(
-    name="crypt-plus-dsp",
-    workloads=("crypt", "fir"),
-    spaces=("small", "dsp"),   # fir needs the MUL-equipped dsp grid
-    widths=(16,),
-    select=True,
-)
-print(f"campaign spec (JSON round-trip safe):\n{spec.to_json()}\n")
+from repro import ResultCache, StudySpec, run_study
 
 cache = ResultCache()          # ~/.cache/repro-tta/campaign
-campaign = run_campaign(spec, workers=2, cache=cache, progress=print)
 
-print()
-print(campaign.summary())
+specs = [
+    StudySpec(
+        name="crypt-on-small",
+        workloads=("crypt",),
+        space="small",
+        objectives=("area", "cycles"),
+        strategy="exhaustive",
+        select=True,
+    ),
+    StudySpec(
+        name="fir-on-dsp",
+        workloads=("fir",),
+        space="dsp",           # fir needs the MUL-equipped grid
+        objectives=("area", "cycles"),
+        strategy="exhaustive",
+        select=True,
+    ),
+]
 
-print("\nper-run winners (equal-weight norm on the 2-D Pareto set):")
-for run in campaign.runs:
+for spec in specs:
+    print(f"study spec (JSON round-trip safe):\n{spec.to_json()}\n")
+    result = run_study(spec, cache=cache, workers=2, progress=print)
+    print(result.summary())
+    run = result.single
     if run.selection is not None:
-        print(f"  {run.label:<16} -> {run.selection.point.label} "
-              f"(norm={run.selection.norm:.4f})")
+        print(f"  winner: {run.selection.point.label} "
+              f"(norm={run.selection.norm:.4f})\n")
     else:
-        print(f"  {run.label:<16} -> no feasible points "
-              f"(fir cannot compile without a MUL)")
+        print("  no feasible points\n")
 
-print("\nrun it again: every point now comes from the cache.")
+print("run it again: every point now comes from the cache.")

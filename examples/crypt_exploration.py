@@ -14,32 +14,33 @@ Run:  python examples/crypt_exploration.py
 """
 
 from repro import (
-    attach_test_costs,
+    StudySpec,
     build_architecture,
-    build_crypt_ir,
     build_table1,
     crypt_space,
-    explore,
     format_table1,
-    select_architecture,
+    run_study,
 )
 
-print("building crypt(3) kernel IR (password='password', salt='ab') ...")
-workload = build_crypt_ir("password", "ab")
-
-print(f"exploring {len(crypt_space())} architecture templates ...")
-result = explore(workload, crypt_space())
+print(f"exploring {len(crypt_space())} architecture templates "
+      "(one declarative study: sweep + test costs + selection) ...")
+study = run_study(StudySpec(
+    name="crypt-paper-flow",
+    workloads=("crypt",),                       # the crypt(3) kernel
+    space="crypt",                              # the 168-template grid
+    objectives=("area", "cycles", "test_cost"), # Figs. 2 + 8 axes
+    strategy="exhaustive",
+    select=True,                                # Fig. 9 weighted norm
+))
+result = study.single.result
 print(result.summary())
-
-print("\nattaching analytical test costs (eqs. 11-14) ...")
-attach_test_costs(result.pareto2d)
 
 print("\nFig. 8 — (area, cycles, test cost) on the Pareto curve:")
 for p in sorted(result.pareto2d, key=lambda q: q.area):
     print(f"  {p.label:<34} area={p.area:>7.0f} cycles={p.cycles:>8} "
           f"f_t={p.test_cost:>6}")
 
-best = select_architecture(result.pareto3d)
+best = study.selection
 print(f"\nFig. 9 — selected architecture (equal weights, Euclid norm):")
 print(f"  {best.point.label}  norm={best.norm:.4f}")
 arch = build_architecture(best.point.config)

@@ -8,7 +8,7 @@ the frontier with its test costs, all in plain text.
 Run:  python examples/pareto_plot.py
 """
 
-from repro import attach_test_costs, build_crypt_ir, crypt_space, explore
+from repro import StudySpec, run_study
 
 WIDTH, HEIGHT = 72, 24
 
@@ -45,15 +45,19 @@ def ascii_scatter(points, pareto):
 
 
 def main():
-    workload = build_crypt_ir("password", "ab")
-    result = explore(workload, crypt_space())
+    # The test_cost objective makes the study attach Fig. 8's third
+    # axis to the 2-D frontier automatically.
+    study = run_study(StudySpec(
+        name="pareto-plot", workloads=("crypt",), space="crypt",
+        objectives=("area", "cycles", "test_cost"),
+    ))
+    result = study.single.result
     feasible = result.feasible_points
     pareto = result.pareto2d
     print(f"{len(feasible)} feasible architectures, "
           f"{len(pareto)} on the frontier\n")
     print(ascii_scatter(feasible, pareto))
 
-    attach_test_costs(pareto)
     print("\nfrontier with test costs (Fig. 8's third axis):")
     for p in sorted(pareto, key=lambda q: q.area):
         bar = "*" * max(1, p.test_cost // 400)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Plugging a custom objective and a budgeted strategy into a study.
+
+The paper fixes the cost vector to (area, cycles, test cost); the study
+layer makes the axes pluggable.  This script registers a crude dynamic
+energy proxy — profile-weighted cycles times the bus count, counting
+how many transport slots toggle over a run — and explores the Crypt
+kernel under (area, cycles, energy_proxy):
+
+* once exhaustively, for the reference front;
+* once with the budgeted ``random`` strategy, to see how close a
+  30-point uniform sample gets on a 168-point space.
+
+Everything stays declarative: the objective is referenced by name, so
+the same spec round-trips through JSON and the CLI
+(``python -m repro list --objectives`` shows the registered axes).
+
+Run:  python examples/study_energy_proxy.py
+"""
+
+from repro import StudySpec, register_objective, run_study
+
+register_objective(
+    "energy_proxy",
+    lambda p: float(p.cycles) * p.config.num_buses,
+    "cycles x bus count: transport-slot toggles over a run",
+)
+
+common = dict(
+    workloads=("crypt",),
+    space="crypt",
+    objectives=("area", "cycles", "energy_proxy"),
+    select=True,
+)
+
+exhaustive = run_study(
+    StudySpec(name="energy-exhaustive", strategy="exhaustive", **common)
+)
+print(exhaustive.summary())
+reference_front = {p.label for p in exhaustive.pareto}
+
+sampled = run_study(
+    StudySpec(
+        name="energy-random",
+        strategy="random",
+        strategy_params={"budget": 30, "seed": 42},
+        **common,
+    )
+)
+print()
+print(sampled.summary())
+
+found = {p.label for p in sampled.pareto}
+recovered = len(found & reference_front)
+print(
+    f"\nrandom sample recovered {recovered}/{len(reference_front)} "
+    f"of the exhaustive (area, cycles, energy) front "
+    f"with {sampled.single.evaluations}/{exhaustive.single.evaluations} "
+    "evaluations"
+)
+print(f"exhaustive winner: {exhaustive.selection.point.label}")
+if sampled.selection is not None:
+    print(f"sampled winner:    {sampled.selection.point.label}")

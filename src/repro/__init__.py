@@ -6,18 +6,23 @@ cycle-accurate simulator), a gate-level component library with its own
 ATPG, and the paper's analytical test-cost model that turns design space
 exploration from (area, time) into (area, time, test).
 
-Quickstart::
+Quickstart — the paper's whole flow is one declarative study::
 
-    from repro import (
-        build_crypt_ir, crypt_space, explore,
-        attach_test_costs, select_architecture,
-    )
+    from repro import StudySpec, run_study
 
-    workload = build_crypt_ir("password", "ab")
-    result = explore(workload, crypt_space())
-    attach_test_costs(result.pareto2d)
-    best = select_architecture(result.pareto3d)
-    print(best.point.label)
+    result = run_study(StudySpec(
+        name="paper",
+        workloads=("crypt",),
+        space="crypt",
+        objectives=("area", "cycles", "test_cost"),
+        select=True,
+    ))
+    print(result.selection.point.label)
+
+Objectives and search strategies are registries (``register_objective``,
+``register_strategy``); the pre-study functions (``explore``,
+``iterative_explore``, ...) remain as deprecation shims over the same
+engine.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
@@ -112,6 +117,20 @@ from repro.campaign import (
 )
 from repro.explore.space import dsp_space, space_by_name, space_names
 
+# Study engine — the declarative entry point over everything above
+from repro.study import (
+    Objective,
+    Study,
+    StudyResult,
+    StudySpec,
+    objective_names,
+    pareto_front,
+    register_objective,
+    register_strategy,
+    run_study,
+    strategy_names,
+)
+
 # VLIW extension
 from repro.vliw import fig7_template, test_order, vliw_test_cost
 
@@ -119,6 +138,7 @@ from repro.vliw import fig7_template, test_order, vliw_test_cost
 from repro.reporting import (
     exploration_to_csv,
     exploration_to_json,
+    study_to_json,
     table1_to_csv,
     table1_to_json,
 )
@@ -144,11 +164,15 @@ __all__ = [
     "MARCH_ALGORITHMS",
     "MARCH_CM",
     "Move",
+    "Objective",
     "PortRef",
     "Program",
     "RFConfig",
     "ResultCache",
     "SimResult",
+    "Study",
+    "StudyResult",
+    "StudySpec",
     "TTASimulator",
     "UnitInstance",
     "architecture_test_cost",
@@ -179,18 +203,25 @@ __all__ = [
     "full_scan_cycles",
     "iterative_explore",
     "MoveEncoder",
+    "objective_names",
     "optimize_ir",
     "pareto_filter",
     "pareto_filter_naive",
+    "pareto_front",
+    "register_objective",
+    "register_strategy",
     "run_atpg",
     "run_campaign",
     "run_march",
+    "run_study",
     "schedule_tests",
     "select_architecture",
     "sessions_from_breakdown",
     "small_space",
     "space_by_name",
     "space_names",
+    "strategy_names",
+    "study_to_json",
     "test_order",
     "transport_latency",
     "unix_crypt",

@@ -1,16 +1,21 @@
 """The ``python -m repro`` command line.
 
-Four subcommands drive the paper's flow at campaign scale:
+Six subcommands drive the paper's flow at campaign scale:
 
-* ``explore``  — one workload on one named space (a one-job campaign),
+* ``study``    — the general entry point: one declarative spec
+  (workloads, space, objectives, strategy) through the study engine,
+* ``explore``  — one workload on one named space (a thin alias for a
+  one-workload exhaustive study),
 * ``campaign`` — a full spec (JSON file or flags): workloads x spaces x
-  widths, parallel workers, on-disk result cache, per-run exports,
+  widths, parallel workers, on-disk result cache, per-run exports —
+  executed as N studies sharing the cache,
 * ``report``   — re-emit / Pareto-filter previously exported results,
-* ``list``     — show the registered workloads and spaces,
+* ``list``     — show the registered workloads, spaces, objectives and
+  search strategies,
 * ``bench``    — run the tracked evaluation-pipeline benchmark suite.
 
-``explore`` and ``campaign`` accept ``--profile`` to dump a cProfile
-top-25 (cumulative) of the run to stderr.
+``study``, ``explore`` and ``campaign`` accept ``--profile`` to dump a
+cProfile top-25 (cumulative) of the run to stderr.
 
 All tabular output goes through :mod:`repro.reporting`, so files written
 here feed straight back into ``report`` (and any spreadsheet).
@@ -24,7 +29,7 @@ import sys
 from pathlib import Path
 
 from repro.apps.registry import workload_entry, workload_names
-from repro.campaign import CampaignResult, CampaignSpec, ResultCache, run_campaign
+from repro.campaign import CampaignSpec, ResultCache, run_campaign
 from repro.explore.pareto import pareto_filter
 from repro.explore.space import space_by_name, space_names
 from repro.reporting import (
@@ -33,6 +38,14 @@ from repro.reporting import (
     exploration_rows,
     exploration_to_csv,
     exploration_to_json,
+)
+from repro.study import (
+    Study,
+    StudySpec,
+    objective_by_name,
+    objective_names,
+    strategy_by_name,
+    strategy_names,
 )
 
 
@@ -48,15 +61,10 @@ def _progress(line: str) -> None:
     print(line, file=sys.stderr)
 
 
-def _run_campaign_maybe_profiled(args: argparse.Namespace, spec):
-    """Run a campaign, optionally under cProfile (top-25 to stderr)."""
-    kwargs = dict(
-        workers=args.workers,
-        cache=_make_cache(args),
-        progress=None if args.quiet else _progress,
-    )
+def _maybe_profiled(args: argparse.Namespace, call):
+    """Run ``call()``, optionally under cProfile (top-25 to stderr)."""
     if not getattr(args, "profile", False):
-        return run_campaign(spec, **kwargs)
+        return call()
     import cProfile
     import io
     import pstats
@@ -64,7 +72,7 @@ def _run_campaign_maybe_profiled(args: argparse.Namespace, spec):
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        campaign = run_campaign(spec, **kwargs)
+        return call()
     finally:
         profiler.disable()
         stream = io.StringIO()
@@ -72,7 +80,6 @@ def _run_campaign_maybe_profiled(args: argparse.Namespace, spec):
             "cumulative"
         ).print_stats(25)
         print(stream.getvalue(), file=sys.stderr)
-    return campaign
 
 
 def _make_cache(args: argparse.Namespace) -> ResultCache | None:
@@ -87,9 +94,9 @@ def _points_text(points, fmt: str) -> str:
     return exploration_to_json(points)
 
 
-def _selection_lines(campaign: CampaignResult) -> list[str]:
+def _selection_lines(runs) -> list[str]:
     lines = []
-    for run in campaign.runs:
+    for run in runs:
         if run.selection is not None:
             sel = run.selection
             lines.append(
@@ -100,20 +107,91 @@ def _selection_lines(campaign: CampaignResult) -> list[str]:
 
 
 # ----------------------------------------------------------------------
-# explore
+# study
 # ----------------------------------------------------------------------
-def cmd_explore(args: argparse.Namespace) -> int:
-    spec = CampaignSpec(
-        name=f"explore-{args.workload}",
-        workloads=(args.workload,),
-        spaces=(args.space,),
-        widths=(args.width,),
-        attach_test_costs=args.test_costs,
+def _parse_param(text: str) -> tuple[str, object]:
+    """``key=value`` with value coerced to int/float when possible."""
+    if "=" not in text:
+        raise SystemExit(f"study: --param needs KEY=VALUE, got {text!r}")
+    key, raw = text.split("=", 1)
+    value: object = raw
+    for cast in (int, float):
+        try:
+            value = cast(raw)
+            break
+        except ValueError:
+            continue
+    return key, value
+
+
+def _study_spec_from_args(args: argparse.Namespace) -> StudySpec:
+    if args.spec:
+        return StudySpec.from_json(Path(args.spec).read_text())
+    if not args.workloads:
+        raise SystemExit("study: need --spec FILE or --workloads LIST")
+    return StudySpec(
+        name=args.name,
+        workloads=tuple(args.workloads.split(",")),
+        space=args.space,
+        width=args.width,
+        objectives=tuple(args.objectives.split(",")),
+        strategy=args.strategy,
+        strategy_params=dict(
+            _parse_param(p) for p in (args.param or ())
+        ),
         select=args.select,
         march=args.march,
     )
-    campaign = _run_campaign_maybe_profiled(args, spec)
-    run = campaign.runs[0]
+
+
+def _run_study(args: argparse.Namespace, spec: StudySpec):
+    """Build and run one study from parsed CLI args (shared plumbing)."""
+    study = Study(
+        spec,
+        cache=_make_cache(args),
+        workers=args.workers,
+        progress=None if args.quiet else _progress,
+    )
+    return _maybe_profiled(args, study.run)
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    result = _run_study(args, _study_spec_from_args(args))
+    if args.format == "summary":
+        text = result.summary()
+        for line in _selection_lines(result.runs):
+            text += "\n" + line
+    else:
+        if len(result.runs) != 1:
+            raise SystemExit(
+                "study: csv/json export needs a single-workload study "
+                "(use --format summary)"
+            )
+        run = result.single
+        points = run.pareto if args.pareto else run.result.points
+        text = _points_text(points, args.format)
+    _emit(text, args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# explore (thin alias: a one-workload exhaustive study)
+# ----------------------------------------------------------------------
+def cmd_explore(args: argparse.Namespace) -> int:
+    objectives = ("area", "cycles")
+    if args.test_costs:
+        objectives += ("test_cost",)
+    result = _run_study(args, StudySpec(
+        name=f"explore-{args.workload}",
+        workloads=(args.workload,),
+        space=args.space,
+        width=args.width,
+        objectives=objectives,
+        strategy="exhaustive",
+        select=args.select,
+        march=args.march,
+    ))
+    run = result.single
     points = run.result.pareto2d if args.pareto else run.result.points
     if args.format == "summary":
         text = run.result.summary()
@@ -121,7 +199,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             f"\n  cache: {run.stats.cache_hits} hits, "
             f"{run.stats.evaluated} evaluated in {run.stats.elapsed:.2f}s"
         )
-        for line in _selection_lines(campaign):
+        for line in _selection_lines(result.runs):
             text += "\n" + line
     else:
         text = _points_text(points, args.format)
@@ -150,7 +228,15 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    campaign = _run_campaign_maybe_profiled(args, spec)
+    campaign = _maybe_profiled(
+        args,
+        lambda: run_campaign(
+            spec,
+            workers=args.workers,
+            cache=_make_cache(args),
+            progress=None if args.quiet else _progress,
+        ),
+    )
     if args.out_dir:
         out = Path(args.out_dir)
         out.mkdir(parents=True, exist_ok=True)
@@ -163,7 +249,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"wrote {len(campaign.runs)} result files to {out}",
               file=sys.stderr)
     print(campaign.summary())
-    for line in _selection_lines(campaign):
+    for line in _selection_lines(campaign.runs):
         print(line)
     return 0
 
@@ -218,15 +304,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # list
 # ----------------------------------------------------------------------
-def cmd_list(_args: argparse.Namespace) -> int:
-    print("workloads:")
-    for name in workload_names():
-        entry = workload_entry(name)
-        mul = "  [needs MUL]" if entry.needs_mul else ""
-        print(f"  {name:<10} {entry.description}{mul}")
-    print("spaces:")
-    for name in space_names():
-        print(f"  {name:<10} {len(space_by_name(name))} configurations")
+def cmd_list(args: argparse.Namespace) -> int:
+    chosen = [
+        section
+        for section, wanted in (
+            ("workloads", args.workloads),
+            ("spaces", args.spaces),
+            ("objectives", args.objectives),
+            ("strategies", args.strategies),
+        )
+        if wanted
+    ]
+    sections = chosen or ["workloads", "spaces", "objectives", "strategies"]
+    if "workloads" in sections:
+        print("workloads:")
+        for name in workload_names():
+            entry = workload_entry(name)
+            mul = "  [needs MUL]" if entry.needs_mul else ""
+            print(f"  {name:<10} {entry.description}{mul}")
+    if "spaces" in sections:
+        print("spaces:")
+        for name in space_names():
+            print(f"  {name:<10} {len(space_by_name(name))} configurations")
+    if "objectives" in sections:
+        print("objectives:")
+        for name in objective_names():
+            objective = objective_by_name(name)
+            post = "  [needs test-cost pass]" if (
+                objective.requires_test_costs
+            ) else ""
+            print(f"  {name:<10} {objective.description}{post}")
+    if "strategies" in sections:
+        print("strategies:")
+        for name in strategy_names():
+            entry = strategy_by_name(name)
+            print(f"  {name:<10} {entry.description}")
+            print(f"  {'':<10} params: {entry.params}")
     return 0
 
 
@@ -241,11 +354,12 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
                    help="re-evaluate every point, touch no cache")
 
 
-def _add_run_args(p: argparse.ArgumentParser) -> None:
+def _add_run_args(p: argparse.ArgumentParser, test_costs: bool = True) -> None:
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size; 1 = serial (default)")
-    p.add_argument("--test-costs", action="store_true",
-                   help="attach analytical test costs to the Pareto set")
+    if test_costs:
+        p.add_argument("--test-costs", action="store_true",
+                       help="attach analytical test costs to the Pareto set")
     p.add_argument("--select", action="store_true",
                    help="pick an architecture with the weighted norm")
     p.add_argument("--march", default="March C-",
@@ -260,9 +374,40 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Design and test space exploration of TTAs "
-                    "(DATE 2000) — campaign driver.",
+                    "(DATE 2000) — study and campaign driver.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("study",
+                       help="run a declarative study (objectives x strategy)")
+    p.add_argument("--spec", default=None,
+                   help="study spec JSON file (overrides the flags)")
+    p.add_argument("--name", default="study")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload names")
+    p.add_argument("--space", default="small",
+                   help=f"one of: {', '.join(space_names())}")
+    p.add_argument("--width", type=int, default=16)
+    p.add_argument("--objectives", default="area,cycles",
+                   help="comma-separated objective names "
+                        "(see: python -m repro list --objectives)")
+    p.add_argument("--strategy", default="exhaustive",
+                   help="search strategy "
+                        "(see: python -m repro list --strategies)")
+    p.add_argument("--param", action="append", metavar="KEY=VALUE",
+                   help="strategy parameter (repeatable), e.g. "
+                        "--param budget=20 --param seed=1")
+    p.add_argument("--pareto", action="store_true",
+                   help="export only the objective-vector Pareto points")
+    p.add_argument("--format", choices=("summary", "csv", "json"),
+                   default="summary")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to file instead of stdout")
+    _add_run_args(p, test_costs=False)
+    _add_cache_args(p)
+    # None (not 1) so a --spec file's own `workers` field wins unless
+    # the flag is given explicitly.
+    p.set_defaults(func=cmd_study, workers=None)
 
     p = sub.add_parser("explore", help="one workload on one space")
     p.add_argument("--workload", required=True,
@@ -319,7 +464,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the report without touching the file")
     p.set_defaults(func=cmd_bench)
 
-    p = sub.add_parser("list", help="show known workloads and spaces")
+    p = sub.add_parser("list",
+                       help="show known workloads, spaces, objectives "
+                            "and strategies")
+    p.add_argument("--workloads", action="store_true",
+                   help="list only the workload registry")
+    p.add_argument("--spaces", action="store_true",
+                   help="list only the space registry")
+    p.add_argument("--objectives", action="store_true",
+                   help="list only the objective registry")
+    p.add_argument("--strategies", action="store_true",
+                   help="list only the strategy registry")
     p.set_defaults(func=cmd_list)
 
     return parser

@@ -4,8 +4,9 @@ Times end-to-end exploration sweeps twice per (workload, space) pair —
 once through a **reference** pipeline that re-does per-configuration
 work the way the pre-caching evaluator did (fresh architecture, fresh
 netlist statistics, fresh register allocation, quadratic Pareto filter)
-and once through the **optimized** :class:`~repro.explore.evaluate.
-EvaluationContext` path — asserts both produce identical Pareto sets,
+and once through the **optimized** study-engine path (exhaustive
+strategy over :class:`~repro.explore.evaluate.EvaluationContext`) —
+asserts both produce identical Pareto sets,
 and writes the numbers to ``BENCH_evaluate.json`` so the perf
 trajectory is tracked in version control from PR 2 onward.
 
@@ -29,10 +30,11 @@ from repro.compiler.interp import IRInterpreter
 from repro.compiler.regalloc import AllocationError
 from repro.compiler.scheduler import ScheduleError, compile_ir
 from repro.components.library import component_datasheet
-from repro.explore.evaluate import EvaluatedPoint, EvaluationContext
+from repro.explore.evaluate import EvaluatedPoint
 from repro.explore.pareto import pareto_filter, pareto_filter_naive
 from repro.explore.space import ArchConfig, build_architecture, space_by_name
 from repro.netlist.stats import netlist_stats
+from repro.study.engine import run_search
 from repro.tta.arch import BUS_AREA_PER_BIT, CONNECTION_AREA, Architecture
 
 #: Suite name -> (space name, rough sweep size) of the timed sweeps.
@@ -124,8 +126,16 @@ def bench_sweep(
             for c in configs
         ]
     )
-    context = EvaluationContext(workload, profile, width)
-    after_s, opt_points = _time_sweep(lambda: context.evaluate_space(configs))
+    # The optimized sweep is timed through the study layer (exhaustive
+    # strategy -> cache-aware evaluator -> EvaluationContext), so the
+    # tracked speedup also guards the Study plumbing against per-point
+    # overhead on the hot path.
+    after_s, opt_points = _time_sweep(
+        lambda: run_search(
+            workload, configs, width=width,
+            strategy="exhaustive", profile=profile,
+        ).points
+    )
 
     if [(p.label, p.area, p.cycles) for p in ref_points] != [
         (p.label, p.area, p.cycles) for p in opt_points

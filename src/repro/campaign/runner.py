@@ -1,51 +1,40 @@
 """Campaign execution: fan out, cache, resume.
 
-Every configuration of a sweep compiles independently of every other, so
-the evaluation loop — the hot path of the whole flow — fans out over a
-``ProcessPoolExecutor``.  ``workers=1`` bypasses the pool entirely and
-runs the exact serial loop the one-shot :func:`repro.explore.explore`
-uses; both paths keep the space's configuration order, so serial and
-parallel campaigns produce identical point lists and Pareto sets.
+A campaign is N studies sharing one :class:`~repro.campaign.cache.
+ResultCache`: every (workload, space, width) job of the spec is built
+into a single-workload :class:`~repro.study.spec.StudySpec` (exhaustive
+strategy, the paper's objective vector) and executed by the study
+engine, which owns the evaluation hot path — shared-work caching, the
+process-pool fan-out for ``workers > 1``, and streaming results into
+the cache so a killed campaign resumes at the first un-cached point.
 
-Points already present in the :class:`~repro.campaign.cache.ResultCache`
-are never re-evaluated, which is also the resume story: kill a campaign
-half-way and the next invocation picks up at the first un-cached point.
+Serial and parallel runs keep the space's configuration order, so both
+paths produce identical point lists and Pareto sets.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Callable
 
-from repro.apps.registry import build_workload
 from repro.campaign.cache import ResultCache
 from repro.campaign.spec import CampaignSpec
-from repro.compiler.interp import IRInterpreter
-from repro.explore.evaluate import (
-    EvaluatedPoint,
-    EvaluationContext,
-    evaluate_config_worker,
-    init_evaluation_worker,
-)
 from repro.explore.explorer import ExplorationResult
-from repro.explore.selection import SelectionResult, select_architecture
-from repro.explore.space import ArchConfig, space_by_name
-from repro.testcost.cost import attach_test_costs
+from repro.explore.selection import SelectionResult
+from repro.study.engine import (
+    ProgressFn,
+    RunStats,
+    Study,
+    evaluate_configs,
+)
+from repro.study.spec import StudySpec
 
-ProgressFn = Callable[[str], None]
-
-
-@dataclass(frozen=True)
-class RunStats:
-    """How one (workload, space, width) job was executed."""
-
-    total: int                 # points in the space
-    cache_hits: int            # served from the result cache
-    evaluated: int             # actually compiled this run
-    workers: int               # pool size used (1 = serial path)
-    elapsed: float             # wall-clock seconds for the whole job
+__all__ = [
+    "CampaignResult",
+    "RunStats",
+    "WorkloadRun",
+    "evaluate_configs",
+    "run_campaign",
+]
 
 
 @dataclass
@@ -111,50 +100,28 @@ class CampaignResult:
         return "\n".join(lines)
 
 
-def _iter_evaluations(
-    configs: list[ArchConfig],
-    workload,
-    profile: dict[str, int],
-    width: int,
-    workers: int,
-):
-    """Yield evaluated points in configuration order, streaming.
+def study_spec_for_job(
+    spec: CampaignSpec, workload_name: str, space_name: str, width: int
+) -> StudySpec:
+    """The single-workload study one campaign job denotes.
 
-    Streaming matters for resumability: the caller persists each point
-    as it arrives, so a killed campaign keeps everything that finished
-    rather than losing the whole sweep.  ``pool.map`` yields completed
-    results in submission order, chunk by chunk.
+    The campaign surface is a fixed slice of the study surface: the
+    exhaustive strategy, the paper's objective vector — (area, cycles),
+    plus the test axis when the spec attaches test costs.
     """
-    if workers <= 1 or len(configs) <= 1:
-        context = EvaluationContext(workload, profile, width)
-        for config in configs:
-            yield context.evaluate(config)
-        return
-    chunksize = max(1, len(configs) // (workers * 4))
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(configs)),
-        initializer=init_evaluation_worker,
-        initargs=(workload, profile, width),
-    ) as pool:
-        yield from pool.map(
-            evaluate_config_worker, configs, chunksize=chunksize
-        )
-
-
-def evaluate_configs(
-    configs: list[ArchConfig],
-    workload,
-    profile: dict[str, int],
-    width: int = 16,
-    workers: int = 1,
-) -> list[EvaluatedPoint]:
-    """Evaluate a configuration list, fanning out when ``workers > 1``.
-
-    Order-preserving in both modes: a drop-in parallel
-    :func:`repro.explore.evaluate.evaluate_space`.
-    """
-    return list(
-        _iter_evaluations(configs, workload, profile, width, workers)
+    objectives = ("area", "cycles")
+    if spec.attach_test_costs:
+        objectives += ("test_cost",)
+    return StudySpec(
+        name=f"{spec.name}:{workload_name}/{space_name}/w{width}",
+        workloads=(workload_name,),
+        space=space_name,
+        width=width,
+        objectives=objectives,
+        strategy="exhaustive",
+        select=spec.select,
+        weights=spec.weights,
+        march=spec.march,
     )
 
 
@@ -167,81 +134,20 @@ def _run_job(
     cache: ResultCache | None,
     progress: ProgressFn | None,
 ) -> WorkloadRun:
-    started = perf_counter()
-    workload = build_workload(workload_name)
-    configs = space_by_name(space_name)
-    profile = IRInterpreter(workload, width=width).run().block_counts
-
-    # Only ask the cache to restore test costs the spec will use —
-    # otherwise output would depend on what earlier campaigns attached.
-    march = spec.march if spec.attach_test_costs else None
-    points: list[EvaluatedPoint | None] = [None] * len(configs)
-    missing: list[int] = []
-    for i, config in enumerate(configs):
-        cached = (
-            cache.get(workload_name, config, width, march)
-            if cache is not None
-            else None
-        )
-        if cached is not None:
-            points[i] = cached
-        else:
-            missing.append(i)
-
-    hits = len(configs) - len(missing)
-    if progress is not None:
-        progress(
-            f"{workload_name}/{space_name}/w{width}: {hits} cached, "
-            f"evaluating {len(missing)} of {len(configs)} points "
-            f"({workers} worker{'s' if workers != 1 else ''})"
-        )
-    if missing:
-        fresh = _iter_evaluations(
-            [configs[i] for i in missing], workload, profile, width, workers
-        )
-        for i, point in zip(missing, fresh):
-            points[i] = point
-            if cache is not None:
-                cache.put(workload_name, point, width, march)
-
-    result = ExplorationResult(
-        workload=workload.name, profile=profile, points=points
-    )
-
-    if spec.attach_test_costs and result.pareto2d:
-        # Points restored from the cache already carry a march-matched
-        # test cost; only the rest need the (ATPG-backed) attachment.
-        todo = [p for p in result.pareto2d if p.test_cost is None]
-        attach_test_costs(todo, spec.march, width)
-        if cache is not None:
-            for point in todo:
-                cache.put(workload_name, point, width, march)
-
-    selection: SelectionResult | None = None
-    if spec.select and result.pareto2d:
-        if spec.attach_test_costs:
-            selection = select_architecture(
-                result.pareto3d, weights=spec.weights
-            )
-        else:
-            selection = select_architecture(
-                result.pareto2d, weights=spec.weights, use_test_cost=False
-            )
-
-    stats = RunStats(
-        total=len(configs),
-        cache_hits=hits,
-        evaluated=len(missing),
+    study = Study(
+        study_spec_for_job(spec, workload_name, space_name, width),
+        cache=cache,
         workers=workers,
-        elapsed=perf_counter() - started,
+        progress=progress,
     )
+    run = study.run().single
     return WorkloadRun(
         workload=workload_name,
         space=space_name,
         width=width,
-        result=result,
-        selection=selection,
-        stats=stats,
+        result=run.result,
+        selection=run.selection,
+        stats=run.stats,
     )
 
 

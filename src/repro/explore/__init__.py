@@ -29,7 +29,12 @@ from repro.explore.evaluate import (
 )
 from repro.explore.pareto import dominates, pareto_filter, pareto_filter_naive
 from repro.explore.explorer import ExplorationResult, explore
-from repro.explore.iterative import IterativeResult, iterative_explore, neighbours
+from repro.explore.iterative import (
+    IterativeResult,
+    default_seeds,
+    iterative_explore,
+    neighbours,
+)
 from repro.explore.selection import normalize_points, select_architecture
 
 __all__ = [
@@ -41,6 +46,7 @@ __all__ = [
     "build_architecture",
     "build_architecture_cached",
     "crypt_space",
+    "default_seeds",
     "dominates",
     "dsp_space",
     "evaluate_config",

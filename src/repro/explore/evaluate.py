@@ -25,6 +25,7 @@ share one code path and produce identical results.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.compiler.ir import LOAD_OPCODES, IRFunction
@@ -183,9 +184,17 @@ def evaluate_config(
 ) -> EvaluatedPoint:
     """Compile ``workload`` onto one configuration and cost it.
 
-    One-shot convenience wrapper; sweeps should hold an
-    :class:`EvaluationContext` so per-workload work is shared.
+    .. deprecated::
+        One-shot module-level wrapper; hold an :class:`EvaluationContext`
+        (what the study engine's evaluator does) so per-workload work is
+        shared across the sweep.
     """
+    warnings.warn(
+        "evaluate_config() is deprecated; use EvaluationContext.evaluate "
+        "(or run a repro.study.Study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     context = EvaluationContext(workload, profile, width)
     return context.evaluate(config, keep_compile_result=keep_compile_result)
 
@@ -223,8 +232,22 @@ def evaluate_space(
     profile: dict[str, int],
     width: int = 16,
 ) -> list[EvaluatedPoint]:
-    """Evaluate every configuration (feasible or not) in ``space``."""
-    return EvaluationContext(workload, profile, width).evaluate_space(space)
+    """Evaluate every configuration (feasible or not) in ``space``.
+
+    .. deprecated::
+        Delegates to the study engine's evaluation fan-out; prefer
+        :func:`repro.study.evaluate_configs` (cache/pool-aware) or a
+        full :class:`repro.study.Study`.
+    """
+    warnings.warn(
+        "evaluate_space() is deprecated; use repro.study.evaluate_configs "
+        "(or run a repro.study.Study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.study.engine import evaluate_configs
+
+    return evaluate_configs(space, workload, profile, width)
 
 
 def architecture_of(point: EvaluatedPoint, width: int = 16) -> Architecture:

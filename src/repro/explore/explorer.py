@@ -5,15 +5,20 @@ workload once, evaluate every configuration, Pareto-filter the (area,
 cycles) plane (Fig. 2).  Adding the test-cost axis (Fig. 8) is done by
 :func:`repro.testcost.cost.attach_test_costs` so the exploration itself
 stays independent of the ATPG layer.
+
+``explore`` itself is now a deprecation shim over the study engine: a
+call is exactly a ``Study`` with the ``exhaustive`` strategy and the
+(area, cycles) objective vector — see :mod:`repro.study`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.compiler.interp import IRInterpreter
 from repro.compiler.ir import IRFunction
-from repro.explore.evaluate import EvaluatedPoint, evaluate_space
+from repro.explore.evaluate import EvaluatedPoint
 from repro.explore.pareto import pareto_filter
 from repro.explore.space import ArchConfig
 
@@ -25,7 +30,7 @@ class ExplorationResult:
     workload: str
     profile: dict[str, int]
     points: list[EvaluatedPoint] = field(default_factory=list)
-    _pareto2d: tuple[int, list[EvaluatedPoint]] | None = field(
+    _pareto2d: tuple[tuple, list[EvaluatedPoint]] | None = field(
         default=None, init=False, repr=False, compare=False
     )
     _pareto3d: tuple[tuple[int | None, ...], list[EvaluatedPoint]] | None = (
@@ -41,12 +46,18 @@ class ExplorationResult:
         """Fig. 2: non-dominated in the (area, execution time) plane.
 
         Memoized — the filter is O(n^2) and callers treat this as a
-        cheap attribute.  The cache is keyed on ``len(points)`` so
-        appending points (the list is public) recomputes the front.
+        cheap attribute.  The cache is keyed on a content fingerprint of
+        the public ``points`` list (like ``pareto3d``), so appending,
+        replacing *or mutating* a point — ``attach_test_costs`` rewrites
+        costs in place — recomputes the front instead of serving a stale
+        one.
         """
-        if self._pareto2d is None or self._pareto2d[0] != len(self.points):
+        fingerprint = tuple(
+            (p.label, p.area, p.cycles) for p in self.points
+        )
+        if self._pareto2d is None or self._pareto2d[0] != fingerprint:
             self._pareto2d = (
-                len(self.points),
+                fingerprint,
                 pareto_filter(self.feasible_points, key=lambda p: p.cost2d()),
             )
         return self._pareto2d[1]
@@ -94,11 +105,26 @@ def explore(
     width: int = 16,
     initial_regs: dict[str, int] | None = None,
 ) -> ExplorationResult:
-    """Profile ``workload`` once, then evaluate every configuration."""
+    """Profile ``workload`` once, then evaluate every configuration.
+
+    .. deprecated::
+        Delegates to the study engine's ``exhaustive`` strategy; prefer
+        :class:`repro.study.Study` (or :func:`repro.study.run_search`
+        for in-memory workloads).
+    """
+    warnings.warn(
+        "explore() is deprecated; use repro.study.Study with the "
+        "'exhaustive' strategy (run_search for in-memory workloads)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.study.engine import run_search
+
     interp = IRInterpreter(workload, width=width)
-    run = interp.run(initial_regs)
-    profile = run.block_counts
-    points = evaluate_space(space, workload, profile, width)
+    profile = interp.run(initial_regs).block_counts
+    outcome = run_search(
+        workload, space, width=width, strategy="exhaustive", profile=profile
+    )
     return ExplorationResult(
-        workload=workload.name, profile=profile, points=points
+        workload=workload.name, profile=profile, points=outcome.points
     )

@@ -6,17 +6,21 @@ from seed templates, evaluates their neighbourhoods (one architectural
 parameter changed at a time), and expands only candidates that are
 non-dominated so far — typically reaching the same Pareto frontier as
 the exhaustive sweep while evaluating a fraction of the space.
+
+The search loop itself lives in :mod:`repro.study.strategies` as the
+``iterative`` strategy; this module keeps the neighbourhood model
+(:func:`neighbours`, the RF ladder) and the legacy
+:func:`iterative_explore` entry point as a deprecation shim over the
+study engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
-from repro.compiler.interp import IRInterpreter
 from repro.compiler.ir import IRFunction
-from repro.explore.evaluate import EvaluatedPoint, evaluate_config
 from repro.explore.explorer import ExplorationResult
-from repro.explore.pareto import dominates, pareto_filter
 from repro.explore.space import ArchConfig, RFConfig
 
 #: RF arrangements the neighbourhood can step through, small to large.
@@ -29,6 +33,15 @@ _RF_LADDER: tuple[tuple[RFConfig, ...], ...] = (
     (RFConfig(12, read_ports=2), RFConfig(12, read_ports=2)),
     (RFConfig(16, read_ports=2, write_ports=2),),
 )
+
+
+def default_seeds() -> list[ArchConfig]:
+    """The seed templates the iterative search starts from by default:
+    one minimal single-bus machine and one mid-range template."""
+    return [
+        ArchConfig(num_buses=1, rfs=(RFConfig(8),)),
+        ArchConfig(num_buses=3, num_alus=2, rfs=_RF_LADDER[3]),
+    ]
 
 
 def neighbours(config: ArchConfig) -> list[ArchConfig]:
@@ -85,62 +98,35 @@ def iterative_explore(
     max_evaluations: int = 80,
     width: int = 16,
 ) -> IterativeResult:
-    """Neighbourhood search from ``seeds`` toward the Pareto frontier."""
-    interp = IRInterpreter(workload, width=width)
-    profile = interp.run().block_counts
+    """Neighbourhood search from ``seeds`` toward the Pareto frontier.
 
-    if seeds is None:
-        seeds = [
-            ArchConfig(num_buses=1, rfs=(RFConfig(8),)),
-            ArchConfig(num_buses=3, num_alus=2, rfs=_RF_LADDER[3]),
-        ]
+    .. deprecated::
+        Delegates to the study engine's ``iterative`` strategy; prefer
+        :class:`repro.study.Study` with ``strategy="iterative"``.
+    """
+    warnings.warn(
+        "iterative_explore() is deprecated; use repro.study.Study with "
+        "strategy='iterative' (run_search for in-memory workloads)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.compiler.interp import IRInterpreter
+    from repro.study.engine import run_search
 
-    seen: dict[str, EvaluatedPoint] = {}
-    frontier: list[EvaluatedPoint] = []
-    queue: list[ArchConfig] = list(seeds)
-    evaluations = 0
-    iterations = 0
-    history: list[int] = []
-
-    def evaluate(config: ArchConfig) -> EvaluatedPoint | None:
-        nonlocal evaluations
-        label = config.label()
-        if label in seen:
-            return None
-        if evaluations >= max_evaluations:
-            return None
-        evaluations += 1
-        point = evaluate_config(config, workload, profile, width)
-        seen[label] = point
-        return point
-
-    while queue and evaluations < max_evaluations:
-        iterations += 1
-        expanded: list[EvaluatedPoint] = []
-        for config in queue:
-            point = evaluate(config)
-            if point is not None and point.feasible:
-                expanded.append(point)
-        frontier = pareto_filter(
-            frontier + expanded, key=lambda p: p.cost2d()
-        )
-        history.append(len(frontier))
-
-        # Expand only the frontier's unexplored neighbourhoods.
-        queue = []
-        for point in frontier:
-            for neighbour in neighbours(point.config):
-                if neighbour.label() not in seen:
-                    queue.append(neighbour)
-
+    profile = IRInterpreter(workload, width=width).run().block_counts
+    params: dict = {"max_evaluations": max_evaluations}
+    if seeds is not None:
+        params["seeds"] = seeds
+    outcome = run_search(
+        workload, [], width=width, strategy="iterative",
+        strategy_params=params, profile=profile,
+    )
     result = ExplorationResult(
-        workload=workload.name,
-        profile=profile,
-        points=list(seen.values()),
+        workload=workload.name, profile=profile, points=outcome.points
     )
     return IterativeResult(
         result=result,
-        evaluations=evaluations,
-        iterations=iterations,
-        frontier_history=history,
+        evaluations=outcome.evaluations,
+        iterations=outcome.iterations,
+        frontier_history=outcome.frontier_history,
     )

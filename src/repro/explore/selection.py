@@ -7,11 +7,17 @@ The standard Euclid norm with equal constraint weights has been used."
 Axes are min-max normalised over the candidate set before weighting so
 that cycles (~1e5) cannot drown area (~1e3); the paper's equal-weight
 choice then genuinely balances the three constraints.
+
+The norm works over *any* objective vector: pass ``key`` (typically
+``repro.study.objectives.cost_vector`` over a study's objective set) to
+select under an arbitrary axis list; the ``use_test_cost`` switch keeps
+the paper's fixed (area, cycles[, test]) vectors as the default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.explore.evaluate import EvaluatedPoint
 
@@ -26,22 +32,33 @@ class SelectionResult:
 
 
 def normalize_points(
-    points: list[EvaluatedPoint], use_test_cost: bool = True
+    points: list[EvaluatedPoint],
+    use_test_cost: bool = True,
+    key: Callable[[EvaluatedPoint], Sequence[float]] | None = None,
 ) -> list[tuple[EvaluatedPoint, tuple[float, ...]]]:
-    """Min-max normalise each axis over the candidate set."""
+    """Min-max normalise each axis over the candidate set.
+
+    ``key`` maps a point to its raw cost vector; when omitted, the
+    paper's (area, cycles, test) — or (area, cycles) with
+    ``use_test_cost=False`` — is used.
+    """
     if not points:
         raise ValueError("no candidate points")
     vectors = []
     for p in points:
         if not p.feasible:
             raise ValueError(f"infeasible point {p.label} in selection")
-        if use_test_cost:
+        if key is not None:
+            vectors.append(tuple(float(x) for x in key(p)))
+        elif use_test_cost:
             if p.test_cost is None:
                 raise ValueError(f"point {p.label} lacks a test cost")
             vectors.append((p.area, float(p.cycles), float(p.test_cost)))
         else:
             vectors.append((p.area, float(p.cycles)))
     dims = len(vectors[0])
+    if any(len(v) != dims for v in vectors):
+        raise ValueError("cost vectors must have equal dimension")
     lows = [min(v[d] for v in vectors) for d in range(dims)]
     highs = [max(v[d] for v in vectors) for d in range(dims)]
     out = []
@@ -59,14 +76,17 @@ def select_architecture(
     weights: tuple[float, ...] = (1.0, 1.0, 1.0),
     order: float = 2.0,
     use_test_cost: bool = True,
+    key: Callable[[EvaluatedPoint], Sequence[float]] | None = None,
 ) -> SelectionResult:
     """Pick the candidate with the smallest weighted p-norm.
 
     ``order=2`` with equal weights is the paper's choice; other orders
     (1 = Manhattan, inf supported via ``float('inf')``) are available for
-    the ablation benches.
+    the ablation benches.  ``key`` selects under an arbitrary objective
+    vector (see :func:`normalize_points`); extra weights beyond the
+    vector's dimension are ignored.
     """
-    normalized = normalize_points(points, use_test_cost)
+    normalized = normalize_points(points, use_test_cost, key=key)
     dims = len(normalized[0][1])
     if len(weights) < dims:
         raise ValueError(f"need {dims} weights, got {len(weights)}")

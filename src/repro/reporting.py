@@ -96,6 +96,49 @@ def exploration_to_json(points: list[EvaluatedPoint]) -> str:
     return json.dumps(exploration_rows(points), indent=2)
 
 
+def study_to_dict(result) -> dict:
+    """Plain-dict view of a :class:`repro.study.StudyResult`.
+
+    Bundles the (round-trippable) spec with per-run point tables, the
+    objective-vector Pareto front and the selection, so one JSON file
+    captures an entire study — inputs and outputs — for archival next to
+    the code that produced it.  Point rows are the same shape
+    :func:`exploration_rows` emits, so they feed back through
+    :func:`point_from_row`.
+    """
+    runs = []
+    for run in result.runs:
+        runs.append(
+            {
+                "label": run.label,
+                "objectives": list(run.objectives),
+                "evaluations": run.evaluations,
+                "iterations": run.iterations,
+                "frontier_history": list(run.frontier_history),
+                "stats": {
+                    "total": run.stats.total,
+                    "cache_hits": run.stats.cache_hits,
+                    "evaluated": run.stats.evaluated,
+                    "workers": run.stats.workers,
+                    "elapsed": round(run.stats.elapsed, 4),
+                },
+                "points": exploration_rows(run.result.points),
+                "pareto": [p.label for p in run.pareto],
+                "selection": None if run.selection is None else {
+                    "architecture": run.selection.point.label,
+                    "norm": run.selection.norm,
+                    "normalized": list(run.selection.normalized),
+                },
+            }
+        )
+    return {"spec": result.spec.to_dict(), "runs": runs}
+
+
+def study_to_json(result) -> str:
+    """JSON text for one study result (spec + runs + fronts + winner)."""
+    return json.dumps(study_to_dict(result), indent=2)
+
+
 def table1_rows(rows: list[Table1Row]) -> list[dict]:
     """Plain-dict view of a Table 1 result."""
     out = []

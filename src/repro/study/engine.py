@@ -1,0 +1,508 @@
+"""The study engine: one entry point for every exploration the repo does.
+
+``Study.run()`` executes a declarative :class:`~repro.study.spec.
+StudySpec`: build each workload, profile it once, hand the space to the
+spec's search strategy (evaluation goes through a cache-aware,
+optionally parallel :class:`CachedEvaluator`), run the post-passes the
+objective vector demands (the test-cost axis), Pareto-filter under the
+full objective vector and — when asked — pick the winner with the
+weighted norm.  The result type, :class:`StudyResult`, unifies what
+used to be three shapes (``ExplorationResult``, ``IterativeResult`` and
+the campaign's ``WorkloadRun`` list).
+
+The legacy surfaces are thin layers over this engine: ``explore()`` is
+an exhaustive study, ``iterative_explore()`` an iterative one, and a
+campaign is N studies sharing one :class:`~repro.campaign.cache.
+ResultCache`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Iterable, Iterator
+
+from repro.apps.registry import build_workload
+from repro.compiler.interp import IRInterpreter
+from repro.compiler.ir import IRFunction
+from repro.explore.evaluate import (
+    EvaluatedPoint,
+    EvaluationContext,
+    evaluate_config_worker,
+    init_evaluation_worker,
+)
+from repro.explore.explorer import ExplorationResult
+from repro.explore.selection import SelectionResult, select_architecture
+from repro.explore.space import ArchConfig
+from repro.study.objectives import (
+    Objective,
+    cost_vector,
+    pareto_front,
+    resolve_objectives,
+)
+from repro.study.spec import StudySpec
+from repro.study.strategies import SearchJob, SearchOutcome, run_strategy
+from repro.testcost.cost import attach_test_costs
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """How one (workload, space, width) job was executed."""
+
+    total: int                 # points in the space
+    cache_hits: int            # served from the result cache
+    evaluated: int             # actually compiled this run
+    workers: int               # pool size used (1 = serial path)
+    elapsed: float             # wall-clock seconds for the whole job
+
+
+# ----------------------------------------------------------------------
+# evaluation fan-out (shared by the serial loop and the process pool)
+# ----------------------------------------------------------------------
+def iter_evaluations(
+    configs: list[ArchConfig],
+    workload: IRFunction,
+    profile: dict[str, int],
+    width: int,
+    workers: int,
+    context: EvaluationContext | None = None,
+) -> Iterator[EvaluatedPoint]:
+    """Yield evaluated points in configuration order, streaming.
+
+    Streaming matters for resumability: the caller persists each point
+    as it arrives, so a killed run keeps everything that finished
+    rather than losing the whole sweep.  ``pool.map`` yields completed
+    results in submission order, chunk by chunk.
+
+    Pass ``context`` to reuse a caller-held sweep context on the serial
+    path — batch-per-wave strategies would otherwise rebuild the
+    shared-work caches on every batch.
+    """
+    if workers <= 1 or len(configs) <= 1:
+        if context is None:
+            context = EvaluationContext(workload, profile, width)
+        for config in configs:
+            yield context.evaluate(config)
+        return
+    chunksize = max(1, len(configs) // (workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(configs)),
+        initializer=init_evaluation_worker,
+        initargs=(workload, profile, width),
+    ) as pool:
+        yield from pool.map(
+            evaluate_config_worker, configs, chunksize=chunksize
+        )
+
+
+def evaluate_configs(
+    configs: list[ArchConfig],
+    workload: IRFunction,
+    profile: dict[str, int],
+    width: int = 16,
+    workers: int = 1,
+) -> list[EvaluatedPoint]:
+    """Evaluate a configuration list, fanning out when ``workers > 1``.
+
+    Order-preserving in both modes: a drop-in parallel
+    ``evaluate_space``.
+    """
+    return list(iter_evaluations(configs, workload, profile, width, workers))
+
+
+class CachedEvaluator:
+    """The strategies' evaluation front-end: context + cache + pool.
+
+    Owns one :class:`~repro.explore.evaluate.EvaluationContext` for the
+    (workload, profile, width) at hand, consults the on-disk result
+    cache before compiling anything, streams fresh points back into the
+    cache as they arrive (the resume story), and fans batch requests out
+    over a process pool when ``workers > 1``.  Counts hits and fresh
+    evaluations for the run statistics.
+    """
+
+    def __init__(
+        self,
+        workload_name: str,
+        workload: IRFunction,
+        profile: dict[str, int],
+        width: int,
+        cache=None,
+        march: str | None = None,
+        workers: int = 1,
+        progress: ProgressFn | None = None,
+        label: str | None = None,
+    ) -> None:
+        self.workload_name = workload_name
+        self.workload = workload
+        self.profile = profile
+        self.width = width
+        self.cache = cache
+        self.march = march
+        self.workers = workers
+        self.progress = progress
+        self.label = label or workload_name
+        self.cache_hits = 0
+        self.evaluated = 0
+        self._context: EvaluationContext | None = None
+
+    @property
+    def context(self) -> EvaluationContext:
+        if self._context is None:
+            self._context = EvaluationContext(
+                self.workload, self.profile, self.width
+            )
+        return self._context
+
+    def _lookup(self, config: ArchConfig) -> EvaluatedPoint | None:
+        if self.cache is None:
+            return None
+        return self.cache.get(
+            self.workload_name, config, self.width, self.march
+        )
+
+    def _store(self, point: EvaluatedPoint) -> None:
+        if self.cache is not None:
+            self.cache.put(self.workload_name, point, self.width, self.march)
+
+    def evaluate(self, config: ArchConfig) -> EvaluatedPoint:
+        """Cost one configuration, cache-first."""
+        cached = self._lookup(config)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        point = self.context.evaluate(config)
+        self.evaluated += 1
+        self._store(point)
+        return point
+
+    def evaluate_many(
+        self, configs: list[ArchConfig]
+    ) -> list[EvaluatedPoint]:
+        """Cost an ordered batch, cache-first, fanning out the misses."""
+        points: list[EvaluatedPoint | None] = [None] * len(configs)
+        missing: list[int] = []
+        for i, config in enumerate(configs):
+            cached = self._lookup(config)
+            if cached is not None:
+                points[i] = cached
+            else:
+                missing.append(i)
+        self.cache_hits += len(configs) - len(missing)
+        # A pool can't win on a batch that gives each worker at most
+        # one configuration (the iterative strategy's 2-3-config
+        # waves): spinning it up re-initialises every worker's
+        # evaluation context just to tear it down again.  Such batches
+        # run on the evaluator's own long-lived context.
+        serial = self.workers <= 1 or len(missing) <= self.workers
+        workers = 1 if serial else self.workers
+        if self.progress is not None:
+            self.progress(
+                f"{self.label}: {len(configs) - len(missing)} cached, "
+                f"evaluating {len(missing)} of {len(configs)} points "
+                f"({workers} worker{'s' if workers != 1 else ''})"
+            )
+        if missing:
+            fresh = iter_evaluations(
+                [configs[i] for i in missing],
+                self.workload,
+                self.profile,
+                self.width,
+                workers,
+                context=self.context if serial else None,
+            )
+            for i, point in zip(missing, fresh):
+                points[i] = point
+                self.evaluated += 1
+                self._store(point)
+        return points
+
+
+# ----------------------------------------------------------------------
+# one-shot search (the layer the legacy shims delegate to)
+# ----------------------------------------------------------------------
+def run_search(
+    workload: IRFunction,
+    space: Iterable[ArchConfig],
+    width: int = 16,
+    strategy: str = "exhaustive",
+    strategy_params: dict | None = None,
+    profile: dict[str, int] | None = None,
+    initial_regs: dict[str, int] | None = None,
+) -> SearchOutcome:
+    """Run one search strategy on an in-memory workload, uncached.
+
+    The minimal engine entry point: profiles the workload (unless a
+    profile is supplied), wires a serial :class:`CachedEvaluator`
+    without a result cache, and runs the named strategy.  ``explore()``
+    and ``iterative_explore()`` are deprecation shims over this.
+    """
+    if profile is None:
+        interp = IRInterpreter(workload, width=width)
+        profile = interp.run(initial_regs).block_counts
+    configs = list(space)
+    evaluator = CachedEvaluator(
+        workload.name, workload, profile, width
+    )
+    job = SearchJob(
+        workload=workload,
+        profile=profile,
+        space=configs,
+        width=width,
+        evaluate=evaluator.evaluate,
+        evaluate_many=evaluator.evaluate_many,
+    )
+    return run_strategy(strategy, job, strategy_params)
+
+
+# ----------------------------------------------------------------------
+# studies
+# ----------------------------------------------------------------------
+@dataclass
+class StudyRun:
+    """One workload's exploration within a study."""
+
+    workload: str
+    space: str
+    width: int
+    objectives: tuple[str, ...]
+    result: ExplorationResult
+    selection: SelectionResult | None
+    stats: RunStats
+    evaluations: int
+    iterations: int = 1
+    frontier_history: list[int] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/{self.space}/w{self.width}"
+
+    @property
+    def pareto(self) -> list[EvaluatedPoint]:
+        """The non-dominated points under the study's objective vector.
+
+        Points on which some objective is not measurable (the test-cost
+        axis outside the base front) are not candidates — for the
+        paper's (area, cycles, test_cost) vector this is exactly the
+        Fig. 8 front.
+        """
+        return pareto_front(self.result.points, self.objectives)
+
+
+@dataclass
+class StudyResult:
+    """Everything a study produced, one run per workload."""
+
+    spec: StudySpec
+    runs: list[StudyRun] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.stats.cache_hits for r in self.runs)
+
+    @property
+    def evaluated(self) -> int:
+        return sum(r.stats.evaluated for r in self.runs)
+
+    def run(self, label: str) -> StudyRun:
+        """Look one run up by ``workload/space/wWIDTH`` label."""
+        for r in self.runs:
+            if r.label == label:
+                return r
+        raise KeyError(f"no run {label!r} in study {self.spec.name!r}")
+
+    # -- single-run conveniences (the common case) ---------------------
+    @property
+    def single(self) -> StudyRun:
+        """The only run of a single-workload study."""
+        if len(self.runs) != 1:
+            raise ValueError(
+                f"study {self.spec.name!r} has {len(self.runs)} runs; "
+                "address them via .runs / .run(label)"
+            )
+        return self.runs[0]
+
+    @property
+    def points(self) -> list[EvaluatedPoint]:
+        return self.single.result.points
+
+    @property
+    def pareto(self) -> list[EvaluatedPoint]:
+        return self.single.pareto
+
+    @property
+    def selection(self) -> SelectionResult | None:
+        return self.single.selection
+
+    def summary(self) -> str:
+        spec = self.spec
+        lines = [
+            f"study {spec.name!r}: strategy={spec.strategy}, "
+            f"objectives={'+'.join(spec.objectives)}, "
+            f"{len(self.runs)} run{'s' if len(self.runs) != 1 else ''}, "
+            f"{self.evaluated} evaluated, {self.cache_hits} cache hits"
+        ]
+        for r in self.runs:
+            res = r.result
+            parts = [
+                f"  {r.label:<24} {len(res.points):>4} points",
+                f"{len(res.feasible_points):>4} feasible",
+                f"{len(r.pareto):>3} Pareto",
+                f"[{r.stats.cache_hits} cached, {r.stats.evaluated} "
+                f"evaluated, {r.stats.elapsed:.2f}s]",
+            ]
+            if r.selection is not None:
+                parts.append(f"-> {r.selection.point.label}")
+            elif spec.select:
+                parts.append("-> (no candidate points)")
+            lines.append(" ".join(parts))
+        return "\n".join(lines)
+
+
+class Study:
+    """Executor for one :class:`StudySpec`.
+
+    ``cache`` is any object with the :class:`~repro.campaign.cache.
+    ResultCache` get/put surface (or None for no caching); ``workers``
+    overrides the spec's parallelism hint; ``progress`` receives
+    human-readable per-run status lines.
+    """
+
+    def __init__(
+        self,
+        spec: StudySpec,
+        cache=None,
+        workers: int | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self.cache = cache
+        self.workers = spec.workers if workers is None else workers
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.progress = progress
+
+    def run(self) -> StudyResult:
+        result = StudyResult(spec=self.spec)
+        for workload_name in self.spec.workloads:
+            result.runs.append(self._run_one(workload_name))
+        return result
+
+    def _run_one(self, workload_name: str) -> StudyRun:
+        spec = self.spec
+        started = perf_counter()
+        workload = build_workload(workload_name)
+        configs = spec.resolve_space()
+        profile = IRInterpreter(
+            workload, width=spec.width
+        ).run().block_counts
+        objectives = resolve_objectives(spec.objectives)
+        needs_test_costs = any(o.requires_test_costs for o in objectives)
+        # Only key cached test costs on the march the study will use —
+        # otherwise output would depend on what earlier runs attached.
+        march = spec.march if needs_test_costs else None
+        label = f"{workload_name}/{spec.space_label}/w{spec.width}"
+
+        evaluator = CachedEvaluator(
+            workload_name,
+            workload,
+            profile,
+            spec.width,
+            cache=self.cache,
+            march=march,
+            workers=self.workers,
+            progress=self.progress,
+            label=label,
+        )
+        job = SearchJob(
+            workload=workload,
+            profile=profile,
+            space=configs,
+            width=spec.width,
+            evaluate=evaluator.evaluate,
+            evaluate_many=evaluator.evaluate_many,
+        )
+        outcome = run_strategy(spec.strategy, job, spec.params)
+        result = ExplorationResult(
+            workload=workload.name, profile=profile, points=outcome.points
+        )
+
+        if needs_test_costs:
+            self._attach_test_costs(
+                workload_name, result, objectives, evaluator
+            )
+
+        selection: SelectionResult | None = None
+        if spec.select:
+            candidates = pareto_front(result.points, objectives)
+            if candidates:
+                weights = spec.weights or (1.0,) * len(objectives)
+                selection = select_architecture(
+                    candidates,
+                    weights=weights,
+                    key=lambda p: cost_vector(p, objectives),
+                )
+
+        stats = RunStats(
+            total=len(configs),
+            cache_hits=evaluator.cache_hits,
+            evaluated=evaluator.evaluated,
+            workers=self.workers,
+            elapsed=perf_counter() - started,
+        )
+        return StudyRun(
+            workload=workload_name,
+            space=spec.space_label,
+            width=spec.width,
+            objectives=spec.objectives,
+            result=result,
+            selection=selection,
+            stats=stats,
+            evaluations=outcome.evaluations,
+            iterations=outcome.iterations,
+            frontier_history=outcome.frontier_history,
+        )
+
+    def _attach_test_costs(
+        self,
+        workload_name: str,
+        result: ExplorationResult,
+        objectives: tuple[Objective, ...],
+        evaluator: CachedEvaluator,
+    ) -> None:
+        """The test-cost post-pass, on the base-objective front only.
+
+        The paper evaluates the test axis *on the 2-D Pareto points*,
+        preserving the already achieved area/throughput ratio; the
+        generalisation attaches costs to the front under the objectives
+        that need no post-pass.  Points restored from the cache already
+        carry a march-matched cost; only the rest run the ATPG-backed
+        math, and freshly attached costs stream back into the cache.
+        """
+        base = [o for o in objectives if not o.requires_test_costs]
+        if base:
+            front = pareto_front(result.points, base)
+        else:
+            front = result.feasible_points
+        todo = [p for p in front if p.test_cost is None]
+        if not todo:
+            return
+        attach_test_costs(todo, self.spec.march, self.spec.width)
+        for point in todo:
+            evaluator._store(point)
+
+
+def run_study(
+    spec: StudySpec,
+    cache=None,
+    workers: int | None = None,
+    progress: ProgressFn | None = None,
+) -> StudyResult:
+    """Build and run a :class:`Study` in one call."""
+    return Study(
+        spec, cache=cache, workers=workers, progress=progress
+    ).run()

@@ -1,0 +1,276 @@
+"""The search-strategy registry: how a study walks its space.
+
+A strategy decides *which* configurations are evaluated and in what
+order; it never evaluates anything itself.  It receives a
+:class:`SearchJob` whose ``evaluate``/``evaluate_many`` hooks are wired
+by the engine to the shared-work :class:`~repro.explore.evaluate.
+EvaluationContext`, the on-disk result cache and the process pool — so
+every strategy transparently gets caching, resume and parallel fan-out,
+and the exhaustive strategy run serially is bit-identical to the legacy
+``explore()`` sweep.
+
+Three strategies are seeded:
+
+* ``exhaustive`` — the paper's full grid sweep (Sec. 2);
+* ``iterative``  — the MOVE-style neighbourhood search that expands
+  only non-dominated candidates;
+* ``random``     — a budgeted uniform sample of the space, the baseline
+  every smarter search must beat.
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compiler.ir import IRFunction
+from repro.explore.evaluate import EvaluatedPoint
+from repro.explore.pareto import pareto_filter
+from repro.explore.space import ArchConfig
+
+
+@dataclass
+class SearchJob:
+    """Everything one search may touch, with evaluation behind hooks.
+
+    ``evaluate`` costs one configuration; ``evaluate_many`` costs an
+    ordered batch (and may fan out over a process pool).  Both are
+    cache-aware when the engine holds a result cache.
+    """
+
+    workload: IRFunction
+    profile: dict[str, int]
+    space: list[ArchConfig]
+    width: int
+    evaluate: Callable[[ArchConfig], EvaluatedPoint]
+    evaluate_many: Callable[[list[ArchConfig]], list[EvaluatedPoint]]
+
+
+@dataclass
+class SearchOutcome:
+    """What a strategy produced: points plus search accounting."""
+
+    points: list[EvaluatedPoint]
+    evaluations: int
+    iterations: int = 1
+    frontier_history: list[int] = field(default_factory=list)
+
+
+StrategyFn = Callable[..., SearchOutcome]
+
+
+@dataclass(frozen=True)
+class StrategyEntry:
+    """One registered strategy: the runner plus its documentation."""
+
+    name: str
+    runner: StrategyFn
+    description: str
+
+    @property
+    def params(self) -> str:
+        """Human-readable parameter list (from the runner signature)."""
+        parameters = [
+            f"{p.name}={p.default!r}" if p.default is not p.empty else p.name
+            for p in inspect.signature(self.runner).parameters.values()
+            if p.name != "job"
+        ]
+        return ", ".join(parameters) if parameters else "(none)"
+
+
+_STRATEGIES: dict[str, StrategyEntry] = {}
+
+
+def register_strategy(
+    name: str, runner: StrategyFn, description: str = ""
+) -> StrategyEntry:
+    """Add (or replace) a named strategy; returns the registered entry."""
+    entry = StrategyEntry(name=name, runner=runner, description=description)
+    _STRATEGIES[name] = entry
+    return entry
+
+
+def strategy_names() -> list[str]:
+    """Names accepted by :func:`strategy_by_name` (sorted)."""
+    return sorted(_STRATEGIES)
+
+
+def strategy_by_name(name: str) -> StrategyEntry:
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(strategy_names())
+        raise KeyError(
+            f"unknown strategy {name!r} (known: {known})"
+        ) from None
+
+
+def validate_strategy_params(name: str, params: dict | None) -> None:
+    """Check ``params`` against the strategy's signature (``ValueError``).
+
+    Validation is separate from execution so a ``TypeError`` raised
+    *inside* a running strategy (deep in the compile/evaluate hot path)
+    is never mistaken for a bad parameter list.
+    """
+    entry = strategy_by_name(name)
+    signature = inspect.signature(entry.runner)
+    try:
+        signature.bind(None, **(params or {}))
+    except TypeError as exc:
+        raise ValueError(
+            f"strategy {name!r} rejected its params "
+            f"(accepts: {entry.params}): {exc}"
+        ) from None
+
+
+def run_strategy(
+    name: str, job: SearchJob, params: dict | None = None
+) -> SearchOutcome:
+    """Run a registered strategy; unknown params raise ``ValueError``."""
+    validate_strategy_params(name, params)
+    return strategy_by_name(name).runner(job, **(params or {}))
+
+
+# ----------------------------------------------------------------------
+# exhaustive — the paper's full sweep
+# ----------------------------------------------------------------------
+def exhaustive_search(job: SearchJob) -> SearchOutcome:
+    """Evaluate every configuration of the space, in space order."""
+    points = job.evaluate_many(list(job.space))
+    return SearchOutcome(points=points, evaluations=len(points))
+
+
+# ----------------------------------------------------------------------
+# random — budgeted uniform sampling
+# ----------------------------------------------------------------------
+def random_search(
+    job: SearchJob, budget: int = 32, seed: int = 0
+) -> SearchOutcome:
+    """Evaluate a uniform sample of at most ``budget`` configurations.
+
+    Sampling is without replacement from the job's space with a seeded
+    ``random.Random``, so a fixed seed reproduces the exact point list;
+    sampled indices are evaluated in space order, keeping the result a
+    deterministic sublist of the exhaustive sweep.
+    """
+    budget = int(budget)                # str params arrive from --param
+    if budget < 1:
+        raise ValueError("random strategy needs budget >= 1")
+    size = min(budget, len(job.space))
+    rng = random.Random(seed)
+    indices = sorted(rng.sample(range(len(job.space)), size))
+    points = job.evaluate_many([job.space[i] for i in indices])
+    return SearchOutcome(points=points, evaluations=len(points))
+
+
+# ----------------------------------------------------------------------
+# iterative — MOVE-style neighbourhood search
+# ----------------------------------------------------------------------
+def iterative_search(
+    job: SearchJob,
+    seeds: list[ArchConfig] | None = None,
+    max_evaluations: int = 80,
+) -> SearchOutcome:
+    """Expand non-dominated neighbourhoods from seed templates.
+
+    The loop of the pre-study ``iterative_explore`` — one architectural
+    parameter mutated at a time, only frontier candidates expanded —
+    with each wave's unexplored neighbourhood evaluated as one
+    ``evaluate_many`` batch, so the search shares the sweep caches, the
+    on-disk result cache, and the process-pool fan-out.  ``seeds``
+    accepts :class:`~repro.explore.space.ArchConfig` instances or their
+    dict form (what a JSON spec carries).
+
+    A non-empty job space *bounds the walk*: seeds and neighbourhood
+    expansions outside the declared space are skipped, so a study's
+    points are always drawn from the space its spec names (should no
+    seed fall inside the space, the search starts from the space's
+    first template).  An empty space — the legacy
+    ``iterative_explore`` surface — leaves the walk unbounded over the
+    neighbourhood model.
+    """
+    from repro.explore.iterative import default_seeds, neighbours
+
+    max_evaluations = int(max_evaluations)
+    if seeds is None:
+        seeds = default_seeds()
+    seeds = [
+        ArchConfig.from_dict(s) if isinstance(s, dict) else s for s in seeds
+    ]
+
+    allowed: set[str] | None = None
+    if job.space:
+        allowed = {config.label() for config in job.space}
+        seeds = [c for c in seeds if c.label() in allowed]
+        if not seeds:
+            seeds = [job.space[0]]
+
+    seen: dict[str, EvaluatedPoint] = {}
+    frontier: list[EvaluatedPoint] = []
+    queue: list[ArchConfig] = list(seeds)
+    evaluations = 0
+    iterations = 0
+    history: list[int] = []
+
+    while queue and evaluations < max_evaluations:
+        iterations += 1
+        # One wave: the queue's unseen configs, deduplicated in order,
+        # truncated to the remaining budget.
+        batch: list[ArchConfig] = []
+        batch_labels: set[str] = set()
+        for config in queue:
+            label = config.label()
+            if label in seen or label in batch_labels:
+                continue
+            if evaluations + len(batch) >= max_evaluations:
+                break
+            batch.append(config)
+            batch_labels.add(label)
+
+        expanded: list[EvaluatedPoint] = []
+        for config, point in zip(batch, job.evaluate_many(batch)):
+            seen[config.label()] = point
+            if point.feasible:
+                expanded.append(point)
+        evaluations += len(batch)
+        frontier = pareto_filter(
+            frontier + expanded, key=lambda p: p.cost2d()
+        )
+        history.append(len(frontier))
+
+        # Expand only the frontier's unexplored neighbourhoods.
+        queue = []
+        for point in frontier:
+            for neighbour in neighbours(point.config):
+                label = neighbour.label()
+                if label in seen:
+                    continue
+                if allowed is not None and label not in allowed:
+                    continue
+                queue.append(neighbour)
+
+    return SearchOutcome(
+        points=list(seen.values()),
+        evaluations=evaluations,
+        iterations=iterations,
+        frontier_history=history,
+    )
+
+
+register_strategy(
+    "exhaustive",
+    exhaustive_search,
+    "full sweep of the space, in space order (the paper's Sec. 2 flow)",
+)
+register_strategy(
+    "random",
+    random_search,
+    "budgeted uniform sample of the space (seeded, deterministic)",
+)
+register_strategy(
+    "iterative",
+    iterative_search,
+    "neighbourhood search expanding only non-dominated candidates",
+)

@@ -19,6 +19,81 @@ def test_list(capsys):
     code, out, _ = _run(capsys, "list")
     assert code == 0
     assert "crypt" in out and "spaces:" in out
+    # the registries behind the study layer are listed too
+    assert "objectives:" in out and "strategies:" in out
+
+
+def test_list_objectives_flag(capsys):
+    code, out, _ = _run(capsys, "list", "--objectives")
+    assert code == 0
+    assert "area" in out and "cycles" in out and "test_cost" in out
+    assert "workloads:" not in out and "strategies:" not in out
+
+
+def test_list_strategies_flag(capsys):
+    code, out, _ = _run(capsys, "list", "--strategies")
+    assert code == 0
+    for name in ("exhaustive", "iterative", "random"):
+        assert name in out
+    assert "params:" in out
+    assert "workloads:" not in out and "objectives:" not in out
+
+
+def test_study_summary(capsys):
+    code, out, _ = _run(
+        capsys, "study", "--workloads", "gcd", "--space", "small",
+        "--no-cache", "-q",
+    )
+    assert code == 0
+    assert "study 'study'" in out
+    assert "gcd/small/w16" in out
+
+
+def test_study_random_strategy_csv(capsys, tmp_path):
+    out_file = tmp_path / "sample.csv"
+    code, _, _ = _run(
+        capsys, "study", "--workloads", "gcd", "--space", "small",
+        "--strategy", "random", "--param", "budget=5", "--param", "seed=2",
+        "--no-cache", "-q", "--format", "csv", "-o", str(out_file),
+    )
+    assert code == 0
+    rows = list(csv.DictReader(io.StringIO(out_file.read_text())))
+    assert len(rows) == 5
+
+
+def test_study_spec_file_with_selection(capsys, tmp_path):
+    from repro.study import StudySpec
+
+    spec_file = tmp_path / "study.json"
+    spec_file.write_text(
+        StudySpec(
+            name="from-file",
+            workloads=("gcd",),
+            space="small",
+            objectives=("area", "cycles", "test_cost"),
+            select=True,
+        ).to_json()
+    )
+    code, out, _ = _run(
+        capsys, "study", "--spec", str(spec_file), "--no-cache", "-q",
+    )
+    assert code == 0
+    assert "study 'from-file'" in out
+    assert "selected [gcd/small/w16]" in out
+
+
+def test_study_unknown_objective_fails(capsys):
+    code, _, err = _run(
+        capsys, "study", "--workloads", "gcd", "--objectives", "area,nope",
+        "--no-cache", "-q",
+    )
+    assert code == 1
+    assert "unknown objective" in err
+
+
+def test_study_needs_spec_or_workloads(capsys):
+    with pytest.raises(SystemExit):
+        main(["study", "-q"])
 
 
 def test_explore_summary(capsys):

@@ -15,6 +15,10 @@ def test_version():
 def test_quickstart_surface():
     """The names the README quickstart uses exist."""
     for name in (
+        "StudySpec",
+        "run_study",
+        "register_objective",
+        "register_strategy",
         "build_crypt_ir",
         "crypt_space",
         "explore",

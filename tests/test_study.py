@@ -1,0 +1,676 @@
+"""The study layer: registries, spec round-trip, strategies, equivalence."""
+
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_gcd_ir
+from repro.apps.kernels import build_fir_ir
+from repro.apps.registry import build_workload
+from repro.campaign import ResultCache
+from repro.explore import (
+    ArchConfig,
+    EvaluatedPoint,
+    RFConfig,
+    dsp_space,
+    select_architecture,
+    small_space,
+)
+from repro.explore.explorer import ExplorationResult
+from repro.study import (
+    StudySpec,
+    cost_vector,
+    objective_by_name,
+    objective_names,
+    pareto_front,
+    register_objective,
+    register_strategy,
+    resolve_objectives,
+    run_search,
+    run_study,
+    strategy_by_name,
+    strategy_names,
+)
+from repro.study import objectives as objectives_module
+from repro.study import strategies as strategies_module
+from repro.testcost import attach_test_costs
+
+
+def _legacy_explore(workload, space, width=16):
+    """The deprecated one-shot sweep, warnings silenced."""
+    from repro.explore import explore
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return explore(workload, space, width=width)
+
+
+def _fingerprint(points):
+    return [(p.label, p.area, p.cycles, p.test_cost) for p in points]
+
+
+# ----------------------------------------------------------------------
+# objective registry
+# ----------------------------------------------------------------------
+def test_objective_registry_seeded():
+    assert {"area", "cycles", "test_cost"} <= set(objective_names())
+    assert objective_by_name("test_cost").requires_test_costs
+    assert not objective_by_name("area").requires_test_costs
+    with pytest.raises(KeyError, match="unknown objective"):
+        objective_by_name("nope")
+    with pytest.raises(ValueError, match="at least one objective"):
+        resolve_objectives(())
+
+
+def test_objective_availability_gates_pareto():
+    feasible = EvaluatedPoint(
+        config=ArchConfig(num_buses=1), area=10.0, cycles=100
+    )
+    infeasible = EvaluatedPoint(
+        config=ArchConfig(num_buses=2), area=20.0, cycles=None
+    )
+    assert objective_by_name("area").available(feasible)
+    assert not objective_by_name("area").available(infeasible)
+    # test_cost is unavailable until the post-pass attached a cost
+    assert not objective_by_name("test_cost").available(feasible)
+    assert pareto_front(
+        [feasible, infeasible], ("area", "cycles", "test_cost")
+    ) == []
+    feasible.test_cost = 5
+    assert pareto_front(
+        [feasible, infeasible], ("area", "cycles", "test_cost")
+    ) == [feasible]
+
+
+def test_pareto_front_is_staged_for_post_pass_objectives():
+    """A stray test cost on an off-front point must not enter the 3-D
+    front: the test axis is only measured on the base-objective front
+    (so cached costs from other studies cannot change the result)."""
+    on_front = EvaluatedPoint(
+        config=ArchConfig(num_buses=1), area=10.0, cycles=100, test_cost=50
+    )
+    also_on_front = EvaluatedPoint(
+        config=ArchConfig(num_buses=2), area=20.0, cycles=10, test_cost=40
+    )
+    # dominated in (area, cycles) but with an excellent test cost
+    off_front = EvaluatedPoint(
+        config=ArchConfig(num_buses=3), area=30.0, cycles=200, test_cost=1
+    )
+    front = pareto_front(
+        [on_front, also_on_front, off_front],
+        ("area", "cycles", "test_cost"),
+    )
+    assert off_front not in front
+    assert front == [on_front, also_on_front]
+
+
+def test_study_front_independent_of_cache_history(tmp_path):
+    """An exhaustive study's front/selection must not depend on which
+    points an earlier (random) study left test costs on in the cache."""
+    cache = ResultCache(tmp_path)
+    objectives = ("area", "cycles", "test_cost")
+    run_study(
+        StudySpec(
+            name="warmup", workloads=("gcd",), space="small",
+            objectives=objectives, strategy="random",
+            strategy_params={"budget": 8, "seed": 5},
+        ),
+        cache=cache,
+    )
+    cached = run_study(
+        StudySpec(
+            name="full", workloads=("gcd",), space="small",
+            objectives=objectives, select=True,
+        ),
+        cache=cache,
+    )
+    clean = run_study(
+        StudySpec(
+            name="full", workloads=("gcd",), space="small",
+            objectives=objectives, select=True,
+        )
+    )
+    assert [p.label for p in cached.pareto] == [
+        p.label for p in clean.pareto
+    ]
+    assert cached.selection.point.label == clean.selection.point.label
+
+
+def test_register_custom_objective():
+    name = "_test_energy_proxy"
+    try:
+        register_objective(
+            name,
+            lambda p: p.area * p.cycles,
+            "area-cycles product (unit-test axis)",
+        )
+        assert name in objective_names()
+        point = EvaluatedPoint(
+            config=ArchConfig(num_buses=1), area=2.0, cycles=3
+        )
+        vec = cost_vector(point, resolve_objectives(("area", name)))
+        assert vec == (2.0, 6.0)
+    finally:
+        del objectives_module._OBJECTIVES[name]
+
+
+def test_cost_vector_matches_legacy_tuples():
+    point = EvaluatedPoint(
+        config=ArchConfig(num_buses=1), area=7.5, cycles=40, test_cost=9
+    )
+    two = resolve_objectives(("area", "cycles"))
+    three = resolve_objectives(("area", "cycles", "test_cost"))
+    assert cost_vector(point, two) == point.cost2d()
+    assert cost_vector(point, three) == point.cost3d()
+
+
+# ----------------------------------------------------------------------
+# strategy registry
+# ----------------------------------------------------------------------
+def test_strategy_registry_seeded():
+    assert {"exhaustive", "iterative", "random"} <= set(strategy_names())
+    assert "budget" in strategy_by_name("random").params
+    with pytest.raises(KeyError, match="unknown strategy"):
+        strategy_by_name("nope")
+
+
+def test_strategy_rejects_unknown_params():
+    workload = build_gcd_ir(24, 18)
+    with pytest.raises(ValueError, match="accepts"):
+        run_search(
+            workload, small_space()[:1],
+            strategy="exhaustive", strategy_params={"bogus": 1},
+        )
+    # spec validation catches the same mistake before anything runs
+    with pytest.raises(ValueError, match="accepts"):
+        StudySpec(
+            name="x", workloads=("gcd",),
+            strategy="random", strategy_params={"bogus": 1},
+        ).validate()
+
+
+def test_register_custom_strategy():
+    name = "_test_first_only"
+    try:
+        register_strategy(
+            name,
+            lambda job: strategies_module.SearchOutcome(
+                points=job.evaluate_many(job.space[:1]), evaluations=1
+            ),
+            "evaluate only the first configuration",
+        )
+        outcome = run_search(
+            build_gcd_ir(24, 18), small_space(), strategy=name
+        )
+        assert len(outcome.points) == 1
+    finally:
+        del strategies_module._STRATEGIES[name]
+
+
+# ----------------------------------------------------------------------
+# spec round-trip
+# ----------------------------------------------------------------------
+def test_study_spec_round_trip():
+    spec = StudySpec(
+        name="s",
+        workloads=("gcd", "crypt"),
+        space="small",
+        width=16,
+        objectives=("area", "cycles", "test_cost"),
+        strategy="random",
+        strategy_params={"budget": 6, "seed": 3},
+        select=True,
+        weights=(2.0, 1.0, 1.0),
+    )
+    assert StudySpec.from_json(spec.to_json()) == spec
+    assert spec.params == {"budget": 6, "seed": 3}
+    assert spec.space_label == "small"
+
+
+def test_study_spec_inline_space_round_trip():
+    configs = (
+        ArchConfig(num_buses=1),
+        ArchConfig(num_buses=2, num_alus=2, rfs=(RFConfig(8), RFConfig(12))),
+    )
+    spec = StudySpec(name="inline", workloads="gcd", space=configs)
+    assert spec.workloads == ("gcd",)          # str convenience form
+    assert spec.space_label == "inline"
+    assert spec.resolve_space() == list(configs)
+    round_tripped = StudySpec.from_json(spec.to_json())
+    assert round_tripped == spec
+    assert round_tripped.resolve_space() == list(configs)
+    # the JSON holds the literal configs, not a name
+    assert isinstance(json.loads(spec.to_json())["space"], list)
+
+
+def test_study_spec_seeds_param_round_trips():
+    """Config-valued strategy params (iterative seeds) survive JSON."""
+    from repro.explore import default_seeds
+
+    spec = StudySpec(
+        name="seeded", workloads=("gcd",), space="small",
+        strategy="iterative",
+        strategy_params={"seeds": default_seeds(), "max_evaluations": 10},
+    )
+    round_tripped = StudySpec.from_json(spec.to_json())
+    assert round_tripped == spec
+    # and the strategy coerces the dict form back into configs
+    result = run_study(round_tripped)
+    assert result.single.evaluations <= 10
+    assert result.points
+    with pytest.raises(ValueError, match="not JSON-serialisable"):
+        StudySpec(
+            name="bad", workloads=("gcd",),
+            strategy_params={"fn": lambda: None},
+        )
+
+
+def test_study_spec_validation():
+    with pytest.raises(ValueError, match="workload"):
+        StudySpec(name="x", workloads=())
+    with pytest.raises(ValueError, match="name"):
+        StudySpec(name="", workloads=("gcd",))
+    with pytest.raises(ValueError, match="width"):
+        StudySpec(name="x", workloads=("gcd",), width=0)
+    with pytest.raises(ValueError, match="objective"):
+        StudySpec(name="x", workloads=("gcd",), objectives=())
+    with pytest.raises(ValueError, match="inline space"):
+        StudySpec(name="x", workloads=("gcd",), space=())
+    for bad in (
+        dict(workloads=("nope",)),
+        dict(workloads=("gcd",), space="nope"),
+        dict(workloads=("gcd",), objectives=("nope",)),
+        dict(workloads=("gcd",), strategy="nope"),
+    ):
+        with pytest.raises(KeyError, match="unknown"):
+            StudySpec(name="x", **bad).validate()
+
+
+# ----------------------------------------------------------------------
+# the acceptance equivalence: Study == legacy flow, point for point
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "workload_name,space_name,builder,space_builder",
+    [
+        ("gcd", "small", lambda: build_gcd_ir(252, 105), small_space),
+        (
+            "fir",
+            "dsp",
+            lambda: build_fir_ir(
+                [10, 64, 23, 99, 5, 31, 77, 42, 18, 63, 11, 90],
+                [3, 7, 1, 5],
+            ),
+            dsp_space,
+        ),
+    ],
+)
+def test_study_matches_legacy_flow(
+    workload_name, space_name, builder, space_builder
+):
+    """Study(exhaustive) == explore + attach_test_costs + select."""
+    legacy = _legacy_explore(builder(), space_builder())
+    attach_test_costs(legacy.pareto2d)
+    legacy_best = select_architecture(legacy.pareto3d)
+
+    result = run_study(
+        StudySpec(
+            name="equiv",
+            workloads=(workload_name,),
+            space=space_name,
+            objectives=("area", "cycles", "test_cost"),
+            select=True,
+        )
+    )
+    run = result.single
+    # same points, in space order
+    assert _fingerprint(run.result.points) == _fingerprint(legacy.points)
+    # same 2-D and full-objective Pareto fronts
+    assert [p.label for p in run.result.pareto2d] == [
+        p.label for p in legacy.pareto2d
+    ]
+    assert [p.label for p in run.pareto] == [
+        p.label for p in legacy.pareto3d
+    ]
+    # same selected architecture, same norm
+    assert run.selection is not None
+    assert run.selection.point.label == legacy_best.point.label
+    assert run.selection.norm == pytest.approx(legacy_best.norm)
+
+
+def test_study_two_objectives_matches_legacy_2d():
+    legacy = _legacy_explore(build_gcd_ir(252, 105), small_space())
+    result = run_study(
+        StudySpec(name="2d", workloads=("gcd",), space="small")
+    )
+    assert _fingerprint(result.points) == _fingerprint(legacy.points)
+    assert [p.label for p in result.pareto] == [
+        p.label for p in legacy.pareto2d
+    ]
+
+
+# ----------------------------------------------------------------------
+# strategies: exhaustive property, random determinism, iterative parity
+# ----------------------------------------------------------------------
+_FULL_SWEEP: dict = {}
+
+
+def _full_sweep():
+    """The legacy gcd/small sweep, computed once per session."""
+    if not _FULL_SWEEP:
+        legacy = _legacy_explore(build_gcd_ir(252, 105), small_space())
+        _FULL_SWEEP["points"] = legacy.points
+    return _FULL_SWEEP["points"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=11),
+        min_size=1, max_size=12, unique=True,
+    )
+)
+def test_exhaustive_strategy_reproduces_legacy_explore(indices):
+    """Property: on any sub-space of small_space, the exhaustive
+    strategy returns exactly the legacy explore() points, in order."""
+    space = small_space()
+    subset = [space[i] for i in indices]
+    outcome = run_search(
+        build_gcd_ir(252, 105), subset, strategy="exhaustive"
+    )
+    expected = [_full_sweep()[i] for i in indices]
+    assert [(p.label, p.area, p.cycles) for p in outcome.points] == [
+        (p.label, p.area, p.cycles) for p in expected
+    ]
+    assert outcome.evaluations == len(subset)
+
+
+def test_random_strategy_deterministic_and_subset():
+    workload = build_gcd_ir(252, 105)
+    kwargs = dict(strategy="random", strategy_params={"budget": 5, "seed": 7})
+    first = run_search(workload, small_space(), **kwargs)
+    second = run_search(workload, small_space(), **kwargs)
+    assert _fingerprint(first.points) == _fingerprint(second.points)
+    assert len(first.points) == 5
+    # every sampled point exists, identically, in the full sweep
+    full = {(p.label): (p.area, p.cycles) for p in _full_sweep()}
+    for p in first.points:
+        assert full[p.label] == (p.area, p.cycles)
+    # a different seed gives a different (but still valid) sample
+    other = run_search(
+        workload, small_space(),
+        strategy="random", strategy_params={"budget": 5, "seed": 8},
+    )
+    assert {p.label for p in other.points} != {
+        p.label for p in first.points
+    } or _fingerprint(other.points) == _fingerprint(first.points)
+
+
+def test_random_strategy_budget_clamps_and_validates():
+    workload = build_gcd_ir(24, 18)
+    outcome = run_search(
+        workload, small_space(),
+        strategy="random", strategy_params={"budget": 999},
+    )
+    assert len(outcome.points) == len(small_space())
+    with pytest.raises(ValueError, match="budget"):
+        run_search(
+            workload, small_space(),
+            strategy="random", strategy_params={"budget": 0},
+        )
+
+
+def test_iterative_strategy_matches_legacy_shim():
+    from repro.explore.iterative import iterative_explore
+
+    fn = build_gcd_ir(252, 105)
+    with pytest.warns(DeprecationWarning, match="iterative_explore"):
+        legacy = iterative_explore(fn, max_evaluations=40)
+    outcome = run_search(
+        fn, [], strategy="iterative",
+        strategy_params={"max_evaluations": 40},
+    )
+    assert [(p.label, p.area, p.cycles) for p in outcome.points] == [
+        (p.label, p.area, p.cycles) for p in legacy.result.points
+    ]
+    assert outcome.evaluations == legacy.evaluations
+    assert outcome.frontier_history == legacy.frontier_history
+
+
+def test_iterative_study_is_bounded_by_its_space():
+    """With a declared space the walk never leaves it (the legacy
+    shim's empty space keeps the unbounded neighbourhood search)."""
+    result = run_study(
+        StudySpec(
+            name="bounded", workloads=("gcd",), space="small",
+            strategy="iterative", strategy_params={"max_evaluations": 80},
+        )
+    )
+    run = result.single
+    space_labels = {c.label() for c in small_space()}
+    assert {p.label for p in run.result.points} <= space_labels
+    assert run.evaluations <= len(small_space()) <= run.stats.total
+
+
+def test_evaluator_reuses_one_context_across_batches():
+    from repro.compiler.interp import IRInterpreter
+    from repro.study import CachedEvaluator
+
+    workload = build_workload("gcd")
+    profile = IRInterpreter(workload, width=16).run().block_counts
+    evaluator = CachedEvaluator("gcd", workload, profile, 16)
+    evaluator.evaluate_many(small_space()[:2])
+    context = evaluator._context
+    assert context is not None
+    evaluator.evaluate_many(small_space()[2:4])
+    assert evaluator._context is context
+
+
+def test_study_spec_hashable_and_weights_checked():
+    from repro.explore import default_seeds
+
+    spec = StudySpec(
+        name="h", workloads=("gcd",), strategy="iterative",
+        strategy_params={"seeds": default_seeds()},
+    )
+    assert hash(spec) == hash(StudySpec.from_json(spec.to_json()))
+    with pytest.raises(ValueError, match="weights"):
+        StudySpec(
+            name="w", workloads=("gcd",),
+            objectives=("area", "cycles", "test_cost"),
+            weights=(1.0, 2.0),
+        )
+
+
+def test_study_iterative_and_random_run_end_to_end():
+    iterative = run_study(
+        StudySpec(
+            name="it", workloads=("gcd",), space="small",
+            strategy="iterative", strategy_params={"max_evaluations": 20},
+        )
+    )
+    assert iterative.single.evaluations <= 20
+    assert iterative.single.iterations >= 1
+    assert iterative.pareto
+
+    sampled = run_study(
+        StudySpec(
+            name="rnd", workloads=("gcd",), space="small",
+            strategy="random", strategy_params={"budget": 4, "seed": 0},
+        )
+    )
+    assert len(sampled.points) == 4
+
+
+# ----------------------------------------------------------------------
+# cache sharing: a study resumes another study's (and campaign's) work
+# ----------------------------------------------------------------------
+def test_studies_share_result_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = StudySpec(name="c", workloads=("gcd",), space="small")
+    first = run_study(spec, cache=cache)
+    assert first.single.stats.evaluated == 12
+    assert first.single.stats.cache_hits == 0
+    second = run_study(spec, cache=cache)
+    assert second.single.stats.evaluated == 0
+    assert second.single.stats.cache_hits == 12
+    assert _fingerprint(second.points) == _fingerprint(first.points)
+    # a random study over the same space is served from the same cache
+    sampled = run_study(
+        StudySpec(
+            name="r", workloads=("gcd",), space="small",
+            strategy="random", strategy_params={"budget": 6, "seed": 1},
+        ),
+        cache=cache,
+    )
+    assert sampled.single.stats.evaluated == 0
+    assert sampled.single.stats.cache_hits == 6
+
+
+def test_multi_workload_study_and_report(tmp_path):
+    from repro.reporting import study_to_dict, study_to_json
+
+    result = run_study(
+        StudySpec(
+            name="multi", workloads=("gcd", "checksum"), space="small",
+            select=True,
+        )
+    )
+    assert len(result.runs) == 2
+    assert result.run("gcd/small/w16").workload == "gcd"
+    with pytest.raises(KeyError):
+        result.run("nope")
+    with pytest.raises(ValueError, match="2 runs"):
+        result.single
+    assert "study 'multi'" in result.summary()
+
+    data = study_to_dict(result)
+    assert data["spec"]["workloads"] == ["gcd", "checksum"]
+    assert len(data["runs"]) == 2
+    assert data["runs"][0]["selection"] is not None
+    # the JSON is a valid document and carries the point tables
+    parsed = json.loads(study_to_json(result))
+    assert len(parsed["runs"][0]["points"]) == 12
+
+
+def test_study_progress_lines():
+    lines = []
+    run_study(
+        StudySpec(name="p", workloads=("gcd",), space="small"),
+        progress=lines.append,
+    )
+    assert any("gcd/small/w16" in line for line in lines)
+
+
+# ----------------------------------------------------------------------
+# deprecation shims (satellite): warning fires, result equals Study
+# ----------------------------------------------------------------------
+def test_explore_shim_warns_and_equals_study():
+    from repro.explore import explore
+
+    with pytest.warns(DeprecationWarning, match="explore"):
+        legacy = explore(build_gcd_ir(252, 105), small_space())
+    study = run_study(
+        StudySpec(name="s", workloads=("gcd",), space="small")
+    )
+    assert _fingerprint(legacy.points) == _fingerprint(study.points)
+    assert [p.label for p in legacy.pareto2d] == [
+        p.label for p in study.pareto
+    ]
+
+
+def test_evaluate_space_shim_warns_and_equals_study():
+    from repro.explore.evaluate import evaluate_space
+
+    workload = build_workload("gcd")
+    from repro.compiler.interp import IRInterpreter
+
+    profile = IRInterpreter(workload, width=16).run().block_counts
+    with pytest.warns(DeprecationWarning, match="evaluate_space"):
+        points = evaluate_space(small_space(), workload, profile, 16)
+    outcome = run_search(
+        workload, small_space(), strategy="exhaustive", profile=profile
+    )
+    assert _fingerprint(points) == _fingerprint(outcome.points)
+
+
+def test_evaluate_config_shim_warns():
+    from repro.compiler.interp import IRInterpreter
+    from repro.explore.evaluate import EvaluationContext, evaluate_config
+
+    workload = build_workload("gcd")
+    profile = IRInterpreter(workload, width=16).run().block_counts
+    config = small_space()[0]
+    with pytest.warns(DeprecationWarning, match="evaluate_config"):
+        point = evaluate_config(config, workload, profile, 16)
+    direct = EvaluationContext(workload, profile, 16).evaluate(config)
+    assert (point.label, point.area, point.cycles) == (
+        direct.label, direct.area, direct.cycles
+    )
+
+
+# ----------------------------------------------------------------------
+# pareto2d memo invalidation (satellite)
+# ----------------------------------------------------------------------
+def _result_with(*costs):
+    points = [
+        EvaluatedPoint(
+            config=ArchConfig(num_buses=1 + i % 4), area=a, cycles=c
+        )
+        for i, (a, c) in enumerate(costs)
+    ]
+    return ExplorationResult(workload="t", profile={}, points=points)
+
+
+def test_pareto2d_invalidates_on_in_place_mutation():
+    result = _result_with((10, 100), (20, 50), (30, 40))
+    assert len(result.pareto2d) == 3
+    # mutate one point in place: same list length, new costs
+    result.points[2].cycles = 10_000
+    assert [p.area for p in result.pareto2d] == [10, 20]
+
+
+def test_pareto2d_invalidates_on_same_length_replacement():
+    result = _result_with((10, 100), (20, 50))
+    assert len(result.pareto2d) == 2
+    result.points[1] = EvaluatedPoint(
+        config=ArchConfig(num_buses=4), area=5.0, cycles=5
+    )
+    front = result.pareto2d
+    assert [p.area for p in front] == [5.0]
+
+
+def test_pareto2d_still_memoized_when_unchanged():
+    result = _result_with((10, 100), (20, 50))
+    first = result.pareto2d
+    assert result.pareto2d is first
+
+
+# ----------------------------------------------------------------------
+# selection over arbitrary objective vectors
+# ----------------------------------------------------------------------
+def test_select_architecture_with_key():
+    points = [
+        EvaluatedPoint(config=ArchConfig(num_buses=1), area=10, cycles=100),
+        EvaluatedPoint(config=ArchConfig(num_buses=2), area=50, cycles=50),
+        EvaluatedPoint(config=ArchConfig(num_buses=3), area=100, cycles=10),
+    ]
+    objectives = resolve_objectives(("area", "cycles"))
+    best = select_architecture(
+        points,
+        weights=(1.0, 1.0),
+        key=lambda p: cost_vector(p, objectives),
+    )
+    legacy = select_architecture(
+        points, weights=(1.0, 1.0), use_test_cost=False
+    )
+    assert best.point is legacy.point
+    assert best.norm == pytest.approx(legacy.norm)
+    # weights steer custom vectors too
+    area_heavy = select_architecture(
+        points, weights=(10.0, 1.0),
+        key=lambda p: cost_vector(p, objectives),
+    )
+    assert area_heavy.point is points[0]
