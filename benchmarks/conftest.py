@@ -12,7 +12,8 @@ from pathlib import Path
 import pytest
 
 from repro.apps.crypt_kernel import build_crypt_ir
-from repro.explore import crypt_space, explore
+from repro.explore import crypt_space
+from repro.study import run_exploration
 from repro.testcost import attach_test_costs
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -31,6 +32,6 @@ def crypt_exploration():
     """The full Crypt design-space exploration, shared by the figure
     benches (Fig. 2 measures it; Figs. 8/9 build on the same points)."""
     workload = build_crypt_ir("password", "ab")
-    result = explore(workload, crypt_space())
+    result = run_exploration(workload, crypt_space())
     attach_test_costs(result.pareto2d)
     return result

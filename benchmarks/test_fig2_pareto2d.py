@@ -10,14 +10,15 @@ reproduction target.
 
 from benchmarks.conftest import save_artifact
 from repro.apps.crypt_kernel import build_crypt_ir
-from repro.explore import crypt_space, evaluate_space, pareto_filter
+from repro.explore import crypt_space, pareto_filter
 from repro.compiler import IRInterpreter
+from repro.study import evaluate_configs
 
 
 def _run_exploration():
     workload = build_crypt_ir("password", "ab")
     profile = IRInterpreter(workload, width=16).run().block_counts
-    points = evaluate_space(crypt_space(), workload, profile)
+    points = evaluate_configs(crypt_space(), workload, profile)
     feasible = [p for p in points if p.feasible]
     pareto = pareto_filter(feasible, key=lambda p: p.cost2d())
     return points, feasible, pareto

@@ -7,8 +7,8 @@ evaluations.
 """
 
 from benchmarks.conftest import save_artifact
-from repro.explore import crypt_space
-from repro.explore.iterative import iterative_explore
+from repro.explore import crypt_space, pareto_filter
+from repro.study.engine import run_search
 
 
 def test_iterative_vs_exhaustive(benchmark, crypt_exploration):
@@ -19,12 +19,19 @@ def test_iterative_vs_exhaustive(benchmark, crypt_exploration):
 
     workload = build_crypt_ir("password", "ab")
     iterative = benchmark.pedantic(
-        lambda: iterative_explore(workload, max_evaluations=70),
+        lambda: run_search(
+            workload, [], strategy="iterative",
+            strategy_params={"max_evaluations": 70},
+        ),
         rounds=1,
         iterations=1,
     )
 
-    found = {(p.area, p.cycles) for p in iterative.result.pareto2d}
+    front = pareto_filter(
+        [p for p in iterative.points if p.feasible],
+        key=lambda p: p.cost2d(),
+    )
+    found = {(p.area, p.cycles) for p in front}
     recovered = len(found & target) / len(target)
     assert iterative.evaluations <= 70 < len(crypt_space())
     assert recovered >= 0.5, f"{recovered:.0%} of the frontier recovered"

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Energy-aware exploration with the real switching-activity model.
+
+Earlier revisions shipped a crude ``energy_proxy`` objective (cycles x
+bus count).  This walkthrough uses the real thing: the ``energy``
+objective simulates each base-front design point with activity tracing
+— Hamming-distance toggle counts per bus, port, register file and
+instruction fetch — and prices the events with weights derived from the
+gate-level component netlists (:mod:`repro.energy`).
+
+The script explores GCD under (cycles, area, energy), prints the 3-D
+front with the energy column, dissects the winner's energy by component
+(buses vs FUs vs RFs vs fetch vs leakage), and then re-ranks the same
+space by energy-delay product — a single-objective study whose front is
+exactly one machine.  A second pass under the registered ``low_power``
+technology shows how weight sets swap without touching the spec's
+structure.
+
+Run:  python examples/study_energy.py
+"""
+
+from repro import StudySpec, run_study
+from repro.apps.registry import build_workload
+from repro.energy import energy_breakdown_of, format_energy_report
+
+common = dict(workloads=("gcd",), space="small")
+
+study = run_study(StudySpec(
+    name="energy-3d",
+    objectives=("cycles", "area", "energy"),
+    select=True,
+    **common,
+))
+print(study.summary())
+print("\n(cycles, area, energy) front:")
+for p in sorted(study.pareto, key=lambda p: p.area):
+    print(f"  {p.label:<28} cycles={p.cycles:>6} area={p.area:>8.0f} "
+          f"energy={p.energy:>10.1f}")
+
+winner = study.selection.point
+print(f"\nwinner: {winner.label} — where does its energy go?\n")
+breakdown = energy_breakdown_of(winner, build_workload("gcd"))
+print(format_energy_report(breakdown))
+
+edp = run_study(StudySpec(
+    name="energy-edp", objectives=("edp",), select=True, **common,
+))
+best = edp.selection.point
+print(f"\nminimum energy-delay product: {best.label} "
+      f"(energy={best.energy:.1f}, cycles={best.cycles}, "
+      f"edp={best.energy * best.cycles:.3e})")
+
+low_power = run_study(StudySpec(
+    name="energy-low-power",
+    objectives=("cycles", "area", "energy"),
+    tech="low_power",
+    **common,
+))
+pairs = {p.label: p.energy for p in low_power.pareto}
+print("\nsame front under the 'low_power' technology registry entry:")
+for p in sorted(study.pareto, key=lambda p: p.area):
+    if p.label in pairs:
+        print(f"  {p.label:<28} default={p.energy:>10.1f} "
+              f"low_power={pairs[p.label]:>10.1f}")

@@ -20,9 +20,10 @@ Quickstart — the paper's whole flow is one declarative study::
     print(result.selection.point.label)
 
 Objectives and search strategies are registries (``register_objective``,
-``register_strategy``); the pre-study functions (``explore``,
-``iterative_explore``, ...) remain as deprecation shims over the same
-engine.
+``register_strategy``) — the ``energy``/``edp`` axes ride on a
+switching-activity model fed by simulator transport traces
+(:mod:`repro.energy`), and technology parameter sets are a registry
+too (``register_technology``).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
@@ -81,7 +82,7 @@ from repro.apps import (
     unix_crypt,
 )
 
-# Exploration + test cost + selection
+# Exploration + test cost + energy + selection
 from repro.explore import (
     ArchConfig,
     EvaluatedPoint,
@@ -90,12 +91,19 @@ from repro.explore import (
     RFConfig,
     build_architecture,
     crypt_space,
-    explore,
-    iterative_explore,
     pareto_filter,
     pareto_filter_naive,
     select_architecture,
     small_space,
+)
+from repro.energy import (
+    EnergyBreakdown,
+    TechnologyParameters,
+    attach_energy,
+    energy_report,
+    format_energy_report,
+    register_technology,
+    technology_names,
 )
 from repro.testcost import (
     architecture_test_cost,
@@ -152,6 +160,7 @@ __all__ = [
     "CompileResult",
     "ComponentKind",
     "ComponentSpec",
+    "EnergyBreakdown",
     "EvaluatedPoint",
     "EvaluationContext",
     "ExplorationResult",
@@ -170,6 +179,7 @@ __all__ = [
     "RFConfig",
     "ResultCache",
     "SimResult",
+    "TechnologyParameters",
     "Study",
     "StudyResult",
     "StudySpec",
@@ -177,6 +187,7 @@ __all__ = [
     "UnitInstance",
     "architecture_test_cost",
     "assemble",
+    "attach_energy",
     "attach_test_costs",
     "build_architecture",
     "build_checksum_ir",
@@ -192,16 +203,16 @@ __all__ = [
     "crypt_space",
     "default_catalog",
     "dsp_space",
+    "energy_report",
     "exploration_to_csv",
     "exploration_to_json",
-    "explore",
     "FaultDictionary",
     "fig7_template",
     "format_table1",
     "table1_to_csv",
     "table1_to_json",
+    "format_energy_report",
     "full_scan_cycles",
-    "iterative_explore",
     "MoveEncoder",
     "objective_names",
     "optimize_ir",
@@ -210,6 +221,7 @@ __all__ = [
     "pareto_front",
     "register_objective",
     "register_strategy",
+    "register_technology",
     "run_atpg",
     "run_campaign",
     "run_march",
@@ -222,6 +234,7 @@ __all__ = [
     "space_names",
     "strategy_names",
     "study_to_json",
+    "technology_names",
     "test_order",
     "transport_latency",
     "unix_crypt",

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Six subcommands drive the paper's flow at campaign scale:
+Seven subcommands drive the paper's flow at campaign scale:
 
 * ``study``    — the general entry point: one declarative spec
   (workloads, space, objectives, strategy) through the study engine,
@@ -9,9 +9,12 @@ Six subcommands drive the paper's flow at campaign scale:
 * ``campaign`` — a full spec (JSON file or flags): workloads x spaces x
   widths, parallel workers, on-disk result cache, per-run exports —
   executed as N studies sharing the cache,
+* ``energy``   — compile one workload onto one configuration, simulate
+  it with activity tracing and print the component-level energy
+  breakdown,
 * ``report``   — re-emit / Pareto-filter previously exported results,
-* ``list``     — show the registered workloads, spaces, objectives and
-  search strategies,
+* ``list``     — show the registered workloads, spaces, objectives,
+  search strategies and technology parameter sets,
 * ``bench``    — run the tracked evaluation-pipeline benchmark suite.
 
 ``study``, ``explore`` and ``campaign`` accept ``--profile`` to dump a
@@ -30,6 +33,7 @@ from pathlib import Path
 
 from repro.apps.registry import workload_entry, workload_names
 from repro.campaign import CampaignSpec, ResultCache, run_campaign
+from repro.energy import technology_by_name, technology_names
 from repro.explore.pareto import pareto_filter
 from repro.explore.space import space_by_name, space_names
 from repro.reporting import (
@@ -141,6 +145,7 @@ def _study_spec_from_args(args: argparse.Namespace) -> StudySpec:
         ),
         select=args.select,
         march=args.march,
+        tech=args.tech,
     )
 
 
@@ -255,6 +260,56 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# energy
+# ----------------------------------------------------------------------
+def cmd_energy(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.energy import energy_report, format_energy_report
+    from repro.explore.space import ArchConfig, build_architecture_cached
+    from repro.study.engine import workload_profile
+    from repro.apps.registry import build_workload
+    from repro.explore.evaluate import EvaluationContext
+
+    if args.config:
+        config = ArchConfig.from_dict(
+            _json.loads(Path(args.config).read_text())
+        )
+    else:
+        space = space_by_name(args.space)
+        if not 0 <= args.index < len(space):
+            raise ValueError(
+                f"--index {args.index} outside space "
+                f"{args.space!r} (0..{len(space) - 1})"
+            )
+        config = space[args.index]
+    tech = technology_by_name(args.tech)
+    workload = build_workload(args.workload)
+    profile = workload_profile(args.workload, args.width)
+    context = EvaluationContext(workload, profile, args.width)
+    point = context.evaluate(config, keep_compile_result=True)
+    if not point.feasible:
+        raise ValueError(
+            f"{args.workload} does not compile onto {config.label()}"
+        )
+    arch = build_architecture_cached(config, args.width)
+    breakdown = _maybe_profiled(
+        args,
+        lambda: energy_report(
+            arch, point.compile_result.program, tech=tech,
+            max_cycles=args.max_cycles,
+        ),
+    )
+    text = format_energy_report(breakdown)
+    text += (
+        f"\npoint: area={point.area:.0f} "
+        f"static_cycles={point.cycles} energy={breakdown.total:.1f}"
+    )
+    _emit(text, args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # report
 # ----------------------------------------------------------------------
 def cmd_report(args: argparse.Namespace) -> int:
@@ -312,10 +367,13 @@ def cmd_list(args: argparse.Namespace) -> int:
             ("spaces", args.spaces),
             ("objectives", args.objectives),
             ("strategies", args.strategies),
+            ("technologies", args.technologies),
         )
         if wanted
     ]
-    sections = chosen or ["workloads", "spaces", "objectives", "strategies"]
+    sections = chosen or [
+        "workloads", "spaces", "objectives", "strategies", "technologies",
+    ]
     if "workloads" in sections:
         print("workloads:")
         for name in workload_names():
@@ -330,9 +388,11 @@ def cmd_list(args: argparse.Namespace) -> int:
         print("objectives:")
         for name in objective_names():
             objective = objective_by_name(name)
-            post = "  [needs test-cost pass]" if (
-                objective.requires_test_costs
-            ) else ""
+            post = ""
+            if objective.requires_test_costs:
+                post = "  [needs test-cost pass]"
+            elif objective.requires_energy:
+                post = "  [needs energy pass]"
             print(f"  {name:<10} {objective.description}{post}")
     if "strategies" in sections:
         print("strategies:")
@@ -340,6 +400,15 @@ def cmd_list(args: argparse.Namespace) -> int:
             entry = strategy_by_name(name)
             print(f"  {name:<10} {entry.description}")
             print(f"  {'':<10} params: {entry.params}")
+    if "technologies" in sections:
+        print("technologies:")
+        for name in technology_names():
+            tech = technology_by_name(name)
+            print(
+                f"  {name:<10} cap/area={tech.cap_per_area} "
+                f"wire/bit={tech.wire_cap_per_bit} "
+                f"leakage/area={tech.leakage_per_area}"
+            )
     return 0
 
 
@@ -397,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--param", action="append", metavar="KEY=VALUE",
                    help="strategy parameter (repeatable), e.g. "
                         "--param budget=20 --param seed=1")
+    p.add_argument("--tech", default="default",
+                   help="technology parameter set for the energy "
+                        "objectives (see: python -m repro list "
+                        "--technologies)")
     p.add_argument("--pareto", action="store_true",
                    help="export only the objective-vector Pareto points")
     p.add_argument("--format", choices=("summary", "csv", "json"),
@@ -443,6 +516,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p)
     p.set_defaults(func=cmd_campaign)
 
+    p = sub.add_parser("energy",
+                       help="component-level energy breakdown of one "
+                            "(workload, configuration) pair")
+    p.add_argument("workload",
+                   help=f"one of: {', '.join(workload_names())}")
+    p.add_argument("--space", default="small",
+                   help=f"configuration grid to pick from "
+                        f"(one of: {', '.join(space_names())})")
+    p.add_argument("--index", type=int, default=0,
+                   help="configuration index within --space (default 0)")
+    p.add_argument("--config", default=None,
+                   help="ArchConfig JSON file (overrides --space/--index)")
+    p.add_argument("--width", type=int, default=16)
+    p.add_argument("--tech", default="default",
+                   help="technology parameter set "
+                        "(see: python -m repro list --technologies)")
+    p.add_argument("--max-cycles", type=int, default=5_000_000,
+                   help="simulation cycle budget (default 5M)")
+    p.add_argument("--profile", action="store_true",
+                   help="dump cProfile top-25 (cumulative) to stderr")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to file instead of stdout")
+    p.set_defaults(func=cmd_energy)
+
     p = sub.add_parser("report",
                        help="re-emit exported results (CSV or JSON)")
     p.add_argument("input", help="a result file written by explore/campaign")
@@ -465,8 +562,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("list",
-                       help="show known workloads, spaces, objectives "
-                            "and strategies")
+                       help="show known workloads, spaces, objectives, "
+                            "strategies and technologies")
     p.add_argument("--workloads", action="store_true",
                    help="list only the workload registry")
     p.add_argument("--spaces", action="store_true",
@@ -475,6 +572,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list only the objective registry")
     p.add_argument("--strategies", action="store_true",
                    help="list only the strategy registry")
+    p.add_argument("--technologies", action="store_true",
+                   help="list only the technology parameter sets")
     p.set_defaults(func=cmd_list)
 
     return parser

@@ -64,14 +64,17 @@ class ResultCache:
         config: ArchConfig,
         width: int,
         march: str | None = None,
+        energy_model: str | None = None,
     ) -> EvaluatedPoint | None:
         """Return the cached point, or None on a miss.
 
         Unreadable or schema-mismatched entries count as misses — a
         killed writer or an old cache degrades to re-evaluation, never
         to a crash or a wrong result.  A stored test cost is only
-        restored when it was computed for the same ``march`` algorithm;
-        the (area, cycles) evaluation is march-independent.
+        restored when it was computed for the same ``march`` algorithm,
+        and a stored energy only under the same ``energy_model``
+        (technology fingerprint); the (area, cycles) evaluation depends
+        on neither.
         """
         path = self._path(cache_key(workload, config, width))
         try:
@@ -82,11 +85,15 @@ class ResultCache:
             test_cost = data.get("test_cost")
             if test_cost is not None and data.get("march") != march:
                 test_cost = None
+            energy = data.get("energy")
+            if energy is not None and data.get("energy_model") != energy_model:
+                energy = None
             return EvaluatedPoint(
                 config=ArchConfig.from_dict(data["config"]),
                 area=float(data["area"]),
                 cycles=None if cycles is None else int(cycles),
                 test_cost=None if test_cost is None else int(test_cost),
+                energy=None if energy is None else float(energy),
             )
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
@@ -97,9 +104,18 @@ class ResultCache:
         point: EvaluatedPoint,
         width: int,
         march: str | None = None,
+        energy_model: str | None = None,
     ) -> None:
-        """Persist one evaluated point (atomic: temp file + rename)."""
+        """Persist one evaluated point (atomic: temp file + rename).
+
+        Post-pass axes the caller did *not* compute are merged from the
+        existing entry rather than erased: a study that only needs the
+        energy axis restores points with ``test_cost=None`` (its march
+        key differs) and must not wipe another study's persisted ATPG
+        result when it writes its energies back — and vice versa.
+        """
         key = cache_key(workload, point.config, width)
+        path = self._path(key)
         data = {
             "schema": _SCHEMA,
             "workload": workload,
@@ -109,8 +125,33 @@ class ResultCache:
             "cycles": point.cycles,
             "test_cost": point.test_cost,
             "march": march if point.test_cost is not None else None,
+            "energy": point.energy,
+            "energy_model": energy_model if point.energy is not None else None,
         }
-        path = self._path(key)
+        # Merge only when the caller computed exactly one post-pass axis
+        # (a test-cost or energy attachment rewriting an existing entry);
+        # a plain (area, cycles) store is a cache miss — the entry it
+        # would merge from was just found absent — so the common fresh-
+        # evaluation path pays no extra read.  The read-then-replace is
+        # not atomic across processes: two concurrent attachers can drop
+        # each other's freshly written axis, which degrades to a
+        # re-attachment on the next run, never to a wrong value.
+        if (point.test_cost is None) != (point.energy is None):
+            try:
+                old = json.loads(path.read_text())
+                if old.get("schema") == _SCHEMA:
+                    if point.test_cost is None and old.get(
+                        "test_cost"
+                    ) is not None:
+                        data["test_cost"] = old["test_cost"]
+                        data["march"] = old.get("march")
+                    if point.energy is None and old.get(
+                        "energy"
+                    ) is not None:
+                        data["energy"] = old["energy"]
+                        data["energy_model"] = old.get("energy_model")
+            except (OSError, ValueError, AttributeError):
+                pass
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(data, sort_keys=True))
         os.replace(tmp, path)

@@ -1,0 +1,55 @@
+"""``repro.energy`` — switching-activity energy estimation.
+
+The paper's exploration ranks TTA design points on (area, cycles, test
+cost); the defining property of a TTA — every data transport is
+software-visible — also makes *energy* directly observable: a move is a
+bus toggle, a socket select, a port-register write, and (for triggers) a
+functional-unit activation.  This package turns the simulator's
+:class:`~repro.tta.activity.ActivityTrace` into joule-proportional
+numbers:
+
+* :mod:`repro.energy.model` — per-event energy weights derived from the
+  gate-level view (netlist cell areas ≈ switched capacitance), behind a
+  documented :class:`TechnologyParameters` dataclass and a named
+  technology registry so weight sets are swappable;
+* :mod:`repro.energy.report` — the component-level breakdown (buses vs
+  FUs vs RFs vs instruction fetch vs leakage), analogous to the paper's
+  test-cost tables;
+* :mod:`repro.energy.attach` — the study post-pass that annotates
+  evaluated points with ``energy``, mirroring
+  :func:`repro.testcost.cost.attach_test_costs`.
+
+The ``energy`` and ``edp`` study objectives in
+:mod:`repro.study.objectives` are measured from these annotations, so
+``StudySpec(objectives=("cycles", "area", "energy"))`` explores a 3-D
+front with real switching activity on the third axis.
+"""
+
+from repro.energy.attach import attach_energy, energy_breakdown_of
+from repro.energy.model import (
+    EnergyModel,
+    TechnologyParameters,
+    register_technology,
+    technology_by_name,
+    technology_names,
+)
+from repro.energy.report import (
+    EnergyBreakdown,
+    EnergyEntry,
+    energy_report,
+    format_energy_report,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyEntry",
+    "EnergyModel",
+    "TechnologyParameters",
+    "attach_energy",
+    "energy_breakdown_of",
+    "energy_report",
+    "format_energy_report",
+    "register_technology",
+    "technology_by_name",
+    "technology_names",
+]

@@ -1,0 +1,226 @@
+"""Per-event energy weights from the gate-level view.
+
+The repo's substitute for a power-annotated standard-cell library: the
+component datasheets already carry synthesised netlists whose cell areas
+(NAND2-equivalents) are the same proxy for switched capacitance that the
+area model uses for silicon — so dynamic energy per toggle is made
+*proportional to the capacitance the toggle moves*, and leakage
+proportional to placed area per cycle.  Absolute units are generic
+(call them femtojoule-equivalents); relative comparisons between design
+points are faithful because every weight is derived from the actual
+structure, exactly like the area numbers.
+
+Event weights (all per :class:`~repro.tta.activity.ActivityTrace`
+event/toggle):
+
+==================  =================================================
+event               weight derivation
+==================  =================================================
+bus bit toggle      wire capacitance of one bus bit run plus the input
+                    capacitance of every switch hanging on that bus
+                    (``CONNECTION_AREA`` per connected port)
+socket transport    select/decode control flip per move end
+FU input toggle     a documented fraction of the unit's combinational
+                    core re-evaluates per flipped input bit
+                    (core netlist area / datapath width)
+FU result toggle    one pipeline flip-flop plus the output driver
+FU activation       opcode/control decode per trigger
+RF read toggle      bitline swing of one storage column (memory-cell
+                    area grows with the port count, so does the weight)
+RF write toggle     storage-cell flip plus bitline drive
+RF access           wordline decode per read/write event
+fetch bit toggle    instruction-memory read path per flipped word bit
+guard toggle        one predicate flip-flop
+leakage             placed architecture area per simulated cycle
+==================  =================================================
+
+:class:`TechnologyParameters` scales each class; alternative weight
+sets register by name via :func:`register_technology` and are
+addressable from study specs (``StudySpec(tech="...")``) and the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.components.library import (
+    FF_AREA,
+    MEM_PORT_FACTOR,
+    MEMCELL_AREA,
+    component_datasheet,
+)
+from repro.components.spec import ComponentKind
+from repro.tta.arch import BUS_AREA_PER_BIT, CONNECTION_AREA, Architecture
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Scaling constants of the energy model (one per event class).
+
+    All dynamic constants are energies per *unit of switched
+    capacitance* (NAND2-equivalent area units), except the per-event
+    control constants which are energies per event.  ``leakage_per_area``
+    is static energy per area unit per clock cycle.  The defaults form
+    the ``default`` registry entry; register alternatives with
+    :func:`register_technology`.
+    """
+
+    name: str = "default"
+    #: dynamic energy per toggled NAND2-equivalent of logic capacitance
+    cap_per_area: float = 1.0
+    #: fraction of an FU/LSU core assumed to re-evaluate per input-bit flip
+    fu_switch_fraction: float = 0.35
+    #: wire energy per toggled bus bit (one bit's bus run)
+    wire_cap_per_bit: float = float(BUS_AREA_PER_BIT)
+    #: per-switch loading added to a bus bit toggle, per connected port
+    switch_cap: float = float(CONNECTION_AREA) / 16.0
+    #: socket select/decode energy per transport through a socket
+    socket_select_energy: float = 1.5
+    #: control/opcode decode energy per activation, per decoded bit
+    decode_energy_per_bit: float = 0.5
+    #: instruction-memory read energy per toggled instruction-word bit
+    fetch_cap_per_bit: float = 0.8
+    #: static energy per placed area unit per cycle
+    leakage_per_area: float = 2e-5
+
+    def fingerprint(self) -> str:
+        """Stable identity string (cache tag for stored energies).
+
+        Content-hashed (not just the name) so editing a registered
+        parameter set invalidates previously cached energies.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True)
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:12]
+        return f"{self.name}:{digest}"
+
+
+_TECHNOLOGIES: dict[str, TechnologyParameters] = {}
+
+
+def register_technology(params: TechnologyParameters) -> TechnologyParameters:
+    """Add (or replace) a named technology parameter set."""
+    _TECHNOLOGIES[params.name] = params
+    return params
+
+
+def technology_names() -> list[str]:
+    """Names accepted by :func:`technology_by_name` (sorted)."""
+    return sorted(_TECHNOLOGIES)
+
+
+def technology_by_name(name: str) -> TechnologyParameters:
+    try:
+        return _TECHNOLOGIES[name]
+    except KeyError:
+        known = ", ".join(technology_names())
+        raise KeyError(
+            f"unknown technology {name!r} (known: {known})"
+        ) from None
+
+
+register_technology(TechnologyParameters())
+#: A low-leakage/low-drive corner, mostly as a worked registry example.
+register_technology(
+    TechnologyParameters(
+        name="low_power",
+        cap_per_area=0.6,
+        wire_cap_per_bit=float(BUS_AREA_PER_BIT) * 0.7,
+        socket_select_energy=1.0,
+        fetch_cap_per_bit=0.5,
+        leakage_per_area=5e-6,
+    )
+)
+
+
+class EnergyModel:
+    """Per-event weights for one concrete architecture.
+
+    Built once per (architecture, technology); every weight is derived
+    from the architecture's structure and the component datasheets the
+    area model already uses, so the energy axis needs no new
+    characterisation data.
+    """
+
+    def __init__(self, arch: Architecture, tech: TechnologyParameters):
+        self.arch = arch
+        self.tech = tech
+        self.leakage_per_cycle = tech.leakage_per_area * arch.area()
+
+        # bus index -> energy per toggled bit: the wire run plus the
+        # input capacitance of every switch (connected port) on the bus.
+        fanout = [0] * arch.num_buses
+        for buses in arch.connectivity.values():
+            for bus in buses:
+                fanout[bus] += 1
+        self.bus_bit_energy = [
+            tech.cap_per_area * (tech.wire_cap_per_bit + tech.switch_cap * n)
+            for n in fanout
+        ]
+
+        # per-unit weights
+        self._input_bit: dict[str, float] = {}    # operand/trigger toggles
+        self._result_bit: dict[str, float] = {}   # result-register toggles
+        self._activation: dict[str, float] = {}   # per trigger
+        self._rf_read_bit: dict[str, float] = {}
+        self._rf_write_bit: dict[str, float] = {}
+        self._rf_access: dict[str, float] = {}
+        for unit in arch.units.values():
+            spec = unit.spec
+            sheet = component_datasheet(spec)
+            if spec.kind is ComponentKind.RF:
+                ports = spec.n_in + spec.n_out
+                cell = MEMCELL_AREA * (1.0 + MEM_PORT_FACTOR * ports)
+                self._rf_read_bit[unit.name] = tech.cap_per_area * cell
+                self._rf_write_bit[unit.name] = tech.cap_per_area * (
+                    cell + FF_AREA * 0.5
+                )
+                abits = max(1, (spec.num_regs - 1).bit_length())
+                self._rf_access[unit.name] = (
+                    tech.decode_energy_per_bit * abits
+                )
+            else:
+                core = sheet.core_area
+                width = max(1, spec.width)
+                self._input_bit[unit.name] = (
+                    tech.cap_per_area * tech.fu_switch_fraction * core / width
+                )
+                self._result_bit[unit.name] = tech.cap_per_area * FF_AREA
+                self._activation[unit.name] = tech.decode_energy_per_bit * (
+                    spec.opcode_bits + 1
+                )
+
+    # ------------------------------------------------------------------
+    # per-event weights (consumed by repro.energy.report)
+    # ------------------------------------------------------------------
+    def bus_toggle(self, bus: int) -> float:
+        return self.bus_bit_energy[bus]
+
+    def socket_transport(self) -> float:
+        return self.tech.socket_select_energy
+
+    def port_toggle(self, unit: str, port: str) -> float:
+        spec = self.arch.unit(unit).spec
+        port_spec = spec.port(port)
+        if port_spec.is_input:
+            return self._input_bit[unit]
+        return self._result_bit[unit]
+
+    def activation(self, unit: str) -> float:
+        return self._activation[unit]
+
+    def rf_read_toggle(self, unit: str) -> float:
+        return self._rf_read_bit[unit]
+
+    def rf_write_toggle(self, unit: str) -> float:
+        return self._rf_write_bit[unit]
+
+    def rf_access(self, unit: str) -> float:
+        return self._rf_access[unit]
+
+    def fetch_toggle(self) -> float:
+        return self.tech.cap_per_area * self.tech.fetch_cap_per_bit
+
+    def guard_toggle(self) -> float:
+        return self.tech.cap_per_area * FF_AREA

@@ -1,10 +1,13 @@
 """Design space exploration (the MOVE-style flow of Sec. 2).
 
-The explorer enumerates TTA templates (bus count, FU mix, register-file
-setup), compiles the workload onto each, and keeps the Pareto-optimal
-points in the (area, execution time) plane — Fig. 2.  The test-cost axis
-(Fig. 8) is added by :mod:`repro.testcost`, and the final architecture is
-picked with a weighted norm (Fig. 9).
+The configuration space, the shared-work evaluation pipeline, Pareto
+filtering and the weighted-norm selection.  Sweeps are *driven* by the
+study engine (:mod:`repro.study`): an exhaustive study enumerates TTA
+templates (bus count, FU mix, register-file setup), compiles the
+workload onto each, and keeps the Pareto-optimal points in the (area,
+execution time) plane — Fig. 2.  The test-cost axis (Fig. 8) is added by
+:mod:`repro.testcost`, the energy axis by :mod:`repro.energy`, and the
+final architecture is picked with a weighted norm (Fig. 9).
 """
 
 from repro.explore.space import (
@@ -21,20 +24,13 @@ from repro.explore.space import (
 from repro.explore.evaluate import (
     EvaluatedPoint,
     EvaluationContext,
-    evaluate_config,
     evaluate_config_worker,
-    evaluate_space,
     init_evaluation_worker,
     required_fu_opcodes,
 )
 from repro.explore.pareto import dominates, pareto_filter, pareto_filter_naive
-from repro.explore.explorer import ExplorationResult, explore
-from repro.explore.iterative import (
-    IterativeResult,
-    default_seeds,
-    iterative_explore,
-    neighbours,
-)
+from repro.explore.explorer import ExplorationResult
+from repro.explore.iterative import default_seeds, neighbours
 from repro.explore.selection import normalize_points, select_architecture
 
 __all__ = [
@@ -49,13 +45,8 @@ __all__ = [
     "default_seeds",
     "dominates",
     "dsp_space",
-    "evaluate_config",
     "evaluate_config_worker",
-    "evaluate_space",
-    "explore",
     "init_evaluation_worker",
-    "iterative_explore",
-    "IterativeResult",
     "neighbours",
     "normalize_points",
     "pareto_filter",

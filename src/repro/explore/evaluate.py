@@ -25,7 +25,6 @@ share one code path and produce identical results.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.compiler.ir import LOAD_OPCODES, IRFunction
@@ -75,6 +74,7 @@ class EvaluatedPoint:
     area: float
     cycles: int | None                      # None = infeasible
     test_cost: int | None = None            # attached by repro.testcost
+    energy: float | None = None             # attached by repro.energy
     compile_result: CompileResult | None = None
 
     @property
@@ -175,30 +175,6 @@ class EvaluationContext:
         return [self.evaluate(config) for config in space]
 
 
-def evaluate_config(
-    config: ArchConfig,
-    workload: IRFunction,
-    profile: dict[str, int],
-    width: int = 16,
-    keep_compile_result: bool = False,
-) -> EvaluatedPoint:
-    """Compile ``workload`` onto one configuration and cost it.
-
-    .. deprecated::
-        One-shot module-level wrapper; hold an :class:`EvaluationContext`
-        (what the study engine's evaluator does) so per-workload work is
-        shared across the sweep.
-    """
-    warnings.warn(
-        "evaluate_config() is deprecated; use EvaluationContext.evaluate "
-        "(or run a repro.study.Study)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    context = EvaluationContext(workload, profile, width)
-    return context.evaluate(config, keep_compile_result=keep_compile_result)
-
-
 # ----------------------------------------------------------------------
 # process-pool entry points
 #
@@ -224,30 +200,6 @@ def evaluate_config_worker(config: ArchConfig) -> EvaluatedPoint:
     if context is None:
         raise RuntimeError("init_evaluation_worker() was not called")
     return context.evaluate(config)
-
-
-def evaluate_space(
-    space: list[ArchConfig],
-    workload: IRFunction,
-    profile: dict[str, int],
-    width: int = 16,
-) -> list[EvaluatedPoint]:
-    """Evaluate every configuration (feasible or not) in ``space``.
-
-    .. deprecated::
-        Delegates to the study engine's evaluation fan-out; prefer
-        :func:`repro.study.evaluate_configs` (cache/pool-aware) or a
-        full :class:`repro.study.Study`.
-    """
-    warnings.warn(
-        "evaluate_space() is deprecated; use repro.study.evaluate_configs "
-        "(or run a repro.study.Study)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.study.engine import evaluate_configs
-
-    return evaluate_configs(space, workload, profile, width)
 
 
 def architecture_of(point: EvaluatedPoint, width: int = 16) -> Architecture:

@@ -1,26 +1,21 @@
-"""The exploration driver: workload in, Pareto sets out.
+"""Exploration results: the point-set container and its Pareto views.
 
-``explore`` is the whole Sec. 2 + Sec. 3 flow in one call: profile the
-workload once, evaluate every configuration, Pareto-filter the (area,
-cycles) plane (Fig. 2).  Adding the test-cost axis (Fig. 8) is done by
-:func:`repro.testcost.cost.attach_test_costs` so the exploration itself
-stays independent of the ATPG layer.
-
-``explore`` itself is now a deprecation shim over the study engine: a
-call is exactly a ``Study`` with the ``exhaustive`` strategy and the
-(area, cycles) objective vector — see :mod:`repro.study`.
+:class:`ExplorationResult` holds what one sweep produced — the evaluated
+points plus the workload profile — with memoized Fig. 2 / Fig. 8 Pareto
+views.  The sweep itself is driven by the study engine
+(:mod:`repro.study`): an exhaustive :class:`~repro.study.Study` is the
+whole Sec. 2 + Sec. 3 flow, and the test-cost axis (Fig. 8) is attached
+by :func:`repro.testcost.cost.attach_test_costs` so the exploration
+stays independent of the ATPG layer.  (The pre-study ``explore()``
+one-shot was a deprecation shim over that engine and has been removed.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
-from repro.compiler.interp import IRInterpreter
-from repro.compiler.ir import IRFunction
 from repro.explore.evaluate import EvaluatedPoint
 from repro.explore.pareto import pareto_filter
-from repro.explore.space import ArchConfig
 
 
 @dataclass
@@ -97,34 +92,3 @@ class ExplorationResult:
                 f"cycles={point.cycles:>9}{tc}"
             )
         return "\n".join(lines)
-
-
-def explore(
-    workload: IRFunction,
-    space: list[ArchConfig],
-    width: int = 16,
-    initial_regs: dict[str, int] | None = None,
-) -> ExplorationResult:
-    """Profile ``workload`` once, then evaluate every configuration.
-
-    .. deprecated::
-        Delegates to the study engine's ``exhaustive`` strategy; prefer
-        :class:`repro.study.Study` (or :func:`repro.study.run_search`
-        for in-memory workloads).
-    """
-    warnings.warn(
-        "explore() is deprecated; use repro.study.Study with the "
-        "'exhaustive' strategy (run_search for in-memory workloads)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.study.engine import run_search
-
-    interp = IRInterpreter(workload, width=width)
-    profile = interp.run(initial_regs).block_counts
-    outcome = run_search(
-        workload, space, width=width, strategy="exhaustive", profile=profile
-    )
-    return ExplorationResult(
-        workload=workload.name, profile=profile, points=outcome.points
-    )

@@ -7,20 +7,17 @@ parameter changed at a time), and expands only candidates that are
 non-dominated so far — typically reaching the same Pareto frontier as
 the exhaustive sweep while evaluating a fraction of the space.
 
-The search loop itself lives in :mod:`repro.study.strategies` as the
-``iterative`` strategy; this module keeps the neighbourhood model
-(:func:`neighbours`, the RF ladder) and the legacy
-:func:`iterative_explore` entry point as a deprecation shim over the
-study engine.
+The search loops themselves live in :mod:`repro.study.strategies` (the
+``iterative`` and ``simulated_annealing`` strategies); this module keeps
+the neighbourhood model they walk — :func:`neighbours`, the RF ladder
+and the default seed templates.  (The legacy ``iterative_explore()``
+entry point was a deprecation shim over the study engine and has been
+removed; use ``StudySpec(strategy="iterative")`` or
+:func:`repro.study.run_search`.)
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field
-
-from repro.compiler.ir import IRFunction
-from repro.explore.explorer import ExplorationResult
 from repro.explore.space import ArchConfig, RFConfig
 
 #: RF arrangements the neighbourhood can step through, small to large.
@@ -80,53 +77,3 @@ def neighbours(config: ArchConfig) -> list[ArchConfig]:
         if position > 0:
             replace(rfs=_RF_LADDER[position - 1])
     return out
-
-
-@dataclass
-class IterativeResult:
-    """Exploration outcome plus search statistics."""
-
-    result: ExplorationResult
-    evaluations: int
-    iterations: int
-    frontier_history: list[int] = field(default_factory=list)
-
-
-def iterative_explore(
-    workload: IRFunction,
-    seeds: list[ArchConfig] | None = None,
-    max_evaluations: int = 80,
-    width: int = 16,
-) -> IterativeResult:
-    """Neighbourhood search from ``seeds`` toward the Pareto frontier.
-
-    .. deprecated::
-        Delegates to the study engine's ``iterative`` strategy; prefer
-        :class:`repro.study.Study` with ``strategy="iterative"``.
-    """
-    warnings.warn(
-        "iterative_explore() is deprecated; use repro.study.Study with "
-        "strategy='iterative' (run_search for in-memory workloads)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.compiler.interp import IRInterpreter
-    from repro.study.engine import run_search
-
-    profile = IRInterpreter(workload, width=width).run().block_counts
-    params: dict = {"max_evaluations": max_evaluations}
-    if seeds is not None:
-        params["seeds"] = seeds
-    outcome = run_search(
-        workload, [], width=width, strategy="iterative",
-        strategy_params=params, profile=profile,
-    )
-    result = ExplorationResult(
-        workload=workload.name, profile=profile, points=outcome.points
-    )
-    return IterativeResult(
-        result=result,
-        evaluations=outcome.evaluations,
-        iterations=outcome.iterations,
-        frontier_history=outcome.frontier_history,
-    )

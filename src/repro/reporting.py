@@ -35,6 +35,7 @@ def exploration_rows(points: list[EvaluatedPoint]) -> list[dict]:
                 "area": p.area,
                 "cycles": p.cycles,
                 "test_cost": p.test_cost,
+                "energy": p.energy,
                 "feasible": p.feasible,
                 "config": json.dumps(
                     p.config.to_dict(), sort_keys=True,
@@ -60,11 +61,14 @@ def point_from_row(row: dict) -> EvaluatedPoint:
     cycles = None if cycles in (None, "") else int(cycles)
     test_cost = row.get("test_cost")
     test_cost = None if test_cost in (None, "") else int(test_cost)
+    energy = row.get("energy")
+    energy = None if energy in (None, "") else float(energy)
     return EvaluatedPoint(
         config=ArchConfig.from_dict(config),
         area=float(row["area"]),
         cycles=cycles,
         test_cost=test_cost,
+        energy=energy,
     )
 
 

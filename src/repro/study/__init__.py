@@ -6,18 +6,17 @@ its generalisations):
 * :class:`StudySpec` — frozen, JSON-round-trippable description of a
   study (workloads by registry name, space by name or inline configs,
   objective names, strategy name + params);
-* the **objective registry** (``area``, ``cycles``, ``test_cost``
-  seeded) — pluggable cost axes with per-axis post-pass requirements;
-* the **strategy registry** (``exhaustive``, ``iterative``, ``random``
-  seeded) — pluggable search drivers sharing one evaluation interface
-  with caching, resume and process-pool fan-out;
+* the **objective registry** (``area``, ``cycles``, ``test_cost``,
+  ``energy``, ``edp`` seeded) — pluggable cost axes with per-axis
+  post-pass requirements (the test-cost pass runs the analytical model,
+  the energy pass simulates with activity tracing);
+* the **strategy registry** (``exhaustive``, ``iterative``, ``random``,
+  ``simulated_annealing`` seeded) — pluggable search drivers sharing
+  one evaluation interface with caching, resume and process-pool
+  fan-out;
 * :class:`Study` / :func:`run_study` — the executor, returning a
-  :class:`StudyResult` that unifies the legacy ``ExplorationResult`` /
-  ``IterativeResult`` / campaign outputs.
-
-The legacy call surface (``explore``, ``iterative_explore``,
-``evaluate_space``, the campaign runner) remains available as thin
-layers over this package.
+  :class:`StudyResult`; the campaign runner is N studies sharing one
+  result cache.
 """
 
 from repro.study.engine import (
@@ -27,8 +26,10 @@ from repro.study.engine import (
     StudyResult,
     StudyRun,
     evaluate_configs,
+    run_exploration,
     run_search,
     run_study,
+    workload_profile,
 )
 from repro.study.objectives import (
     Objective,
@@ -69,9 +70,11 @@ __all__ = [
     "register_objective",
     "register_strategy",
     "resolve_objectives",
+    "run_exploration",
     "run_search",
     "run_strategy",
     "run_study",
     "strategy_by_name",
     "strategy_names",
+    "workload_profile",
 ]

@@ -4,14 +4,13 @@
 StudySpec`: build each workload, profile it once, hand the space to the
 spec's search strategy (evaluation goes through a cache-aware,
 optionally parallel :class:`CachedEvaluator`), run the post-passes the
-objective vector demands (the test-cost axis), Pareto-filter under the
-full objective vector and — when asked — pick the winner with the
-weighted norm.  The result type, :class:`StudyResult`, unifies what
-used to be three shapes (``ExplorationResult``, ``IterativeResult`` and
-the campaign's ``WorkloadRun`` list).
+objective vector demands (the test-cost and energy axes), Pareto-filter
+under the full objective vector and — when asked — pick the winner with
+the weighted norm.  The result type, :class:`StudyResult`, is the one
+shape every exploration in the repo produces.
 
-The legacy surfaces are thin layers over this engine: ``explore()`` is
-an exhaustive study, ``iterative_explore()`` an iterative one, and a
+Every other surface is a thin layer over this engine:
+:func:`run_search` is one uncached strategy run on in-memory IR, and a
 campaign is N studies sharing one :class:`~repro.campaign.cache.
 ResultCache`.
 """
@@ -20,12 +19,15 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import lru_cache
 from time import perf_counter
 from typing import Callable, Iterable, Iterator
 
 from repro.apps.registry import build_workload
 from repro.compiler.interp import IRInterpreter
 from repro.compiler.ir import IRFunction
+from repro.energy.attach import attach_energy
+from repro.energy.model import technology_by_name
 from repro.explore.evaluate import (
     EvaluatedPoint,
     EvaluationContext,
@@ -46,6 +48,29 @@ from repro.study.strategies import SearchJob, SearchOutcome, run_strategy
 from repro.testcost.cost import attach_test_costs
 
 ProgressFn = Callable[[str], None]
+
+
+@lru_cache(maxsize=256)
+def _entry_profile(entry, width: int) -> tuple[tuple[str, int], ...]:
+    """Block-count profile of one registry entry, computed once.
+
+    Registered workloads pin their reference inputs, so the
+    :class:`IRInterpreter` run is a pure function of (entry, width) — a
+    campaign of N (workload, space, width) jobs profiles each workload
+    once per width instead of once per job.  Keyed on the frozen
+    :class:`~repro.apps.registry.WorkloadEntry` itself, not the name:
+    re-registering a name installs a new entry (new builder identity)
+    and therefore a fresh cache line, never a stale profile.
+    """
+    counts = IRInterpreter(entry.build(), width=width).run().block_counts
+    return tuple(sorted(counts.items()))
+
+
+def workload_profile(workload_name: str, width: int = 16) -> dict[str, int]:
+    """Cached per-(workload, width) profile as a fresh dict."""
+    from repro.apps.registry import workload_entry
+
+    return dict(_entry_profile(workload_entry(workload_name), width))
 
 
 @dataclass(frozen=True)
@@ -107,8 +132,8 @@ def evaluate_configs(
 ) -> list[EvaluatedPoint]:
     """Evaluate a configuration list, fanning out when ``workers > 1``.
 
-    Order-preserving in both modes: a drop-in parallel
-    ``evaluate_space``.
+    Order-preserving in both modes, so serial and parallel sweeps
+    produce identical point lists.
     """
     return list(iter_evaluations(configs, workload, profile, width, workers))
 
@@ -132,6 +157,7 @@ class CachedEvaluator:
         width: int,
         cache=None,
         march: str | None = None,
+        energy_model: str | None = None,
         workers: int = 1,
         progress: ProgressFn | None = None,
         label: str | None = None,
@@ -142,6 +168,7 @@ class CachedEvaluator:
         self.width = width
         self.cache = cache
         self.march = march
+        self.energy_model = energy_model
         self.workers = workers
         self.progress = progress
         self.label = label or workload_name
@@ -161,12 +188,16 @@ class CachedEvaluator:
         if self.cache is None:
             return None
         return self.cache.get(
-            self.workload_name, config, self.width, self.march
+            self.workload_name, config, self.width, self.march,
+            energy_model=self.energy_model,
         )
 
     def _store(self, point: EvaluatedPoint) -> None:
         if self.cache is not None:
-            self.cache.put(self.workload_name, point, self.width, self.march)
+            self.cache.put(
+                self.workload_name, point, self.width, self.march,
+                energy_model=self.energy_model,
+            )
 
     def evaluate(self, config: ArchConfig) -> EvaluatedPoint:
         """Cost one configuration, cache-first."""
@@ -237,8 +268,9 @@ def run_search(
 
     The minimal engine entry point: profiles the workload (unless a
     profile is supplied), wires a serial :class:`CachedEvaluator`
-    without a result cache, and runs the named strategy.  ``explore()``
-    and ``iterative_explore()`` are deprecation shims over this.
+    without a result cache, and runs the named strategy.  For registered
+    workloads prefer a full :class:`Study` (caching, post-passes,
+    selection).
     """
     if profile is None:
         interp = IRInterpreter(workload, width=width)
@@ -256,6 +288,31 @@ def run_search(
         evaluate_many=evaluator.evaluate_many,
     )
     return run_strategy(strategy, job, strategy_params)
+
+
+def run_exploration(
+    workload: IRFunction,
+    space: Iterable[ArchConfig],
+    width: int = 16,
+    strategy: str = "exhaustive",
+    strategy_params: dict | None = None,
+    profile: dict[str, int] | None = None,
+) -> ExplorationResult:
+    """One :func:`run_search` packaged as an :class:`ExplorationResult`.
+
+    The convenience view for in-memory workloads when the caller wants
+    the point-set container (Pareto views, ``summary()``) rather than
+    the raw :class:`~repro.study.strategies.SearchOutcome` accounting.
+    """
+    if profile is None:
+        profile = IRInterpreter(workload, width=width).run().block_counts
+    outcome = run_search(
+        workload, space, width=width, strategy=strategy,
+        strategy_params=strategy_params, profile=profile,
+    )
+    return ExplorationResult(
+        workload=workload.name, profile=profile, points=outcome.points
+    )
 
 
 # ----------------------------------------------------------------------
@@ -397,14 +454,16 @@ class Study:
         started = perf_counter()
         workload = build_workload(workload_name)
         configs = spec.resolve_space()
-        profile = IRInterpreter(
-            workload, width=spec.width
-        ).run().block_counts
+        profile = workload_profile(workload_name, spec.width)
         objectives = resolve_objectives(spec.objectives)
         needs_test_costs = any(o.requires_test_costs for o in objectives)
-        # Only key cached test costs on the march the study will use —
-        # otherwise output would depend on what earlier runs attached.
+        needs_energy = any(o.requires_energy for o in objectives)
+        # Only key cached test costs / energies on the parameters the
+        # study will actually use — otherwise output would depend on
+        # what earlier runs attached.
         march = spec.march if needs_test_costs else None
+        tech = technology_by_name(spec.tech)
+        energy_model = tech.fingerprint() if needs_energy else None
         label = f"{workload_name}/{spec.space_label}/w{spec.width}"
 
         evaluator = CachedEvaluator(
@@ -414,6 +473,7 @@ class Study:
             spec.width,
             cache=self.cache,
             march=march,
+            energy_model=energy_model,
             workers=self.workers,
             progress=self.progress,
             label=label,
@@ -435,6 +495,8 @@ class Study:
             self._attach_test_costs(
                 workload_name, result, objectives, evaluator
             )
+        if needs_energy:
+            self._attach_energy(result, objectives, evaluator, tech)
 
         selection: SelectionResult | None = None
         if spec.select:
@@ -483,17 +545,53 @@ class Study:
         carry a march-matched cost; only the rest run the ATPG-backed
         math, and freshly attached costs stream back into the cache.
         """
-        base = [o for o in objectives if not o.requires_test_costs]
-        if base:
-            front = pareto_front(result.points, base)
-        else:
-            front = result.feasible_points
+        front = self._post_pass_front(result, objectives)
         todo = [p for p in front if p.test_cost is None]
         if not todo:
             return
         attach_test_costs(todo, self.spec.march, self.spec.width)
         for point in todo:
             evaluator._store(point)
+
+    def _attach_energy(
+        self,
+        result: ExplorationResult,
+        objectives: tuple[Objective, ...],
+        evaluator: CachedEvaluator,
+        tech,
+    ) -> None:
+        """The switching-activity post-pass, on the base front only.
+
+        Exactly like the test axis: energy is simulated on the front
+        under the post-pass-free objectives (each point's compiled
+        program runs once with activity tracing through the sweep's
+        evaluation context), and fresh energies stream back into the
+        result cache keyed by the technology fingerprint.
+        """
+        front = self._post_pass_front(result, objectives)
+        todo = [p for p in front if p.energy is None]
+        if not todo:
+            return
+        attach_energy(
+            todo,
+            evaluator.workload,
+            width=self.spec.width,
+            tech=tech,
+            context=evaluator.context,
+        )
+        for point in todo:
+            evaluator._store(point)
+
+    def _post_pass_front(
+        self,
+        result: ExplorationResult,
+        objectives: tuple[Objective, ...],
+    ) -> list[EvaluatedPoint]:
+        """Points the post-passes annotate: the base-objective front."""
+        base = [o for o in objectives if not o.needs_post_pass]
+        if base:
+            return pareto_front(result.points, base)
+        return result.feasible_points
 
 
 def run_study(

@@ -33,19 +33,30 @@ class Objective:
     (smaller is better, like every axis in the paper).
     ``requires_test_costs`` marks objectives that read
     ``EvaluatedPoint.test_cost`` and therefore need the analytical
-    test-cost post-pass before they are defined.
+    test-cost post-pass before they are defined;
+    ``requires_energy`` marks objectives that read
+    ``EvaluatedPoint.energy`` and need the switching-activity
+    simulation pass (:func:`repro.energy.attach.attach_energy`).
     """
 
     name: str
     measure: Callable[[EvaluatedPoint], float]
     description: str = ""
     requires_test_costs: bool = False
+    requires_energy: bool = False
+
+    @property
+    def needs_post_pass(self) -> bool:
+        """Whether the axis only exists after an engine post-pass."""
+        return self.requires_test_costs or self.requires_energy
 
     def available(self, point: EvaluatedPoint) -> bool:
         """Whether ``measure`` is defined on ``point`` right now."""
         if not point.feasible:
             return False
         if self.requires_test_costs and point.test_cost is None:
+            return False
+        if self.requires_energy and point.energy is None:
             return False
         return True
 
@@ -58,6 +69,7 @@ def register_objective(
     measure: Callable[[EvaluatedPoint], float],
     description: str = "",
     requires_test_costs: bool = False,
+    requires_energy: bool = False,
 ) -> Objective:
     """Add (or replace) a named objective; returns the registered entry."""
     objective = Objective(
@@ -65,6 +77,7 @@ def register_objective(
         measure=measure,
         description=description,
         requires_test_costs=requires_test_costs,
+        requires_energy=requires_energy,
     )
     _OBJECTIVES[name] = objective
     return objective
@@ -112,21 +125,22 @@ def pareto_front(
     """Non-dominated subset of ``points`` under an objective vector.
 
     The front is *staged* the way the paper stages Fig. 8: objectives
-    that need a post-pass (``requires_test_costs``) are only measured on
-    the front of the objectives that don't, "preserving the already
-    achieved area/throughput ratio".  Staging also makes the front a
-    pure function of the point set's base costs — a point that merely
-    *happens* to carry a test cost (say, restored from a result cache
-    another study populated) cannot enter the candidate set from off the
-    base front.  Points on which some objective is not measurable —
-    infeasible, or awaiting the post-pass — are never candidates.
+    that need a post-pass (the test-cost and energy axes) are only
+    measured on the front of the objectives that don't, "preserving the
+    already achieved area/throughput ratio".  Staging also makes the
+    front a pure function of the point set's base costs — a point that
+    merely *happens* to carry a test cost or energy (say, restored from
+    a result cache another study populated) cannot enter the candidate
+    set from off the base front.  Points on which some objective is not
+    measurable — infeasible, or awaiting the post-pass — are never
+    candidates.
 
     Any number of objectives is supported; :func:`repro.explore.pareto.
     pareto_filter` runs the 2-D/3-D cases as O(n log n) sweeps and
     higher dimensions through the reference filter.
     """
     resolved = resolve_objectives(objectives)
-    base = tuple(o for o in resolved if not o.requires_test_costs)
+    base = tuple(o for o in resolved if not o.needs_post_pass)
     pool = list(points)
     if base and len(base) < len(resolved):
         pool = pareto_filter(
@@ -159,4 +173,16 @@ register_objective(
     lambda p: float(p.test_cost),
     "analytical test application cycles, eqs. 11-14 (Fig. 8 z axis)",
     requires_test_costs=True,
+)
+register_objective(
+    "energy",
+    lambda p: float(p.energy),
+    "switching-activity energy from simulated transport traces",
+    requires_energy=True,
+)
+register_objective(
+    "edp",
+    lambda p: float(p.energy) * float(p.cycles),
+    "energy-delay product (energy x profile-weighted cycles)",
+    requires_energy=True,
 )

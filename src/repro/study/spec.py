@@ -61,6 +61,7 @@ class StudySpec:
     select: bool = False
     weights: tuple[float, ...] | None = None
     march: str = "March C-"
+    tech: str = "default"
     workers: int = 1
 
     def __post_init__(self) -> None:
@@ -131,12 +132,15 @@ class StudySpec:
 
     def validate(self) -> None:
         """Resolve every registry reference (raises KeyError/ValueError)."""
+        from repro.energy.model import technology_by_name
+
         for workload in self.workloads:
             workload_entry(workload)
         if isinstance(self.space, str):
             space_by_name(self.space)
         resolve_objectives(self.objectives)
         validate_strategy_params(self.strategy, self.params)
+        technology_by_name(self.tech)
 
     # ------------------------------------------------------------------
     # serialisation
@@ -158,6 +162,7 @@ class StudySpec:
             "select": self.select,
             "weights": None if self.weights is None else list(self.weights),
             "march": self.march,
+            "tech": self.tech,
             "workers": self.workers,
         }
 
@@ -180,6 +185,7 @@ class StudySpec:
                 float(w) for w in weights
             ),
             march=str(data.get("march", "March C-")),
+            tech=str(data.get("tech", "default")),
             workers=int(data.get("workers", 1)),
         )
 

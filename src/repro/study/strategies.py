@@ -6,21 +6,24 @@ order; it never evaluates anything itself.  It receives a
 by the engine to the shared-work :class:`~repro.explore.evaluate.
 EvaluationContext`, the on-disk result cache and the process pool — so
 every strategy transparently gets caching, resume and parallel fan-out,
-and the exhaustive strategy run serially is bit-identical to the legacy
-``explore()`` sweep.
+and the exhaustive strategy run serially is bit-identical to evaluating
+the space point by point through one context.
 
-Three strategies are seeded:
+Four strategies are seeded:
 
-* ``exhaustive`` — the paper's full grid sweep (Sec. 2);
-* ``iterative``  — the MOVE-style neighbourhood search that expands
-  only non-dominated candidates;
-* ``random``     — a budgeted uniform sample of the space, the baseline
-  every smarter search must beat.
+* ``exhaustive``          — the paper's full grid sweep (Sec. 2);
+* ``iterative``           — the MOVE-style neighbourhood search that
+  expands only non-dominated candidates;
+* ``random``              — a budgeted uniform sample of the space, the
+  baseline every smarter search must beat;
+* ``simulated_annealing`` — a seeded Metropolis walk over the same
+  neighbourhood model, for spaces too rugged for greedy expansion.
 """
 
 from __future__ import annotations
 
 import inspect
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable
@@ -175,8 +178,8 @@ def iterative_search(
 ) -> SearchOutcome:
     """Expand non-dominated neighbourhoods from seed templates.
 
-    The loop of the pre-study ``iterative_explore`` — one architectural
-    parameter mutated at a time, only frontier candidates expanded —
+    The MOVE-style loop — one architectural parameter mutated at a
+    time, only frontier candidates expanded —
     with each wave's unexplored neighbourhood evaluated as one
     ``evaluate_many`` batch, so the search shares the sweep caches, the
     on-disk result cache, and the process-pool fan-out.  ``seeds``
@@ -187,9 +190,9 @@ def iterative_search(
     expansions outside the declared space are skipped, so a study's
     points are always drawn from the space its spec names (should no
     seed fall inside the space, the search starts from the space's
-    first template).  An empty space — the legacy
-    ``iterative_explore`` surface — leaves the walk unbounded over the
-    neighbourhood model.
+    first template).  An empty space leaves the walk unbounded over
+    the neighbourhood model (the :func:`repro.study.run_search`
+    in-memory surface).
     """
     from repro.explore.iterative import default_seeds, neighbours
 
@@ -259,6 +262,122 @@ def iterative_search(
     )
 
 
+# ----------------------------------------------------------------------
+# simulated annealing — Metropolis walk over the neighbourhood model
+# ----------------------------------------------------------------------
+def simulated_annealing_search(
+    job: SearchJob,
+    start: ArchConfig | dict | None = None,
+    max_evaluations: int = 60,
+    seed: int = 0,
+    initial_temp: float = 0.35,
+    cooling: float = 0.92,
+) -> SearchOutcome:
+    """Seeded, budgeted annealing over single-parameter mutations.
+
+    The walk proposes one uniformly-drawn neighbour of the current
+    template per step (the :func:`repro.explore.iterative.neighbours`
+    model — the same moves the iterative strategy expands) and accepts
+    it per Metropolis on a scalarised cost: area and cycles, each
+    normalised by the first feasible point's values so neither axis
+    drowns the other.  Infeasible proposals are never accepted but do
+    consume budget — the search learns where the space's holes are.
+
+    Fully deterministic under a fixed ``seed`` (one ``random.Random``,
+    deterministic neighbour order), and bounded by the job's space when
+    one is declared, exactly like the iterative strategy.  ``start``
+    accepts an :class:`~repro.explore.space.ArchConfig` or its dict
+    form (what a JSON spec carries); by default the walk starts from
+    the space's first template (or the default seed when unbounded).
+    """
+    from repro.explore.iterative import default_seeds, neighbours
+
+    max_evaluations = int(max_evaluations)
+    if max_evaluations < 1:
+        raise ValueError("simulated_annealing needs max_evaluations >= 1")
+    cooling = float(cooling)
+    if not 0.0 < cooling < 1.0:
+        raise ValueError("cooling must be in (0, 1)")
+    temp = float(initial_temp)
+    if temp <= 0.0:
+        raise ValueError("initial_temp must be > 0")
+    rng = random.Random(int(seed))
+
+    allowed: set[str] | None = None
+    if job.space:
+        allowed = {config.label() for config in job.space}
+    if start is None:
+        start = job.space[0] if job.space else default_seeds()[0]
+    elif isinstance(start, dict):
+        start = ArchConfig.from_dict(start)
+    if allowed is not None and start.label() not in allowed:
+        start = job.space[0]
+
+    seen: dict[str, EvaluatedPoint] = {}
+
+    def evaluate(config: ArchConfig) -> EvaluatedPoint:
+        label = config.label()
+        point = seen.get(label)
+        if point is None:
+            point = job.evaluate(config)
+            seen[label] = point
+        return point
+
+    reference: tuple[float, float] | None = None
+
+    def cost(point: EvaluatedPoint) -> float:
+        nonlocal reference
+        if not point.feasible:
+            return math.inf
+        if reference is None:
+            reference = (point.area, float(point.cycles))
+        return point.area / reference[0] + point.cycles / reference[1]
+
+    current_config = start
+    current_cost = cost(evaluate(start))
+    frontier: list[EvaluatedPoint] = pareto_filter(
+        [p for p in seen.values() if p.feasible], key=lambda p: p.cost2d()
+    )
+    history: list[int] = [len(frontier)]
+    steps = 0
+    # Each step proposes at most one fresh evaluation; stale proposals
+    # (already-seen neighbours) cost a step but no budget, so cap steps
+    # to keep a fully-explored neighbourhood from spinning forever.
+    max_steps = max_evaluations * 8
+    while len(seen) < max_evaluations and steps < max_steps:
+        steps += 1
+        candidates = neighbours(current_config)
+        if allowed is not None:
+            candidates = [c for c in candidates if c.label() in allowed]
+        if not candidates:
+            break
+        proposal_config = rng.choice(candidates)
+        fresh = proposal_config.label() not in seen
+        proposal = evaluate(proposal_config)
+        proposal_cost = cost(proposal)
+        delta = proposal_cost - current_cost
+        if delta <= 0 or (
+            proposal_cost != math.inf
+            and rng.random() < math.exp(-delta / temp)
+        ):
+            current_config = proposal_config
+            current_cost = proposal_cost
+        temp *= cooling
+        if fresh and proposal.feasible:
+            frontier = pareto_filter(
+                frontier + [proposal], key=lambda p: p.cost2d()
+            )
+        if fresh:
+            history.append(len(frontier))
+
+    return SearchOutcome(
+        points=list(seen.values()),
+        evaluations=len(seen),
+        iterations=steps,
+        frontier_history=history,
+    )
+
+
 register_strategy(
     "exhaustive",
     exhaustive_search,
@@ -273,4 +392,9 @@ register_strategy(
     "iterative",
     iterative_search,
     "neighbourhood search expanding only non-dominated candidates",
+)
+register_strategy(
+    "simulated_annealing",
+    simulated_annealing_search,
+    "seeded Metropolis walk over the neighbourhood model (budgeted)",
 )

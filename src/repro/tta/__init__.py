@@ -14,6 +14,7 @@ starts its operation (hybrid pipelining, Fig. 3).
 * :mod:`repro.tta.assembler` — a small textual move-assembly format.
 """
 
+from repro.tta.activity import ActivityTrace, hamming
 from repro.tta.arch import Architecture, ArchitectureError, UnitInstance
 from repro.tta.isa import (
     GUARD_UNIT,
@@ -30,9 +31,11 @@ from repro.tta.assembler import assemble, AssemblerError
 from repro.tta.encoding import InstructionFormat, MoveEncoder
 
 __all__ = [
+    "ActivityTrace",
     "Architecture",
     "ArchitectureError",
     "AssemblerError",
+    "hamming",
     "GUARD_UNIT",
     "Guard",
     "Instruction",

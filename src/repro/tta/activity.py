@@ -1,0 +1,125 @@
+"""Switching-activity accounting for the cycle-accurate simulator.
+
+The defining property of a TTA is that *every* data transport is
+software-visible, which makes dynamic energy directly observable from a
+simulation: each bus, socket, port and register toggles exactly when a
+move drives a new value across it.  :class:`ActivityTrace` is the
+per-run event ledger the simulator fills when tracing is enabled —
+Hamming-distance toggle counts per resource plus event counts — and the
+:mod:`repro.energy` model turns into energy via per-event weights
+derived from the gate-level view.
+
+Event taxonomy (what is counted, and against what previous value):
+
+* **bus toggles** — bits flipped on a move bus between consecutive
+  transports it carries (a bus holds its last driven value);
+* **port toggles** — bits flipped in a unit input register (operand or
+  trigger) on commit, and in an FU/LSU result register when a finished
+  operation lands;
+* **RF read/write toggles** — bits flipped on a register file's read
+  path between consecutive reads, and in the addressed storage cell on
+  a write;
+* **fetch toggles** — bits flipped between consecutive instruction
+  words on the instruction-memory read path (the encoded binary words
+  of :class:`repro.tta.encoding.MoveEncoder`);
+* **event counts** — transports per bus and per socket, triggers per
+  unit (FU/LSU/PC), reads/writes per RF, fetched words, guard-bit
+  flips.
+
+All counters are exact integers; the trace is purely observational and
+never alters simulation semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.bitops import popcount
+
+
+def hamming(a: int, b: int) -> int:
+    """Number of differing bits between two non-negative words."""
+    return popcount(a ^ b)
+
+
+def _bump(table: dict, key, amount: int) -> None:
+    table[key] = table.get(key, 0) + amount
+
+
+@dataclass
+class ActivityTrace:
+    """Per-run switching-activity ledger (filled by the simulator)."""
+
+    width: int
+    cycles: int = 0
+
+    # bus index -> counters
+    bus_toggles: dict[int, int] = field(default_factory=dict)
+    bus_transports: dict[int, int] = field(default_factory=dict)
+
+    # (unit, port) -> counters
+    port_toggles: dict[tuple[str, str], int] = field(default_factory=dict)
+    socket_transports: dict[tuple[str, str], int] = field(
+        default_factory=dict
+    )
+
+    # unit name -> counters
+    fu_activations: dict[str, int] = field(default_factory=dict)
+    rf_reads: dict[str, int] = field(default_factory=dict)
+    rf_writes: dict[str, int] = field(default_factory=dict)
+    rf_read_toggles: dict[str, int] = field(default_factory=dict)
+    rf_write_toggles: dict[str, int] = field(default_factory=dict)
+
+    guard_toggles: int = 0
+    fetch_words: int = 0
+    fetch_toggles: int = 0
+
+    # ------------------------------------------------------------------
+    # recording (the simulator's hooks)
+    # ------------------------------------------------------------------
+    def record_bus(self, bus: int, old: int, new: int) -> None:
+        _bump(self.bus_toggles, bus, hamming(old, new))
+        _bump(self.bus_transports, bus, 1)
+
+    def record_socket(self, unit: str, port: str) -> None:
+        _bump(self.socket_transports, (unit, port), 1)
+
+    def record_port(self, unit: str, port: str, old: int, new: int) -> None:
+        _bump(self.port_toggles, (unit, port), hamming(old, new))
+
+    def record_activation(self, unit: str) -> None:
+        _bump(self.fu_activations, unit, 1)
+
+    def record_rf_read(self, unit: str, old: int, new: int) -> None:
+        _bump(self.rf_reads, unit, 1)
+        _bump(self.rf_read_toggles, unit, hamming(old, new))
+
+    def record_rf_write(self, unit: str, old: int, new: int) -> None:
+        _bump(self.rf_writes, unit, 1)
+        _bump(self.rf_write_toggles, unit, hamming(old, new))
+
+    def record_fetch(self, old_word: int, new_word: int) -> None:
+        self.fetch_words += 1
+        self.fetch_toggles += hamming(old_word, new_word)
+
+    def record_guard(self, old: int, new: int) -> None:
+        self.guard_toggles += hamming(old & 1, new & 1)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def total_transports(self) -> int:
+        return sum(self.bus_transports.values())
+
+    @property
+    def total_toggles(self) -> int:
+        """Every counted bit flip, across all resource classes."""
+        return (
+            sum(self.bus_toggles.values())
+            + sum(self.port_toggles.values())
+            + sum(self.rf_read_toggles.values())
+            + sum(self.rf_write_toggles.values())
+            + self.fetch_toggles
+            + self.guard_toggles
+        )

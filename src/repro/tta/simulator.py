@@ -33,6 +33,7 @@ from repro.components.reference import (
 )
 from repro.components.register_file import MultiPortMemory
 from repro.components.spec import ComponentKind
+from repro.tta.activity import ActivityTrace
 from repro.tta.arch import Architecture
 from repro.tta.isa import GUARD_UNIT, Guard, Instruction, Literal, Move, PortRef, Program
 from repro.util.bitops import mask
@@ -88,6 +89,7 @@ class TTASimulator:
         program: Program,
         dmem_words: int = 65536,
         trace: bool = False,
+        activity: bool = False,
     ):
         self.arch = arch
         self.program = program
@@ -115,6 +117,26 @@ class TTASimulator:
         self.cycle = 0
         self._pending_jump: tuple[int, int] | None = None
         self._trace_lines: list[str] = []
+
+        # Switching-activity tracing is opt-in: when off, ``self.activity``
+        # is None and the hot path pays only dead ``is not None`` checks —
+        # the run loop executes identically (pinned by tests) either way.
+        self.activity: ActivityTrace | None = None
+        if activity:
+            from repro.tta.encoding import MoveEncoder
+
+            self.activity = ActivityTrace(width=arch.width)
+            self._act_words = MoveEncoder(arch).encode_program(program)
+            self._act_last_word = 0
+            self._act_bus = [0] * arch.num_buses
+            self._act_port_last: dict[tuple[str, str], int] = {}
+            self._act_rf_last_read: dict[str, int] = {}
+            self._act_result_port = {
+                name: next(
+                    (p.name for p in arch.unit(name).spec.output_ports), None
+                )
+                for name in self._fu
+            }
 
     # ------------------------------------------------------------------
     # inspection helpers (tests, examples)
@@ -157,6 +179,10 @@ class TTASimulator:
                 halted = True
                 break
             instruction = self.program.instructions[self.pc]
+            if self.activity is not None:
+                word = self._act_words[self.pc]
+                self.activity.record_fetch(self._act_last_word, word)
+                self._act_last_word = word
             stats = self._step(instruction)
             executed += stats[0]
             squashed += stats[1]
@@ -171,6 +197,8 @@ class TTASimulator:
         else:
             reason = "max-cycles"
 
+        if self.activity is not None:
+            self.activity.cycles = self.cycle
         return SimResult(
             cycles=self.cycle,
             halted=halted,
@@ -192,23 +220,33 @@ class TTASimulator:
     def _step(self, instruction: Instruction) -> tuple[int, int, int]:
         """Execute one instruction; returns (executed, squashed, triggers)."""
         cycle = self.cycle
+        act = self.activity
         # Begin-of-cycle: land finished results, open RF ports.
-        for state in self._fu.values():
+        for name, state in self._fu.items():
             while state.pipeline and state.pipeline[0][0] <= cycle:
                 _ready, value = state.pipeline.pop(0)
+                if act is not None:
+                    port = self._act_result_port[name]
+                    if port is not None:
+                        act.record_port(name, port, state.result, value)
                 state.result = value
                 state.result_valid = True
         for rf in self._rf.values():
             rf.new_cycle()
 
-        # Sample phase.
+        # Sample phase (one bus slot per move; squashed moves drive no bus).
         sampled: list[tuple[Move, int]] = []
         squashed = 0
-        for move in instruction.moves:
+        for bus, move in enumerate(instruction.slots):
+            if move is None:
+                continue
             if move.guard is not None and not self._guard_true(move.guard):
                 squashed += 1
                 continue
-            sampled.append((move, self._read_source(move)))
+            value = self._read_source(move)
+            sampled.append((move, value))
+            if act is not None:
+                self._record_transport(bus, move, value)
 
         # Commit phase: operands first, then triggers see fresh operands.
         triggers = 0
@@ -217,8 +255,13 @@ class TTASimulator:
             if self._is_trigger(move.dst):
                 trigger_moves.append((move, value))
             else:
+                if act is not None:
+                    self._record_commit(move, value)
                 self._commit_plain(move, value)
         for move, value in trigger_moves:
+            if act is not None:
+                self._record_commit(move, value)
+                act.record_activation(move.dst.unit)
             self._commit_trigger(move, value)
             triggers += 1
 
@@ -226,6 +269,47 @@ class TTASimulator:
             done = ", ".join(str(m) for m, _v in sampled) or "nop"
             self._trace_lines.append(f"{cycle:6d} pc={self.pc:4d}: {done}")
         return len(sampled), squashed, triggers
+
+    # ------------------------------------------------------------------
+    # activity recording (only reached when tracing is enabled; purely
+    # observational — reads state, never writes simulation state)
+    # ------------------------------------------------------------------
+    def _record_transport(self, bus: int, move: Move, value: int) -> None:
+        act = self.activity
+        act.record_bus(bus, self._act_bus[bus], value)
+        self._act_bus[bus] = value
+        src = move.src
+        if isinstance(src, PortRef) and src.unit in self.arch.units:
+            act.record_socket(src.unit, src.port)
+            if self.arch.unit(src.unit).spec.kind is ComponentKind.RF:
+                old = self._act_rf_last_read.get(src.unit, 0)
+                act.record_rf_read(src.unit, old, value)
+                self._act_rf_last_read[src.unit] = value
+        dst = move.dst
+        if dst.unit in self.arch.units:
+            act.record_socket(dst.unit, dst.port)
+
+    def _record_commit(self, move: Move, value: int) -> None:
+        act = self.activity
+        dst = move.dst
+        if dst.unit == GUARD_UNIT:
+            old = self.guards[_guard_index_or_raise(dst.port)]
+            act.record_guard(old, value)
+            return
+        if dst.unit not in self.arch.units:
+            return
+        unit = self.arch.unit(dst.unit)
+        if unit.spec.kind is ComponentKind.RF:
+            if move.dst_reg is not None:
+                old = self._rf[dst.unit].peek(move.dst_reg)
+                act.record_rf_write(dst.unit, old, value & self._width_mask)
+            return
+        # FU/LSU operand or trigger register, or the PC target port.
+        key = (dst.unit, dst.port)
+        old = self._act_port_last.get(key, 0)
+        new = value & self._width_mask
+        act.record_port(dst.unit, dst.port, old, new)
+        self._act_port_last[key] = new
 
     # ------------------------------------------------------------------
     def _guard_true(self, guard: Guard) -> bool:

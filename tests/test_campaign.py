@@ -147,13 +147,14 @@ def _spec(**kw):
     return CampaignSpec(**defaults)
 
 
-def test_campaign_matches_one_shot_explore():
-    from repro.apps import build_gcd_ir
-    from repro.explore import explore, small_space
+def test_campaign_matches_one_shot_study():
+    from repro.study import StudySpec, run_study
 
     campaign = run_campaign(_spec(), cache=None)
     run = campaign.runs[0]
-    one_shot = explore(build_gcd_ir(252, 105), small_space())
+    one_shot = run_study(
+        StudySpec(name="one", workloads=("gcd",), space="small")
+    ).single.result
     assert [p.label for p in run.result.pareto2d] == [
         p.label for p in one_shot.pareto2d
     ]
@@ -192,11 +193,13 @@ def test_campaign_persists_incrementally(tmp_path):
             super().__init__(directory)
             self.die_after = die_after
 
-        def put(self, workload, point, width, march=None):
+        def put(self, workload, point, width, march=None,
+                energy_model=None):
             if self.die_after == 0:
                 raise RuntimeError("simulated crash")
             self.die_after -= 1
-            super().put(workload, point, width, march)
+            super().put(workload, point, width, march,
+                        energy_model=energy_model)
 
     dying = DyingCache(tmp_path, die_after=5)
     with pytest.raises(RuntimeError, match="simulated crash"):

@@ -33,10 +33,63 @@ def test_list_objectives_flag(capsys):
 def test_list_strategies_flag(capsys):
     code, out, _ = _run(capsys, "list", "--strategies")
     assert code == 0
-    for name in ("exhaustive", "iterative", "random"):
+    for name in ("exhaustive", "iterative", "random", "simulated_annealing"):
         assert name in out
     assert "params:" in out
     assert "workloads:" not in out and "objectives:" not in out
+
+
+def test_list_shows_energy_objectives_and_technologies(capsys):
+    code, out, _ = _run(capsys, "list", "--objectives")
+    assert code == 0
+    assert "energy" in out and "edp" in out
+    assert "[needs energy pass]" in out
+
+    code, out, _ = _run(capsys, "list", "--technologies")
+    assert code == 0
+    assert "default" in out and "low_power" in out
+    assert "objectives:" not in out
+
+
+def test_energy_breakdown_command(capsys):
+    code, out, _ = _run(capsys, "energy", "gcd", "--space", "small",
+                        "--index", "1")
+    assert code == 0
+    assert "energy report: gcd" in out
+    assert "bus0" in out and "fetch" in out and "leakage" in out
+    assert "total" in out and "share" in out
+
+
+def test_energy_command_rejects_bad_index(capsys):
+    code, _, err = _run(capsys, "energy", "gcd", "--index", "99")
+    assert code == 1
+    assert "outside space" in err
+
+
+def test_energy_command_rejects_unmappable_workload(capsys):
+    # fir needs a multiplier; the small space has none
+    code, _, err = _run(capsys, "energy", "fir", "--space", "small")
+    assert code == 1
+    assert "does not compile" in err
+
+
+def test_energy_command_clean_error_on_cycle_budget(capsys):
+    code, _, err = _run(capsys, "energy", "gcd", "--space", "small",
+                        "--index", "3", "--max-cycles", "10")
+    assert code == 1
+    assert "error:" in err and "no halt" in err
+    assert "Traceback" not in err
+
+
+def test_study_with_energy_objective(capsys):
+    code, out, _ = _run(
+        capsys, "study", "--workloads", "gcd", "--space", "small",
+        "--objectives", "cycles,area,energy", "--select",
+        "--no-cache", "-q",
+    )
+    assert code == 0
+    assert "cycles+area+energy" in out
+    assert "selected [gcd/small/w16]" in out
 
 
 def test_study_summary(capsys):

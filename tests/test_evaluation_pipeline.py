@@ -22,7 +22,6 @@ from repro.explore import (
     RFConfig,
     build_architecture,
     build_architecture_cached,
-    evaluate_config,
     evaluate_config_worker,
     init_evaluation_worker,
     pareto_filter,
@@ -104,11 +103,12 @@ def test_memoized_regalloc_schedules_byte_identical():
 
 
 def test_context_matches_one_shot_evaluation():
+    """A long-lived context's memoized evaluations equal fresh ones."""
     workload, profile = _workload_and_profile("gcd")
     context = EvaluationContext(workload, profile, width=16)
     for config in small_space():
         a = context.evaluate(config)
-        b = evaluate_config(config, workload, profile, 16)
+        b = EvaluationContext(workload, profile, 16).evaluate(config)
         assert (a.label, a.area, a.cycles) == (b.label, b.area, b.cycles)
 
 

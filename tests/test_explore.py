@@ -12,12 +12,12 @@ from repro.explore import (
     build_architecture,
     crypt_space,
     dominates,
-    explore,
     pareto_filter,
     select_architecture,
     small_space,
 )
 from repro.explore.selection import normalize_points
+from repro.study import run_exploration as _sweep
 
 
 # ----------------------------------------------------------------------
@@ -101,7 +101,7 @@ def test_pareto_properties(points):
 # evaluation + explorer
 # ----------------------------------------------------------------------
 def test_explore_gcd_small_space():
-    result = explore(build_gcd_ir(252, 105), small_space())
+    result = _sweep(build_gcd_ir(252, 105), small_space())
     assert len(result.points) == len(small_space())
     assert result.feasible_points
     pareto = result.pareto2d
@@ -112,7 +112,7 @@ def test_explore_gcd_small_space():
 
 
 def test_explore_profile_recorded():
-    result = explore(build_gcd_ir(24, 18), small_space()[:2])
+    result = _sweep(build_gcd_ir(24, 18), small_space()[:2])
     assert result.profile["entry"] == 1
     assert result.profile["check"] >= 2
 

@@ -5,15 +5,13 @@ import pytest
 from repro import (
     ArchConfig,
     RFConfig,
+    StudySpec,
     TTASimulator,
-    attach_test_costs,
     build_architecture,
     build_crypt_ir,
     build_table1,
     crypt_output_from_memory,
-    explore,
-    select_architecture,
-    small_space,
+    run_study,
     unix_crypt,
 )
 from repro.compiler import IRInterpreter, compile_ir
@@ -55,15 +53,23 @@ def test_crypt_bit_exact_on_minimal_machine():
 
 @pytest.mark.slow
 def test_whole_paper_flow():
-    """Explore -> Pareto -> test costs -> selection -> Table 1."""
-    workload = build_crypt_ir("password", "ab")
-    result = explore(workload, small_space())
+    """Study -> Pareto -> test costs -> selection -> Table 1."""
+    study = run_study(
+        StudySpec(
+            name="paper",
+            workloads=("crypt",),
+            space="small",
+            objectives=("area", "cycles", "test_cost"),
+            select=True,
+        )
+    )
+    run = study.single
+    result = run.result
     assert result.pareto2d
-
-    attach_test_costs(result.pareto2d)
     assert all(p.test_cost is not None for p in result.pareto2d)
 
-    best = select_architecture(result.pareto3d)
+    best = run.selection
+    assert best is not None
     arch = build_architecture(best.point.config)
     rows, breakdown = build_table1(arch)
     counted = [r for r in rows if r.counted]

@@ -2,9 +2,24 @@
 
 from repro.apps import build_gcd_ir
 from repro.apps.crypt_kernel import build_crypt_ir
-from repro.explore import crypt_space, explore
-from repro.explore.iterative import iterative_explore, neighbours
+from repro.explore import crypt_space, pareto_filter
+from repro.explore.iterative import neighbours
 from repro.explore.space import ArchConfig, RFConfig
+from repro.study.engine import run_search
+
+
+def _iterative(workload, max_evaluations):
+    """The neighbourhood search, unbounded (empty space), via the
+    study engine's ``iterative`` strategy."""
+    return run_search(
+        workload, [], strategy="iterative",
+        strategy_params={"max_evaluations": max_evaluations},
+    )
+
+
+def _front(points):
+    feasible = [p for p in points if p.feasible]
+    return pareto_filter(feasible, key=lambda p: p.cost2d())
 
 
 def test_neighbours_single_mutations():
@@ -35,15 +50,11 @@ def test_neighbours_respect_bounds():
 
 def test_iterative_matches_exhaustive_on_gcd():
     fn = build_gcd_ir(252, 105)
-    exhaustive = explore(fn, crypt_space())
-    target = {
-        (p.area, p.cycles) for p in exhaustive.pareto2d
-    }
+    exhaustive = run_search(fn, crypt_space())
+    target = {(p.area, p.cycles) for p in _front(exhaustive.points)}
 
-    iterative = iterative_explore(fn, max_evaluations=80)
-    found = {
-        (p.area, p.cycles) for p in iterative.result.pareto2d
-    }
+    iterative = _iterative(fn, max_evaluations=80)
+    found = {(p.area, p.cycles) for p in _front(iterative.points)}
     # the search needs far fewer evaluations than the sweep...
     assert iterative.evaluations <= 80 < len(crypt_space())
     # ...and recovers most of the true frontier
@@ -53,9 +64,9 @@ def test_iterative_matches_exhaustive_on_gcd():
 
 def test_iterative_on_crypt_is_budgeted():
     fn = build_crypt_ir("x", "ab")
-    iterative = iterative_explore(fn, max_evaluations=30)
+    iterative = _iterative(fn, max_evaluations=30)
     assert iterative.evaluations <= 30
-    assert iterative.result.pareto2d
+    assert _front(iterative.points)
     # the frontier never shrinks during the search
     history = iterative.frontier_history
     assert history == sorted(history) or len(set(history)) > 1

@@ -19,10 +19,12 @@ def test_quickstart_surface():
         "run_study",
         "register_objective",
         "register_strategy",
+        "register_technology",
         "build_crypt_ir",
         "crypt_space",
-        "explore",
         "attach_test_costs",
+        "attach_energy",
+        "energy_report",
         "select_architecture",
         "build_table1",
         "TTASimulator",

@@ -5,7 +5,8 @@ import io
 import json
 
 from repro.apps import build_gcd_ir
-from repro.explore import EvaluatedPoint, explore, small_space
+from repro.compiler.interp import IRInterpreter
+from repro.explore import EvaluatedPoint, EvaluationContext, small_space
 from repro.explore import ArchConfig, RFConfig, build_architecture
 from repro.reporting import (
     exploration_from_csv,
@@ -20,9 +21,13 @@ from repro.testcost import attach_test_costs, build_table1
 
 
 def _points():
-    result = explore(build_gcd_ir(24, 18), small_space()[:4])
-    attach_test_costs(result.feasible_points)
-    return result.feasible_points
+    workload = build_gcd_ir(24, 18)
+    profile = IRInterpreter(workload, width=16).run().block_counts
+    context = EvaluationContext(workload, profile, 16)
+    points = context.evaluate_space(small_space()[:4])
+    feasible = [p for p in points if p.feasible]
+    attach_test_costs(feasible)
+    return feasible
 
 
 def test_exploration_csv_parses_back():
@@ -55,6 +60,23 @@ def _assert_points_equal(rebuilt, originals):
         assert got.area == want.area
         assert got.cycles == want.cycles
         assert got.test_cost == want.test_cost
+        assert got.energy == want.energy
+
+
+def test_energy_column_round_trips():
+    point = EvaluatedPoint(
+        config=ArchConfig(num_buses=2), area=10.0, cycles=50,
+        energy=1234.567,
+    )
+    for rebuilt in (
+        exploration_from_csv(exploration_to_csv([point])),
+        exploration_from_json(exploration_to_json([point])),
+    ):
+        assert rebuilt[0].energy == 1234.567
+    bare = exploration_from_csv(exploration_to_csv([
+        EvaluatedPoint(config=ArchConfig(num_buses=1), area=1.0, cycles=5)
+    ]))
+    assert bare[0].energy is None
 
 
 def test_csv_round_trips_through_from_dict():

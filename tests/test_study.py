@@ -1,7 +1,6 @@
 """The study layer: registries, spec round-trip, strategies, equivalence."""
 
 import json
-import warnings
 
 import pytest
 from hypothesis import given, settings
@@ -11,9 +10,11 @@ from repro.apps import build_gcd_ir
 from repro.apps.kernels import build_fir_ir
 from repro.apps.registry import build_workload
 from repro.campaign import ResultCache
+from repro.compiler.interp import IRInterpreter
 from repro.explore import (
     ArchConfig,
     EvaluatedPoint,
+    EvaluationContext,
     RFConfig,
     dsp_space,
     select_architecture,
@@ -39,13 +40,16 @@ from repro.study import strategies as strategies_module
 from repro.testcost import attach_test_costs
 
 
-def _legacy_explore(workload, space, width=16):
-    """The deprecated one-shot sweep, warnings silenced."""
-    from repro.explore import explore
-
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return explore(workload, space, width=width)
+def _reference_sweep(workload, space, width=16):
+    """An independent oracle: the raw evaluation pipeline, point by
+    point through one :class:`EvaluationContext`, no strategy layer."""
+    profile = IRInterpreter(workload, width=width).run().block_counts
+    context = EvaluationContext(workload, profile, width)
+    return ExplorationResult(
+        workload=workload.name,
+        profile=profile,
+        points=context.evaluate_space(list(space)),
+    )
 
 
 def _fingerprint(points):
@@ -171,10 +175,52 @@ def test_cost_vector_matches_legacy_tuples():
 # strategy registry
 # ----------------------------------------------------------------------
 def test_strategy_registry_seeded():
-    assert {"exhaustive", "iterative", "random"} <= set(strategy_names())
+    assert {
+        "exhaustive", "iterative", "random", "simulated_annealing"
+    } <= set(strategy_names())
     assert "budget" in strategy_by_name("random").params
+    assert "seed" in strategy_by_name("simulated_annealing").params
     with pytest.raises(KeyError, match="unknown strategy"):
         strategy_by_name("nope")
+
+
+def test_simulated_annealing_deterministic_and_bounded():
+    workload = build_gcd_ir(252, 105)
+    kwargs = dict(
+        strategy="simulated_annealing",
+        strategy_params={"max_evaluations": 10, "seed": 3},
+    )
+    first = run_search(workload, small_space(), **kwargs)
+    second = run_search(workload, small_space(), **kwargs)
+    assert _fingerprint(first.points) == _fingerprint(second.points)
+    assert first.evaluations <= 10
+    assert first.iterations >= first.evaluations
+    # bounded by the declared space
+    space_labels = {c.label() for c in small_space()}
+    assert {p.label for p in first.points} <= space_labels
+    # every evaluated point agrees with the full sweep
+    full = {p.label: (p.area, p.cycles) for p in _full_sweep()}
+    for p in first.points:
+        assert full[p.label] == (p.area, p.cycles)
+    # parameter validation
+    with pytest.raises(ValueError, match="cooling"):
+        run_search(
+            workload, small_space(),
+            strategy="simulated_annealing",
+            strategy_params={"cooling": 1.5},
+        )
+
+
+def test_simulated_annealing_study_end_to_end():
+    result = run_study(
+        StudySpec(
+            name="sa", workloads=("gcd",), space="small",
+            strategy="simulated_annealing",
+            strategy_params={"max_evaluations": 8, "seed": 0},
+        )
+    )
+    assert result.single.evaluations <= 8
+    assert result.pareto
 
 
 def test_strategy_rejects_unknown_params():
@@ -224,10 +270,12 @@ def test_study_spec_round_trip():
         strategy_params={"budget": 6, "seed": 3},
         select=True,
         weights=(2.0, 1.0, 1.0),
+        tech="low_power",
     )
     assert StudySpec.from_json(spec.to_json()) == spec
     assert spec.params == {"budget": 6, "seed": 3}
     assert spec.space_label == "small"
+    assert StudySpec.from_json(spec.to_json()).tech == "low_power"
 
 
 def test_study_spec_inline_space_round_trip():
@@ -284,13 +332,14 @@ def test_study_spec_validation():
         dict(workloads=("gcd",), space="nope"),
         dict(workloads=("gcd",), objectives=("nope",)),
         dict(workloads=("gcd",), strategy="nope"),
+        dict(workloads=("gcd",), tech="nope"),
     ):
         with pytest.raises(KeyError, match="unknown"):
             StudySpec(name="x", **bad).validate()
 
 
 # ----------------------------------------------------------------------
-# the acceptance equivalence: Study == legacy flow, point for point
+# the acceptance equivalence: Study == the raw pipeline, point for point
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
     "workload_name,space_name,builder,space_builder",
@@ -307,11 +356,11 @@ def test_study_spec_validation():
         ),
     ],
 )
-def test_study_matches_legacy_flow(
+def test_study_matches_reference_flow(
     workload_name, space_name, builder, space_builder
 ):
-    """Study(exhaustive) == explore + attach_test_costs + select."""
-    legacy = _legacy_explore(builder(), space_builder())
+    """Study(exhaustive) == raw sweep + attach_test_costs + select."""
+    legacy = _reference_sweep(builder(), space_builder())
     attach_test_costs(legacy.pareto2d)
     legacy_best = select_architecture(legacy.pareto3d)
 
@@ -340,8 +389,8 @@ def test_study_matches_legacy_flow(
     assert run.selection.norm == pytest.approx(legacy_best.norm)
 
 
-def test_study_two_objectives_matches_legacy_2d():
-    legacy = _legacy_explore(build_gcd_ir(252, 105), small_space())
+def test_study_two_objectives_matches_reference_2d():
+    legacy = _reference_sweep(build_gcd_ir(252, 105), small_space())
     result = run_study(
         StudySpec(name="2d", workloads=("gcd",), space="small")
     )
@@ -358,9 +407,9 @@ _FULL_SWEEP: dict = {}
 
 
 def _full_sweep():
-    """The legacy gcd/small sweep, computed once per session."""
+    """The reference gcd/small sweep, computed once per session."""
     if not _FULL_SWEEP:
-        legacy = _legacy_explore(build_gcd_ir(252, 105), small_space())
+        legacy = _reference_sweep(build_gcd_ir(252, 105), small_space())
         _FULL_SWEEP["points"] = legacy.points
     return _FULL_SWEEP["points"]
 
@@ -372,9 +421,10 @@ def _full_sweep():
         min_size=1, max_size=12, unique=True,
     )
 )
-def test_exhaustive_strategy_reproduces_legacy_explore(indices):
+def test_exhaustive_strategy_reproduces_reference_sweep(indices):
     """Property: on any sub-space of small_space, the exhaustive
-    strategy returns exactly the legacy explore() points, in order."""
+    strategy returns exactly the reference pipeline's points, in
+    order."""
     space = small_space()
     subset = [space[i] for i in indices]
     outcome = run_search(
@@ -422,21 +472,22 @@ def test_random_strategy_budget_clamps_and_validates():
         )
 
 
-def test_iterative_strategy_matches_legacy_shim():
-    from repro.explore.iterative import iterative_explore
-
+def test_iterative_strategy_points_exist_in_reference_sweep():
+    """Every point the unbounded neighbourhood search evaluates agrees
+    with the reference pipeline's evaluation of the same config."""
     fn = build_gcd_ir(252, 105)
-    with pytest.warns(DeprecationWarning, match="iterative_explore"):
-        legacy = iterative_explore(fn, max_evaluations=40)
     outcome = run_search(
         fn, [], strategy="iterative",
         strategy_params={"max_evaluations": 40},
     )
-    assert [(p.label, p.area, p.cycles) for p in outcome.points] == [
-        (p.label, p.area, p.cycles) for p in legacy.result.points
-    ]
-    assert outcome.evaluations == legacy.evaluations
-    assert outcome.frontier_history == legacy.frontier_history
+    assert outcome.evaluations <= 40
+    assert outcome.frontier_history
+    context = EvaluationContext(
+        fn, IRInterpreter(fn, width=16).run().block_counts, 16
+    )
+    for point in outcome.points[:5]:
+        direct = context.evaluate(point.config)
+        assert (point.area, point.cycles) == (direct.area, direct.cycles)
 
 
 def test_iterative_study_is_bounded_by_its_space():
@@ -452,6 +503,30 @@ def test_iterative_study_is_bounded_by_its_space():
     space_labels = {c.label() for c in small_space()}
     assert {p.label for p in run.result.points} <= space_labels
     assert run.evaluations <= len(small_space()) <= run.stats.total
+
+
+def test_workload_profile_cache_not_stale_after_reregistration():
+    """Re-registering a workload name must invalidate its cached
+    profile (the cache keys on the registry entry, not the name)."""
+    from repro.apps.registry import _REGISTRY, register_workload
+    from repro.study import workload_profile
+
+    name = "_test_profile_cache"
+    try:
+        register_workload(name, lambda: build_gcd_ir(48, 18))
+        first = workload_profile(name, 16)
+        register_workload(name, lambda: build_gcd_ir(1071, 462))
+        second = workload_profile(name, 16)
+        assert first != second
+        from repro.compiler.interp import IRInterpreter as Interp
+
+        fresh = Interp(build_gcd_ir(1071, 462), width=16).run().block_counts
+        assert second == fresh
+        # repeated lookups are served from cache (same value, fresh dict)
+        again = workload_profile(name, 16)
+        assert again == second and again is not second
+    finally:
+        del _REGISTRY[name]
 
 
 def test_evaluator_reuses_one_context_across_batches():
@@ -565,50 +640,30 @@ def test_study_progress_lines():
 
 
 # ----------------------------------------------------------------------
-# deprecation shims (satellite): warning fires, result equals Study
+# the legacy shims are gone (satellite): the names no longer resolve
 # ----------------------------------------------------------------------
-def test_explore_shim_warns_and_equals_study():
-    from repro.explore import explore
+def test_legacy_shims_removed():
+    import repro
+    import repro.explore
+    import repro.explore.evaluate as evaluate_module
+    import repro.explore.explorer as explorer_module
+    import repro.explore.iterative as iterative_module
 
-    with pytest.warns(DeprecationWarning, match="explore"):
-        legacy = explore(build_gcd_ir(252, 105), small_space())
-    study = run_study(
-        StudySpec(name="s", workloads=("gcd",), space="small")
-    )
-    assert _fingerprint(legacy.points) == _fingerprint(study.points)
-    assert [p.label for p in legacy.pareto2d] == [
-        p.label for p in study.pareto
-    ]
-
-
-def test_evaluate_space_shim_warns_and_equals_study():
-    from repro.explore.evaluate import evaluate_space
-
-    workload = build_workload("gcd")
-    from repro.compiler.interp import IRInterpreter
-
-    profile = IRInterpreter(workload, width=16).run().block_counts
-    with pytest.warns(DeprecationWarning, match="evaluate_space"):
-        points = evaluate_space(small_space(), workload, profile, 16)
-    outcome = run_search(
-        workload, small_space(), strategy="exhaustive", profile=profile
-    )
-    assert _fingerprint(points) == _fingerprint(outcome.points)
-
-
-def test_evaluate_config_shim_warns():
-    from repro.compiler.interp import IRInterpreter
-    from repro.explore.evaluate import EvaluationContext, evaluate_config
-
-    workload = build_workload("gcd")
-    profile = IRInterpreter(workload, width=16).run().block_counts
-    config = small_space()[0]
-    with pytest.warns(DeprecationWarning, match="evaluate_config"):
-        point = evaluate_config(config, workload, profile, 16)
-    direct = EvaluationContext(workload, profile, 16).evaluate(config)
-    assert (point.label, point.area, point.cycles) == (
-        direct.label, direct.area, direct.cycles
-    )
+    # "explore" survives only as the subpackage, never as a callable
+    assert "explore" not in repro.__all__
+    assert "iterative_explore" not in repro.__all__
+    assert not hasattr(repro, "iterative_explore")
+    for module, name in (
+        (repro.explore, "iterative_explore"),
+        (repro.explore, "evaluate_space"),
+        (repro.explore, "IterativeResult"),
+        (explorer_module, "explore"),
+        (iterative_module, "iterative_explore"),
+        (evaluate_module, "evaluate_space"),
+        (evaluate_module, "evaluate_config"),
+    ):
+        assert not hasattr(module, name), f"{module.__name__}.{name}"
+    assert not callable(getattr(repro.explore, "explore", None))
 
 
 # ----------------------------------------------------------------------
