@@ -150,6 +150,12 @@ from repro.reporting import (
     table1_to_csv,
     table1_to_json,
 )
+from repro.telemetry import (
+    MetricsCollector,
+    Tracer,
+    load_trace,
+    summarize_trace,
+)
 
 __all__ = [
     "ATPGResult",
@@ -172,6 +178,7 @@ __all__ = [
     "Literal",
     "MARCH_ALGORITHMS",
     "MARCH_CM",
+    "MetricsCollector",
     "Move",
     "Objective",
     "PortRef",
@@ -184,6 +191,7 @@ __all__ = [
     "StudyResult",
     "StudySpec",
     "TTASimulator",
+    "Tracer",
     "UnitInstance",
     "architecture_test_cost",
     "assemble",
@@ -213,6 +221,7 @@ __all__ = [
     "table1_to_json",
     "format_energy_report",
     "full_scan_cycles",
+    "load_trace",
     "MoveEncoder",
     "objective_names",
     "optimize_ir",
@@ -234,6 +243,7 @@ __all__ = [
     "space_names",
     "strategy_names",
     "study_to_json",
+    "summarize_trace",
     "technology_names",
     "test_order",
     "transport_latency",

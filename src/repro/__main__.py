@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Seven subcommands drive the paper's flow at campaign scale:
+Eight subcommands drive the paper's flow at campaign scale:
 
 * ``study``    — the general entry point: one declarative spec
   (workloads, space, objectives, strategy) through the study engine,
@@ -15,10 +15,15 @@ Seven subcommands drive the paper's flow at campaign scale:
 * ``report``   — re-emit / Pareto-filter previously exported results,
 * ``list``     — show the registered workloads, spaces, objectives,
   search strategies and technology parameter sets,
-* ``bench``    — run the tracked evaluation-pipeline benchmark suite.
+* ``bench``    — run the tracked evaluation-pipeline benchmark suite,
+* ``trace``    — validate / summarize a recorded telemetry trace.
 
 ``study``, ``explore`` and ``campaign`` accept ``--profile`` to dump a
-cProfile top-25 (cumulative) of the run to stderr.
+cProfile top-25 (cumulative) of the run to stderr.  ``study``,
+``campaign`` and ``energy`` accept ``--trace FILE.jsonl`` (record the
+structured telemetry stream) and ``--metrics-out FILE.json`` (write
+the phase timers and counters); both are strictly opt-in and change no
+results.
 
 All tabular output goes through :mod:`repro.reporting`, so files written
 here feed straight back into ``report`` (and any spreadsheet).
@@ -92,6 +97,53 @@ def _make_cache(args: argparse.Namespace) -> ResultCache | None:
     return ResultCache(args.cache_dir)
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A Tracer on ``--trace FILE.jsonl``, else None."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.telemetry import Tracer
+
+    return Tracer(args.trace)
+
+
+def _collect_metrics(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "metrics_out", None) or getattr(args, "trace", None)
+    )
+
+
+def _write_metrics(runs, args: argparse.Namespace) -> None:
+    """``--metrics-out``: per-run phase/counter snapshots as JSON."""
+    if not getattr(args, "metrics_out", None):
+        return
+    from repro.telemetry import merge_snapshots
+
+    payload = {
+        "runs": [
+            {
+                "label": r.label,
+                "total": r.stats.total,
+                "cache_hits": r.stats.cache_hits,
+                "evaluated": r.stats.evaluated,
+                "post_pass_hits": r.stats.post_pass_hits,
+                "workers": r.stats.workers,
+                "elapsed": round(r.stats.elapsed, 4),
+                "phases": r.stats.phases,
+                "counters": r.stats.counters,
+            }
+            for r in runs
+        ],
+        "merged": merge_snapshots(
+            [
+                {"phases": r.stats.phases, "counters": r.stats.counters}
+                for r in runs
+            ]
+        ),
+    }
+    Path(args.metrics_out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.metrics_out}", file=sys.stderr)
+
+
 def _points_text(points, fmt: str) -> str:
     if fmt == "csv":
         return exploration_to_csv(points)
@@ -151,17 +203,25 @@ def _study_spec_from_args(args: argparse.Namespace) -> StudySpec:
 
 def _run_study(args: argparse.Namespace, spec: StudySpec):
     """Build and run one study from parsed CLI args (shared plumbing)."""
-    study = Study(
-        spec,
-        cache=_make_cache(args),
-        workers=args.workers,
-        progress=None if args.quiet else _progress,
-    )
-    return _maybe_profiled(args, study.run)
+    tracer = _make_tracer(args)
+    try:
+        study = Study(
+            spec,
+            cache=_make_cache(args),
+            workers=args.workers,
+            progress=None if args.quiet else _progress,
+            tracer=tracer,
+            collect_metrics=_collect_metrics(args),
+        )
+        return _maybe_profiled(args, study.run)
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 def cmd_study(args: argparse.Namespace) -> int:
     result = _run_study(args, _study_spec_from_args(args))
+    _write_metrics(result.runs, args)
     if args.format == "summary":
         text = result.summary()
         for line in _selection_lines(result.runs):
@@ -233,15 +293,23 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    campaign = _maybe_profiled(
-        args,
-        lambda: run_campaign(
-            spec,
-            workers=args.workers,
-            cache=_make_cache(args),
-            progress=None if args.quiet else _progress,
-        ),
-    )
+    tracer = _make_tracer(args)
+    try:
+        campaign = _maybe_profiled(
+            args,
+            lambda: run_campaign(
+                spec,
+                workers=args.workers,
+                cache=_make_cache(args),
+                progress=None if args.quiet else _progress,
+                tracer=tracer,
+                collect_metrics=_collect_metrics(args),
+            ),
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    _write_metrics(campaign.runs, args)
     if args.out_dir:
         out = Path(args.out_dir)
         out.mkdir(parents=True, exist_ok=True)
@@ -286,20 +354,53 @@ def cmd_energy(args: argparse.Namespace) -> int:
     tech = technology_by_name(args.tech)
     workload = build_workload(args.workload)
     profile = workload_profile(args.workload, args.width)
-    context = EvaluationContext(workload, profile, args.width)
-    point = context.evaluate(config, keep_compile_result=True)
-    if not point.feasible:
-        raise ValueError(
-            f"{args.workload} does not compile onto {config.label()}"
+    metrics = None
+    if _collect_metrics(args):
+        from repro.telemetry import MetricsCollector
+
+        metrics = MetricsCollector()
+    tracer = _make_tracer(args)
+    label = f"{args.workload}/{config.label()}/w{args.width}"
+    try:
+        if tracer is not None:
+            tracer.study = f"energy:{args.workload}"
+        context = EvaluationContext(
+            workload, profile, args.width, metrics=metrics
         )
-    arch = build_architecture_cached(config, args.width)
-    breakdown = _maybe_profiled(
-        args,
-        lambda: energy_report(
-            arch, point.compile_result.program, tech=tech,
-            max_cycles=args.max_cycles,
-        ),
-    )
+        point = context.evaluate(config, keep_compile_result=True)
+        if not point.feasible:
+            raise ValueError(
+                f"{args.workload} does not compile onto {config.label()}"
+            )
+        arch = build_architecture_cached(config, args.width)
+
+        def run_report():
+            return energy_report(
+                arch, point.compile_result.program, tech=tech,
+                max_cycles=args.max_cycles, metrics=metrics,
+            )
+
+        if tracer is None:
+            breakdown = _maybe_profiled(args, run_report)
+        else:
+            with tracer.span("run", run=label, config=config.label()):
+                breakdown = _maybe_profiled(args, run_report)
+        if metrics is not None:
+            snapshot = metrics.snapshot()
+            if tracer is not None:
+                tracer.event(
+                    "metrics", run=label,
+                    phases=snapshot["phases"],
+                    counters=snapshot["counters"],
+                )
+            if getattr(args, "metrics_out", None):
+                Path(args.metrics_out).write_text(
+                    json.dumps(snapshot, indent=2) + "\n"
+                )
+                print(f"wrote {args.metrics_out}", file=sys.stderr)
+    finally:
+        if tracer is not None:
+            tracer.close()
     text = format_energy_report(breakdown)
     text += (
         f"\npoint: area={point.area:.0f} "
@@ -336,6 +437,24 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         out = _points_text(points, args.format)
     _emit(out, args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        format_trace_summary,
+        load_trace,
+        summarize_trace,
+    )
+
+    records = load_trace(args.input)
+    if args.action == "validate":
+        print(f"{args.input}: {len(records)} records, schema OK")
+        return 0
+    _emit(format_trace_summary(summarize_trace(records)), args.output)
     return 0
 
 
@@ -415,6 +534,14 @@ def cmd_list(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="FILE.jsonl",
+                   help="record the structured telemetry stream here "
+                        "(see: python -m repro trace summarize)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE.json",
+                   help="write phase timers and counters here")
+
+
 def _add_cache_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: "
@@ -478,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write to file instead of stdout")
     _add_run_args(p, test_costs=False)
     _add_cache_args(p)
+    _add_telemetry_args(p)
     # None (not 1) so a --spec file's own `workers` field wins unless
     # the flag is given explicitly.
     p.set_defaults(func=cmd_study, workers=None)
@@ -514,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="format of the per-run result files")
     _add_run_args(p)
     _add_cache_args(p)
+    _add_telemetry_args(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("energy",
@@ -538,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump cProfile top-25 (cumulative) to stderr")
     p.add_argument("-o", "--output", default=None,
                    help="write to file instead of stdout")
+    _add_telemetry_args(p)
     p.set_defaults(func=cmd_energy)
 
     p = sub.add_parser("report",
@@ -560,6 +690,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-write", action="store_true",
                    help="print the report without touching the file")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("trace",
+                       help="validate or summarize a telemetry trace "
+                            "(JSONL written by --trace)")
+    p.add_argument("action", choices=("summarize", "validate"),
+                   help="summarize: phase/cache/wave report; "
+                        "validate: schema-check every record")
+    p.add_argument("input", help="a .jsonl trace file")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to file instead of stdout")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("list",
                        help="show known workloads, spaces, objectives, "

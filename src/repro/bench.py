@@ -191,6 +191,23 @@ def bench_pareto(num_points: int = PARETO_POINTS, seed: int = 0) -> dict:
     }
 
 
+def host_metadata() -> dict:
+    """Environment the numbers were measured on.
+
+    Timings are only comparable within one environment; recording the
+    interpreter (version + implementation), OS and CPU shape next to
+    every report makes cross-machine deltas in the tracked file
+    explainable instead of mysterious.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
 def run_benchmarks(
     suites: tuple[str, ...] = ("small", "medium"),
     workloads: tuple[str, ...] = BENCH_WORKLOADS,
@@ -209,11 +226,7 @@ def run_benchmarks(
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         ),
-        "host": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpus": os.cpu_count(),
-        },
+        "host": host_metadata(),
         "sweeps": sweeps,
         "pareto_microbench": bench_pareto(),
     }

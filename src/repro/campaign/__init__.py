@@ -14,7 +14,12 @@ their evaluators:
 Driven from Python or the ``python -m repro`` CLI.
 """
 
-from repro.campaign.cache import ResultCache, cache_key, default_cache_dir
+from repro.campaign.cache import (
+    CacheStats,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+)
 from repro.campaign.runner import (
     CampaignResult,
     RunStats,
@@ -25,6 +30,7 @@ from repro.campaign.runner import (
 from repro.campaign.spec import CampaignSpec
 
 __all__ = [
+    "CacheStats",
     "CampaignResult",
     "CampaignSpec",
     "ResultCache",

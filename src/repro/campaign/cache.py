@@ -17,12 +17,59 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.explore.evaluate import EvaluatedPoint
 from repro.explore.space import ArchConfig
 
 _SCHEMA = 1
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one :class:`ResultCache` instance.
+
+    ``hits``/``misses`` count :meth:`ResultCache.get` outcomes
+    (unreadable or schema-mismatched entries are misses, exactly as
+    they behave).  ``puts`` counts completed writes, ``merge_reads``
+    the writes that took the merge-on-write path (a post-pass
+    attachment rewriting an existing entry), ``merged_axes`` the
+    post-pass axes actually preserved from the old entry — each one a
+    write that, unmerged, would have dropped another study's work.
+    ``bytes_written`` sums the serialised payloads.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    merge_reads: int = 0
+    merged_axes: int = 0
+    bytes_written: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over the stats' lifetime (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "merge_reads": self.merge_reads,
+            "merged_axes": self.merged_axes,
+            "bytes_written": self.bytes_written,
+        }
+
+    def delta(self, since: dict) -> dict:
+        """Counter changes since an earlier :meth:`as_dict` snapshot."""
+        now = self.as_dict()
+        return {k: now[k] - since.get(k, 0) for k in now}
 
 
 def default_cache_dir() -> Path:
@@ -54,6 +101,9 @@ class ResultCache:
     def __init__(self, directory: str | Path | None = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Always-on lifetime counters (reading them costs nothing on
+        #: the hot path; a handful of integer adds per get/put).
+        self.stats = CacheStats()
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -80,6 +130,7 @@ class ResultCache:
         try:
             data = json.loads(path.read_text())
             if data.get("schema") != _SCHEMA:
+                self.stats.misses += 1
                 return None
             cycles = data["cycles"]
             test_cost = data.get("test_cost")
@@ -88,14 +139,17 @@ class ResultCache:
             energy = data.get("energy")
             if energy is not None and data.get("energy_model") != energy_model:
                 energy = None
-            return EvaluatedPoint(
+            point = EvaluatedPoint(
                 config=ArchConfig.from_dict(data["config"]),
                 area=float(data["area"]),
                 cycles=None if cycles is None else int(cycles),
                 test_cost=None if test_cost is None else int(test_cost),
                 energy=None if energy is None else float(energy),
             )
+            self.stats.hits += 1
+            return point
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self.stats.misses += 1
             return None
 
     def put(
@@ -137,6 +191,7 @@ class ResultCache:
         # each other's freshly written axis, which degrades to a
         # re-attachment on the next run, never to a wrong value.
         if (point.test_cost is None) != (point.energy is None):
+            self.stats.merge_reads += 1
             try:
                 old = json.loads(path.read_text())
                 if old.get("schema") == _SCHEMA:
@@ -145,16 +200,27 @@ class ResultCache:
                     ) is not None:
                         data["test_cost"] = old["test_cost"]
                         data["march"] = old.get("march")
+                        self.stats.merged_axes += 1
                     if point.energy is None and old.get(
                         "energy"
                     ) is not None:
                         data["energy"] = old["energy"]
                         data["energy_model"] = old.get("energy_model")
+                        self.stats.merged_axes += 1
             except (OSError, ValueError, AttributeError):
                 pass
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(data, sort_keys=True))
+        payload = json.dumps(data, sort_keys=True)
+        tmp.write_text(payload)
         os.replace(tmp, path)
+        self.stats.puts += 1
+        self.stats.bytes_written += len(payload)
+
+    def bytes_on_disk(self) -> int:
+        """Total size of every entry file, in bytes (walks the dir)."""
+        return sum(
+            path.stat().st_size for path in self.directory.glob("*.json")
+        )
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))

@@ -27,6 +27,8 @@ from repro.study.engine import (
     evaluate_configs,
 )
 from repro.study.spec import StudySpec
+from repro.telemetry.metrics import format_phases, merge_snapshots
+from repro.telemetry.tracer import Tracer
 
 __all__ = [
     "CampaignResult",
@@ -81,6 +83,9 @@ class CampaignResult:
         ]
         for r in self.runs:
             res = r.result
+            cached = str(r.stats.cache_hits)
+            if r.stats.post_pass_hits:
+                cached += f"+{r.stats.post_pass_hits}pp"
             parts = [
                 f"  {r.label:<24} {len(res.points):>4} points",
                 f"{len(res.feasible_points):>4} feasible",
@@ -89,7 +94,7 @@ class CampaignResult:
             if self.spec.attach_test_costs:
                 parts.append(f"{len(res.pareto3d):>3} Pareto-3D")
             parts.append(
-                f"[{r.stats.cache_hits} cached, {r.stats.evaluated} "
+                f"[{cached} cached, {r.stats.evaluated} "
                 f"evaluated, {r.stats.elapsed:.2f}s]"
             )
             if r.selection is not None:
@@ -97,6 +102,15 @@ class CampaignResult:
             elif self.spec.select:
                 parts.append("-> (no feasible points)")
             lines.append(" ".join(parts))
+        if any(r.stats.phases for r in self.runs):
+            merged = merge_snapshots(
+                [
+                    {"phases": r.stats.phases, "counters": r.stats.counters}
+                    for r in self.runs
+                ]
+            )
+            lines.append("phases (all runs):")
+            lines.append(format_phases(merged, indent="  "))
         return "\n".join(lines)
 
 
@@ -133,12 +147,16 @@ def _run_job(
     workers: int,
     cache: ResultCache | None,
     progress: ProgressFn | None,
+    tracer: "Tracer | None" = None,
+    collect_metrics: bool = False,
 ) -> WorkloadRun:
     study = Study(
         study_spec_for_job(spec, workload_name, space_name, width),
         cache=cache,
         workers=workers,
         progress=progress,
+        tracer=tracer,
+        collect_metrics=collect_metrics,
     )
     run = study.run().single
     return WorkloadRun(
@@ -156,6 +174,8 @@ def run_campaign(
     workers: int = 1,
     cache: ResultCache | None = None,
     progress: ProgressFn | None = None,
+    tracer: "Tracer | None" = None,
+    collect_metrics: bool = False,
 ) -> CampaignResult:
     """Run every (workload, space, width) job of ``spec``.
 
@@ -163,16 +183,24 @@ def run_campaign(
     pass ``ResultCache()`` for the default on-disk location.  ``workers``
     is per job: 1 keeps everything in-process and deterministic,
     anything larger fans the un-cached points out over a process pool.
+
+    ``tracer``/``collect_metrics`` thread straight through to each
+    job's :class:`~repro.study.engine.Study` — one trace covers the
+    whole campaign (the tracer's study field is the campaign name), and
+    per-job phase tables land in each run's stats.
     """
     spec.validate()
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if tracer is not None and tracer.study is None:
+        tracer.study = spec.name
     campaign = CampaignResult(spec=spec)
     for workload_name, space_name, width in spec.jobs:
         campaign.runs.append(
             _run_job(
                 spec, workload_name, space_name, width,
                 workers, cache, progress,
+                tracer=tracer, collect_metrics=collect_metrics,
             )
         )
     return campaign

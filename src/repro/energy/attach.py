@@ -70,6 +70,7 @@ def energy_breakdown_of(
     tech: TechnologyParameters | None = None,
     context: EvaluationContext | None = None,
     max_cycles: int = 5_000_000,
+    metrics=None,
 ) -> EnergyBreakdown:
     """Full component-level breakdown for one feasible point."""
     if not point.feasible:
@@ -87,7 +88,8 @@ def energy_breakdown_of(
     if compiled is None:
         raise ValueError(f"{point.label}: workload does not compile")
     return energy_report(
-        arch, compiled.program, tech=tech, max_cycles=max_cycles
+        arch, compiled.program, tech=tech, max_cycles=max_cycles,
+        metrics=metrics,
     )
 
 
@@ -98,12 +100,18 @@ def attach_energy(
     tech: TechnologyParameters | None = None,
     context: EvaluationContext | None = None,
     max_cycles: int = 5_000_000,
+    metrics=None,
 ) -> list[EvaluatedPoint]:
     """Annotate feasible points with switching-activity energy.
 
     Infeasible points are skipped (their ``energy`` stays None), and
     points that already carry an energy — restored from a result cache
     with a matching technology tag — are not re-simulated.
+
+    ``metrics`` (a :class:`repro.telemetry.MetricsCollector`) counts
+    memo hits vs fresh simulations (``energy_memo_hits`` /
+    ``energy_simulated``) and feeds the ``simulate``/``energy_model``
+    phase timers; ``None`` skips all bookkeeping.
     """
     if tech is None:
         tech = technology_by_name("default")
@@ -120,6 +128,8 @@ def attach_energy(
         key = (workload_id, profile_id, point.config, width, fingerprint)
         cached = _ENERGY_CACHE.get(key)
         if cached is None:
+            if metrics is not None:
+                metrics.count("energy_simulated")
             breakdown = energy_breakdown_of(
                 point,
                 workload,
@@ -127,8 +137,11 @@ def attach_energy(
                 tech=tech,
                 context=shared,
                 max_cycles=max_cycles,
+                metrics=metrics,
             )
             cached = round(breakdown.total, 3)
             _ENERGY_CACHE[key] = cached
+        elif metrics is not None:
+            metrics.count("energy_memo_hits")
         point.energy = cached
     return points

@@ -165,6 +165,7 @@ def energy_report(
     program: Program,
     tech: TechnologyParameters | None = None,
     max_cycles: int = 5_000_000,
+    metrics=None,
 ) -> EnergyBreakdown:
     """Simulate ``program`` with activity tracing and break down energy.
 
@@ -172,21 +173,34 @@ def energy_report(
     cycle budget — an unfinished run would silently under-report.  (A
     deliberately narrow type: the CLI reports it as a clean one-line
     error without masking genuine internal failures.)
+
+    ``metrics`` (a :class:`repro.telemetry.MetricsCollector`) times the
+    activity-traced simulation as the ``simulate`` phase and the model
+    fold as ``energy_model``; ``None`` skips all bookkeeping.
     """
     from repro.energy.model import technology_by_name
 
     if tech is None:
         tech = technology_by_name("default")
     sim = TTASimulator(arch, program, activity=True)
-    result = sim.run(max_cycles=max_cycles)
+    if metrics is None:
+        result = sim.run(max_cycles=max_cycles)
+    else:
+        with metrics.phase("simulate"):
+            result = sim.run(max_cycles=max_cycles)
     if not result.halted:
         raise ValueError(
             f"{program.name} on {arch.name}: no halt within "
             f"{max_cycles} cycles; cannot attribute energy"
         )
-    return breakdown_from_trace(
-        sim.activity, arch, tech, program_name=program.name
-    )
+    if metrics is None:
+        return breakdown_from_trace(
+            sim.activity, arch, tech, program_name=program.name
+        )
+    with metrics.phase("energy_model"):
+        return breakdown_from_trace(
+            sim.activity, arch, tech, program_name=program.name
+        )
 
 
 def format_energy_report(breakdown: EnergyBreakdown) -> str:

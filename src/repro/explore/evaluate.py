@@ -43,7 +43,9 @@ from repro.explore.space import (
     ArchConfig,
     build_architecture_cached,
 )
+from repro.telemetry.metrics import MetricsCollector
 from repro.tta.arch import Architecture
+from repro.tta.timing import validate_program
 
 #: Opcodes the scheduler lowers without a matching functional unit.
 _NON_FU_OPCODES = frozenset({"li", "st"}) | LOAD_OPCODES
@@ -109,12 +111,18 @@ class EvaluationContext:
         profile: dict[str, int],
         width: int = 16,
         validate: bool = True,
+        metrics: MetricsCollector | None = None,
     ) -> None:
         workload.validate()                 # once per sweep, not per config
         self.workload = workload
         self.profile = dict(profile)
         self.width = width
         self.validate = validate
+        #: Optional phase-timer/counter sink.  ``None`` (the default)
+        #: keeps evaluation on the untimed hot path; callers may also
+        #: swap a collector in per call (the pool's telemetry worker
+        #: does, to ship per-configuration deltas).
+        self.metrics = metrics
         self.required_ops = required_fu_opcodes(workload)
         # RF arrangement -> (rewritten IR, allocation), or the message
         # of the AllocationError the arrangement raises (stored as a
@@ -133,8 +141,13 @@ class EvaluationContext:
         key = config.rfs
         entry = self._allocations.get(key)
         if entry is None:
+            metrics = self.metrics
             try:
-                entry = allocate(self.workload, arch, self.profile)
+                if metrics is None:
+                    entry = allocate(self.workload, arch, self.profile)
+                else:
+                    with metrics.phase("regalloc"):
+                        entry = allocate(self.workload, arch, self.profile)
             except AllocationError as exc:
                 entry = str(exc)
             self._allocations[key] = entry
@@ -145,7 +158,14 @@ class EvaluationContext:
     def evaluate(
         self, config: ArchConfig, keep_compile_result: bool = False
     ) -> EvaluatedPoint:
-        """Compile the workload onto one configuration and cost it."""
+        """Compile the workload onto one configuration and cost it.
+
+        When a :class:`~repro.telemetry.MetricsCollector` is attached
+        the metered twin runs instead; the untimed path below stays
+        branch-free so sweeps with telemetry off pay nothing.
+        """
+        if self.metrics is not None:
+            return self._evaluate_metered(config, keep_compile_result)
         arch = build_architecture_cached(config, self.width)
         area = arch.area()
         # Exact feasibility pre-checks: both conditions are precisely
@@ -162,6 +182,62 @@ class EvaluationContext:
             )
         except (AllocationError, ScheduleError):
             return EvaluatedPoint(config=config, area=area, cycles=None)
+        cycles = compiled.static_cycles(self.profile)
+        return EvaluatedPoint(
+            config=config,
+            area=area,
+            cycles=cycles,
+            compile_result=compiled if keep_compile_result else None,
+        )
+
+    def _evaluate_metered(
+        self, config: ArchConfig, keep_compile_result: bool = False
+    ) -> EvaluatedPoint:
+        """``evaluate`` with phase timers — result-identical by design.
+
+        The phases are disjoint (build / netlist_stats / regalloc /
+        schedule / validate, never nested), so their seconds sum to at
+        most the serial wall clock.  Scheduling and timing validation
+        are timed separately by scheduling unvalidated and running
+        :func:`~repro.tta.timing.validate_program` here — exactly what
+        ``schedule_allocated(validate=True)`` does internally, so a
+        violation still yields the same infeasible point.  Counters
+        (``evaluations``, ``feasible``, ``infeasible_*``) are
+        per-configuration and therefore merge deterministically from
+        any pool interleaving.
+        """
+        metrics = self.metrics
+        with metrics.phase("build"):
+            arch = build_architecture_cached(config, self.width)
+        with metrics.phase("netlist_stats"):
+            area = arch.area()
+        metrics.count("evaluations")
+        if (
+            config.total_registers < _MIN_LOCAL_POOL
+            or not self.required_ops <= arch.ops_supported()
+        ):
+            metrics.count("infeasible_precheck")
+            return EvaluatedPoint(config=config, area=area, cycles=None)
+        try:
+            rewritten, allocation = self._allocation(config, arch)
+            with metrics.phase("schedule"):
+                compiled = schedule_allocated(
+                    rewritten, allocation, arch, validate=False
+                )
+            if self.validate:
+                with metrics.phase("validate"):
+                    violations = validate_program(
+                        arch, compiled.program, strict=False
+                    )
+                if violations:
+                    metrics.count("infeasible_compile")
+                    return EvaluatedPoint(
+                        config=config, area=area, cycles=None
+                    )
+        except (AllocationError, ScheduleError):
+            metrics.count("infeasible_compile")
+            return EvaluatedPoint(config=config, area=area, cycles=None)
+        metrics.count("feasible")
         cycles = compiled.static_cycles(self.profile)
         return EvaluatedPoint(
             config=config,
@@ -200,6 +276,29 @@ def evaluate_config_worker(config: ArchConfig) -> EvaluatedPoint:
     if context is None:
         raise RuntimeError("init_evaluation_worker() was not called")
     return context.evaluate(config)
+
+
+def evaluate_config_worker_metered(
+    config: ArchConfig,
+) -> tuple[EvaluatedPoint, dict]:
+    """Evaluate one configuration and ship its telemetry delta.
+
+    Pool workers cannot write the parent's trace, so each call measures
+    into a fresh collector and returns ``(point, snapshot)`` — the
+    per-configuration delta the parent merges on wave completion.
+    Per-configuration deltas (rather than per-worker totals) make the
+    merged counters independent of how the pool interleaved the chunks.
+    """
+    context = _WORKER_CONTEXT.get("context")
+    if context is None:
+        raise RuntimeError("init_evaluation_worker() was not called")
+    collector = MetricsCollector()
+    context.metrics = collector
+    try:
+        point = context.evaluate(config)
+    finally:
+        context.metrics = None
+    return point, collector.snapshot()
 
 
 def architecture_of(point: EvaluatedPoint, width: int = 16) -> Architecture:

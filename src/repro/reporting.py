@@ -125,6 +125,9 @@ def study_to_dict(result) -> dict:
                     "evaluated": run.stats.evaluated,
                     "workers": run.stats.workers,
                     "elapsed": round(run.stats.elapsed, 4),
+                    "post_pass_hits": run.stats.post_pass_hits,
+                    "phases": run.stats.phases,
+                    "counters": run.stats.counters,
                 },
                 "points": exploration_rows(run.result.points),
                 "pareto": [p.label for p in run.pareto],

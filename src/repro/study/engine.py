@@ -32,6 +32,7 @@ from repro.explore.evaluate import (
     EvaluatedPoint,
     EvaluationContext,
     evaluate_config_worker,
+    evaluate_config_worker_metered,
     init_evaluation_worker,
 )
 from repro.explore.explorer import ExplorationResult
@@ -45,6 +46,8 @@ from repro.study.objectives import (
 )
 from repro.study.spec import StudySpec
 from repro.study.strategies import SearchJob, SearchOutcome, run_strategy
+from repro.telemetry.metrics import MetricsCollector, format_phases
+from repro.telemetry.tracer import Tracer
 from repro.testcost.cost import attach_test_costs
 
 ProgressFn = Callable[[str], None]
@@ -75,13 +78,25 @@ def workload_profile(workload_name: str, width: int = 16) -> dict[str, int]:
 
 @dataclass(frozen=True)
 class RunStats:
-    """How one (workload, space, width) job was executed."""
+    """How one (workload, space, width) job was executed.
+
+    ``post_pass_hits`` counts points whose post-pass axis (test cost or
+    energy) was already present — restored from the result cache — so
+    cached work on post-pass studies is reported, not just the base
+    evaluations.  ``phases`` and ``counters`` are the run's merged
+    telemetry snapshot (``{phase: {"calls", "seconds"}}`` /
+    ``{counter: int}``), empty unless the study ran with metrics
+    collection on.
+    """
 
     total: int                 # points in the space
     cache_hits: int            # served from the result cache
     evaluated: int             # actually compiled this run
     workers: int               # pool size used (1 = serial path)
     elapsed: float             # wall-clock seconds for the whole job
+    post_pass_hits: int = 0    # post-pass axes restored from the cache
+    phases: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -94,6 +109,7 @@ def iter_evaluations(
     width: int,
     workers: int,
     context: EvaluationContext | None = None,
+    metrics: MetricsCollector | None = None,
 ) -> Iterator[EvaluatedPoint]:
     """Yield evaluated points in configuration order, streaming.
 
@@ -105,10 +121,18 @@ def iter_evaluations(
     Pass ``context`` to reuse a caller-held sweep context on the serial
     path — batch-per-wave strategies would otherwise rebuild the
     shared-work caches on every batch.
+
+    With ``metrics``, the serial path evaluates through a context that
+    carries the collector, and the pooled path switches to the metered
+    worker — each configuration's phase/counter delta travels back with
+    its point and is merged here, in submission order, so the merged
+    counters do not depend on pool scheduling.
     """
     if workers <= 1 or len(configs) <= 1:
         if context is None:
-            context = EvaluationContext(workload, profile, width)
+            context = EvaluationContext(
+                workload, profile, width, metrics=metrics
+            )
         for config in configs:
             yield context.evaluate(config)
         return
@@ -118,9 +142,16 @@ def iter_evaluations(
         initializer=init_evaluation_worker,
         initargs=(workload, profile, width),
     ) as pool:
-        yield from pool.map(
-            evaluate_config_worker, configs, chunksize=chunksize
-        )
+        if metrics is None:
+            yield from pool.map(
+                evaluate_config_worker, configs, chunksize=chunksize
+            )
+            return
+        for point, snapshot in pool.map(
+            evaluate_config_worker_metered, configs, chunksize=chunksize
+        ):
+            metrics.merge(snapshot)
+            yield point
 
 
 def evaluate_configs(
@@ -147,6 +178,14 @@ class CachedEvaluator:
     cache as they arrive (the resume story), and fans batch requests out
     over a process pool when ``workers > 1``.  Counts hits and fresh
     evaluations for the run statistics.
+
+    With telemetry attached (both default off): ``metrics`` collects
+    phase timers (through the context and the pool's metered workers)
+    plus the ``proposed``/``cache_hits``/``evaluated`` counters —
+    ``proposed == cache_hits + evaluated`` always, every requested
+    configuration is exactly one of the two — and ``tracer`` records
+    one ``wave`` event per batch and one ``point`` event per
+    configuration (the evaluation stream).
     """
 
     def __init__(
@@ -161,6 +200,8 @@ class CachedEvaluator:
         workers: int = 1,
         progress: ProgressFn | None = None,
         label: str | None = None,
+        metrics: MetricsCollector | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.workload_name = workload_name
         self.workload = workload
@@ -172,17 +213,35 @@ class CachedEvaluator:
         self.workers = workers
         self.progress = progress
         self.label = label or workload_name
+        self.metrics = metrics
+        self.tracer = tracer
         self.cache_hits = 0
         self.evaluated = 0
+        self.wave = 0
         self._context: EvaluationContext | None = None
 
     @property
     def context(self) -> EvaluationContext:
         if self._context is None:
             self._context = EvaluationContext(
-                self.workload, self.profile, self.width
+                self.workload, self.profile, self.width,
+                metrics=self.metrics,
             )
         return self._context
+
+    def _trace_point(
+        self, point: EvaluatedPoint, source: str, wave: int | None = None
+    ) -> None:
+        self.tracer.event(
+            "point",
+            run=self.label,
+            wave=wave,
+            config=point.label,
+            source=source,
+            area=point.area,
+            cycles=point.cycles,
+            feasible=point.feasible,
+        )
 
     def _lookup(self, config: ArchConfig) -> EvaluatedPoint | None:
         if self.cache is None:
@@ -201,12 +260,22 @@ class CachedEvaluator:
 
     def evaluate(self, config: ArchConfig) -> EvaluatedPoint:
         """Cost one configuration, cache-first."""
+        if self.metrics is not None:
+            self.metrics.count("proposed")
         cached = self._lookup(config)
         if cached is not None:
             self.cache_hits += 1
+            if self.metrics is not None:
+                self.metrics.count("cache_hits")
+            if self.tracer is not None:
+                self._trace_point(cached, "cache")
             return cached
         point = self.context.evaluate(config)
         self.evaluated += 1
+        if self.metrics is not None:
+            self.metrics.count("evaluated")
+        if self.tracer is not None:
+            self._trace_point(point, "fresh")
         self._store(point)
         return point
 
@@ -214,6 +283,8 @@ class CachedEvaluator:
         self, configs: list[ArchConfig]
     ) -> list[EvaluatedPoint]:
         """Cost an ordered batch, cache-first, fanning out the misses."""
+        wave = self.wave
+        self.wave += 1
         points: list[EvaluatedPoint | None] = [None] * len(configs)
         missing: list[int] = []
         for i, config in enumerate(configs):
@@ -223,6 +294,10 @@ class CachedEvaluator:
             else:
                 missing.append(i)
         self.cache_hits += len(configs) - len(missing)
+        if self.metrics is not None:
+            self.metrics.count("proposed", len(configs))
+            self.metrics.count("cache_hits", len(configs) - len(missing))
+            self.metrics.count("evaluated", len(missing))
         # A pool can't win on a batch that gives each worker at most
         # one configuration (the iterative strategy's 2-3-config
         # waves): spinning it up re-initialises every worker's
@@ -236,6 +311,19 @@ class CachedEvaluator:
                 f"evaluating {len(missing)} of {len(configs)} points "
                 f"({workers} worker{'s' if workers != 1 else ''})"
             )
+        if self.tracer is not None:
+            self.tracer.event(
+                "wave",
+                run=self.label,
+                wave=wave,
+                requested=len(configs),
+                cached=len(configs) - len(missing),
+                fresh=len(missing),
+                workers=workers,
+            )
+            for point in points:
+                if point is not None:
+                    self._trace_point(point, "cache", wave)
         if missing:
             fresh = iter_evaluations(
                 [configs[i] for i in missing],
@@ -244,10 +332,13 @@ class CachedEvaluator:
                 self.width,
                 workers,
                 context=self.context if serial else None,
+                metrics=None if serial else self.metrics,
             )
             for i, point in zip(missing, fresh):
                 points[i] = point
                 self.evaluated += 1
+                if self.tracer is not None:
+                    self._trace_point(point, "fresh", wave)
                 self._store(point)
         return points
 
@@ -404,11 +495,14 @@ class StudyResult:
         ]
         for r in self.runs:
             res = r.result
+            cached = str(r.stats.cache_hits)
+            if r.stats.post_pass_hits:
+                cached += f"+{r.stats.post_pass_hits}pp"
             parts = [
                 f"  {r.label:<24} {len(res.points):>4} points",
                 f"{len(res.feasible_points):>4} feasible",
                 f"{len(r.pareto):>3} Pareto",
-                f"[{r.stats.cache_hits} cached, {r.stats.evaluated} "
+                f"[{cached} cached, {r.stats.evaluated} "
                 f"evaluated, {r.stats.elapsed:.2f}s]",
             ]
             if r.selection is not None:
@@ -416,6 +510,12 @@ class StudyResult:
             elif spec.select:
                 parts.append("-> (no candidate points)")
             lines.append(" ".join(parts))
+            if r.stats.phases:
+                lines.append(
+                    format_phases(
+                        {"phases": r.stats.phases}, indent="    "
+                    )
+                )
         return "\n".join(lines)
 
 
@@ -426,6 +526,14 @@ class Study:
     ResultCache` get/put surface (or None for no caching); ``workers``
     overrides the spec's parallelism hint; ``progress`` receives
     human-readable per-run status lines.
+
+    Telemetry is strictly opt-in: ``tracer`` (a :class:`~repro.
+    telemetry.tracer.Tracer`) records the study/run/search spans and
+    the wave/point/strategy/cache event stream, and
+    ``collect_metrics=True`` fills each run's :class:`RunStats` with
+    phase timers and counters.  A tracer implies metrics collection
+    (the per-run ``metrics`` event needs the numbers).  Both off — the
+    default — leaves every hot path on its unmetered branch.
     """
 
     def __init__(
@@ -434,6 +542,8 @@ class Study:
         cache=None,
         workers: int | None = None,
         progress: ProgressFn | None = None,
+        tracer: Tracer | None = None,
+        collect_metrics: bool = False,
     ) -> None:
         spec.validate()
         self.spec = spec
@@ -442,11 +552,27 @@ class Study:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         self.progress = progress
+        self.tracer = tracer
+        self.collect_metrics = collect_metrics or tracer is not None
 
     def run(self) -> StudyResult:
+        if self.tracer is not None and self.tracer.study is None:
+            self.tracer.study = self.spec.name
         result = StudyResult(spec=self.spec)
-        for workload_name in self.spec.workloads:
-            result.runs.append(self._run_one(workload_name))
+        if self.tracer is None:
+            for workload_name in self.spec.workloads:
+                result.runs.append(self._run_one(workload_name))
+            return result
+        spec = self.spec
+        with self.tracer.span(
+            "study", strategy=spec.strategy,
+            objectives=list(spec.objectives),
+            workloads=list(spec.workloads),
+        ):
+            for workload_name in spec.workloads:
+                label = f"{workload_name}/{spec.space_label}/w{spec.width}"
+                with self.tracer.span("run", run=label):
+                    result.runs.append(self._run_one(workload_name))
         return result
 
     def _run_one(self, workload_name: str) -> StudyRun:
@@ -465,6 +591,11 @@ class Study:
         tech = technology_by_name(spec.tech)
         energy_model = tech.fingerprint() if needs_energy else None
         label = f"{workload_name}/{spec.space_label}/w{spec.width}"
+        metrics = MetricsCollector() if self.collect_metrics else None
+        cache_stats = getattr(self.cache, "stats", None)
+        cache_before = (
+            cache_stats.as_dict() if cache_stats is not None else None
+        )
 
         evaluator = CachedEvaluator(
             workload_name,
@@ -477,6 +608,8 @@ class Study:
             workers=self.workers,
             progress=self.progress,
             label=label,
+            metrics=metrics,
+            tracer=self.tracer,
         )
         job = SearchJob(
             workload=workload,
@@ -486,17 +619,42 @@ class Study:
             evaluate=evaluator.evaluate,
             evaluate_many=evaluator.evaluate_many,
         )
-        outcome = run_strategy(spec.strategy, job, spec.params)
+        if self.tracer is None:
+            outcome = run_strategy(spec.strategy, job, spec.params)
+        else:
+            with self.tracer.span(
+                "search", run=label, strategy=spec.strategy
+            ):
+                outcome = run_strategy(spec.strategy, job, spec.params)
         result = ExplorationResult(
             workload=workload.name, profile=profile, points=outcome.points
         )
+        if metrics is not None and outcome.moves_proposed:
+            metrics.count("moves_proposed", outcome.moves_proposed)
+            metrics.count("moves_accepted", outcome.moves_accepted)
+            metrics.count("moves_rejected", outcome.moves_rejected)
+        if self.tracer is not None and outcome.moves_proposed:
+            self.tracer.event(
+                "strategy",
+                run=label,
+                strategy=spec.strategy,
+                moves_proposed=outcome.moves_proposed,
+                moves_accepted=outcome.moves_accepted,
+                moves_rejected=outcome.moves_rejected,
+                iterations=outcome.iterations,
+            )
 
+        post_pass_hits = 0
         if needs_test_costs:
-            self._attach_test_costs(
-                workload_name, result, objectives, evaluator
+            post_pass_hits += self._attach_test_costs(
+                workload_name, result, objectives, evaluator, metrics
             )
         if needs_energy:
-            self._attach_energy(result, objectives, evaluator, tech)
+            post_pass_hits += self._attach_energy(
+                result, objectives, evaluator, tech, metrics
+            )
+        if metrics is not None and post_pass_hits:
+            metrics.count("post_pass_hits", post_pass_hits)
 
         selection: SelectionResult | None = None
         if spec.select:
@@ -509,13 +667,43 @@ class Study:
                     key=lambda p: cost_vector(p, objectives),
                 )
 
+        if cache_stats is not None and cache_before is not None:
+            cache_delta = cache_stats.delta(cache_before)
+            if metrics is not None:
+                # "result_cache_" so the delta's "hits" cannot collide
+                # with the evaluator's own "cache_hits" counter.
+                for key, value in cache_delta.items():
+                    if value:
+                        metrics.count(f"result_cache_{key}", value)
+            if self.tracer is not None:
+                self.tracer.event("cache", run=label, **cache_delta)
+
+        snapshot = (
+            metrics.snapshot() if metrics is not None
+            else {"phases": {}, "counters": {}}
+        )
         stats = RunStats(
             total=len(configs),
             cache_hits=evaluator.cache_hits,
             evaluated=evaluator.evaluated,
             workers=self.workers,
             elapsed=perf_counter() - started,
+            post_pass_hits=post_pass_hits,
+            phases=snapshot["phases"],
+            counters=snapshot["counters"],
         )
+        if self.tracer is not None:
+            self.tracer.event(
+                "metrics",
+                run=label,
+                phases=snapshot["phases"],
+                counters=snapshot["counters"],
+                total=stats.total,
+                cache_hits=stats.cache_hits,
+                evaluated=stats.evaluated,
+                post_pass_hits=stats.post_pass_hits,
+                workers=stats.workers,
+            )
         return StudyRun(
             workload=workload_name,
             space=spec.space_label,
@@ -535,7 +723,8 @@ class Study:
         result: ExplorationResult,
         objectives: tuple[Objective, ...],
         evaluator: CachedEvaluator,
-    ) -> None:
+        metrics: MetricsCollector | None = None,
+    ) -> int:
         """The test-cost post-pass, on the base-objective front only.
 
         The paper evaluates the test axis *on the 2-D Pareto points*,
@@ -544,14 +733,20 @@ class Study:
         that need no post-pass.  Points restored from the cache already
         carry a march-matched cost; only the rest run the ATPG-backed
         math, and freshly attached costs stream back into the cache.
+        Returns the number of front points whose cost was already
+        attached (the post-pass cache hits).
         """
         front = self._post_pass_front(result, objectives)
         todo = [p for p in front if p.test_cost is None]
+        hits = len(front) - len(todo)
         if not todo:
-            return
-        attach_test_costs(todo, self.spec.march, self.spec.width)
+            return hits
+        attach_test_costs(
+            todo, self.spec.march, self.spec.width, metrics=metrics
+        )
         for point in todo:
             evaluator._store(point)
+        return hits
 
     def _attach_energy(
         self,
@@ -559,28 +754,33 @@ class Study:
         objectives: tuple[Objective, ...],
         evaluator: CachedEvaluator,
         tech,
-    ) -> None:
+        metrics: MetricsCollector | None = None,
+    ) -> int:
         """The switching-activity post-pass, on the base front only.
 
         Exactly like the test axis: energy is simulated on the front
         under the post-pass-free objectives (each point's compiled
         program runs once with activity tracing through the sweep's
         evaluation context), and fresh energies stream back into the
-        result cache keyed by the technology fingerprint.
+        result cache keyed by the technology fingerprint.  Returns the
+        number of front points whose energy was already attached.
         """
         front = self._post_pass_front(result, objectives)
         todo = [p for p in front if p.energy is None]
+        hits = len(front) - len(todo)
         if not todo:
-            return
+            return hits
         attach_energy(
             todo,
             evaluator.workload,
             width=self.spec.width,
             tech=tech,
             context=evaluator.context,
+            metrics=metrics,
         )
         for point in todo:
             evaluator._store(point)
+        return hits
 
     def _post_pass_front(
         self,
@@ -599,8 +799,11 @@ def run_study(
     cache=None,
     workers: int | None = None,
     progress: ProgressFn | None = None,
+    tracer: Tracer | None = None,
+    collect_metrics: bool = False,
 ) -> StudyResult:
     """Build and run a :class:`Study` in one call."""
     return Study(
-        spec, cache=cache, workers=workers, progress=progress
+        spec, cache=cache, workers=workers, progress=progress,
+        tracer=tracer, collect_metrics=collect_metrics,
     ).run()

@@ -53,12 +53,23 @@ class SearchJob:
 
 @dataclass
 class SearchOutcome:
-    """What a strategy produced: points plus search accounting."""
+    """What a strategy produced: points plus search accounting.
+
+    The move counters instrument strategies that *propose* candidate
+    configurations rather than enumerate them: ``moves_proposed``
+    counts candidate configurations the walk generated,
+    ``moves_accepted`` the proposals the strategy kept (a Metropolis
+    acceptance, a frontier expansion), ``moves_rejected`` the rest.
+    Enumerating strategies (exhaustive, random) leave all three at 0.
+    """
 
     points: list[EvaluatedPoint]
     evaluations: int
     iterations: int = 1
     frontier_history: list[int] = field(default_factory=list)
+    moves_proposed: int = 0
+    moves_accepted: int = 0
+    moves_rejected: int = 0
 
 
 StrategyFn = Callable[..., SearchOutcome]
@@ -216,6 +227,7 @@ def iterative_search(
     evaluations = 0
     iterations = 0
     history: list[int] = []
+    proposed = accepted = 0
 
     while queue and evaluations < max_evaluations:
         iterations += 1
@@ -243,22 +255,29 @@ def iterative_search(
         )
         history.append(len(frontier))
 
-        # Expand only the frontier's unexplored neighbourhoods.
+        # Expand only the frontier's unexplored neighbourhoods.  Each
+        # generated neighbour is a proposed move; the ones surviving
+        # the seen/space filters are accepted into the next wave.
         queue = []
         for point in frontier:
             for neighbour in neighbours(point.config):
+                proposed += 1
                 label = neighbour.label()
                 if label in seen:
                     continue
                 if allowed is not None and label not in allowed:
                     continue
                 queue.append(neighbour)
+                accepted += 1
 
     return SearchOutcome(
         points=list(seen.values()),
         evaluations=evaluations,
         iterations=iterations,
         frontier_history=history,
+        moves_proposed=proposed,
+        moves_accepted=accepted,
+        moves_rejected=proposed - accepted,
     )
 
 
@@ -340,6 +359,7 @@ def simulated_annealing_search(
     )
     history: list[int] = [len(frontier)]
     steps = 0
+    proposals = accepted = 0
     # Each step proposes at most one fresh evaluation; stale proposals
     # (already-seen neighbours) cost a step but no budget, so cap steps
     # to keep a fully-explored neighbourhood from spinning forever.
@@ -352,6 +372,7 @@ def simulated_annealing_search(
         if not candidates:
             break
         proposal_config = rng.choice(candidates)
+        proposals += 1
         fresh = proposal_config.label() not in seen
         proposal = evaluate(proposal_config)
         proposal_cost = cost(proposal)
@@ -362,6 +383,7 @@ def simulated_annealing_search(
         ):
             current_config = proposal_config
             current_cost = proposal_cost
+            accepted += 1
         temp *= cooling
         if fresh and proposal.feasible:
             frontier = pareto_filter(
@@ -375,6 +397,9 @@ def simulated_annealing_search(
         evaluations=len(seen),
         iterations=steps,
         frontier_history=history,
+        moves_proposed=proposals,
+        moves_accepted=accepted,
+        moves_rejected=proposals - accepted,
     )
 
 

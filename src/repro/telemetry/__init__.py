@@ -1,0 +1,52 @@
+"""``repro.telemetry`` — opt-in tracing and metrics for the study stack.
+
+Three small, zero-dependency pieces:
+
+* :class:`Tracer` — structured span/event records (monotonic
+  timestamps, study/run/wave/config ids) onto a JSONL sink, under the
+  documented, versioned schema of :mod:`repro.telemetry.schema`;
+* :class:`MetricsCollector` — disjoint phase timers (compile,
+  schedule, regalloc, timing-validate, simulate, netlist-stats,
+  test-cost, energy) and integer counters, with picklable snapshots so
+  process-pool workers report their share for merging on wave
+  completion;
+* :func:`summarize_trace` / :func:`format_trace_summary` — offline
+  analysis of a recorded run (the ``python -m repro trace summarize``
+  subcommand).
+
+Telemetry is strictly opt-in and result-equivalent: every instrumented
+call site defaults to ``tracer=None`` / ``metrics=None`` and produces
+identical fronts and cache contents either way.
+"""
+
+from repro.telemetry.metrics import (
+    PHASES,
+    MetricsCollector,
+    format_phases,
+    merge_snapshots,
+)
+from repro.telemetry.schema import (
+    SCHEMA_VERSION,
+    read_trace,
+    validate_record,
+)
+from repro.telemetry.summarize import (
+    format_trace_summary,
+    load_trace,
+    summarize_trace,
+)
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "MetricsCollector",
+    "PHASES",
+    "SCHEMA_VERSION",
+    "Tracer",
+    "format_phases",
+    "format_trace_summary",
+    "load_trace",
+    "merge_snapshots",
+    "read_trace",
+    "summarize_trace",
+    "validate_record",
+]

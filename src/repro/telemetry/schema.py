@@ -1,0 +1,148 @@
+"""The versioned trace-record schema (schema version 1).
+
+Every line of a trace file written by :class:`repro.telemetry.Tracer`
+is one JSON object — a *record* — with the following shape:
+
+Required fields (every record):
+
+``v``
+    int — schema version; this module validates version ``1``.
+``kind``
+    str — one of ``meta``, ``span``, ``event``.
+``ts``
+    float — seconds since the tracer opened, from a **monotonic**
+    clock (``time.perf_counter``), so records order and subtract
+    correctly even across system-clock adjustments.
+``name``
+    str — what the record describes.  Names used by the study stack:
+
+    * ``trace``    (meta)  — the header record, always first;
+    * ``study``    (span)  — one whole :class:`~repro.study.engine.
+      Study` execution;
+    * ``run``      (span)  — one (workload, space, width) run;
+    * ``search``   (span)  — the strategy walk inside a run;
+    * ``wave``     (event) — one ``evaluate_many`` batch: requested /
+      cached / fresh point counts and the pool size used;
+    * ``point``    (event) — one evaluated configuration: area,
+      cycles, feasibility and whether it came from cache
+      (``source=cache|fresh``) — the recorded evaluation stream
+      surrogate strategies can train on;
+    * ``strategy`` (event) — move accounting (proposed / accepted /
+      rejected) for strategies that report it;
+    * ``cache``    (event) — result-cache statistics delta for the
+      run (hits, misses, puts, merged axes, bytes);
+    * ``metrics``  (event) — the run's merged phase timers and
+      counters (a :meth:`~repro.telemetry.metrics.MetricsCollector.
+      snapshot`).
+
+Optional fields:
+
+``dur``
+    float — **spans only** (required there): duration in seconds;
+    ``ts`` is the span's start.
+``study``
+    str — the study name the record belongs to.
+``run``
+    str — the ``workload/space/wWIDTH`` run label.
+``wave``
+    int — evaluation-wave ordinal within the run (0-based).
+``config``
+    str — the :meth:`~repro.explore.space.ArchConfig.label` of the
+    configuration the record is about.
+``data``
+    object — free-form JSON-safe payload (counter dicts, point costs).
+
+No other top-level fields are allowed; additions bump
+:data:`SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+#: Version stamped into (and required of) every record.
+SCHEMA_VERSION = 1
+
+#: The record kinds schema version 1 defines.
+KINDS = ("meta", "span", "event")
+
+#: Every top-level field a version-1 record may carry.
+_FIELDS = {
+    "v", "kind", "ts", "name", "dur", "study", "run", "wave", "config",
+    "data",
+}
+
+_REQUIRED = ("v", "kind", "ts", "name")
+
+#: field -> accepted types (bool is an int subclass; reject it where
+#: a number is meant).
+_TYPES = {
+    "v": int,
+    "kind": str,
+    "ts": (int, float),
+    "name": str,
+    "dur": (int, float),
+    "study": str,
+    "run": str,
+    "wave": int,
+    "config": str,
+    "data": dict,
+}
+
+
+def validate_record(record: object) -> dict:
+    """Check one parsed record against schema version 1.
+
+    Returns the record on success; raises ``ValueError`` naming the
+    first violation otherwise.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"record is {type(record).__name__}, not an object")
+    for field in _REQUIRED:
+        if field not in record:
+            raise ValueError(f"record lacks required field {field!r}")
+    unknown = set(record) - _FIELDS
+    if unknown:
+        raise ValueError(f"unknown field(s) {sorted(unknown)}")
+    for field, value in record.items():
+        expected = _TYPES[field]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            raise ValueError(
+                f"field {field!r} is {type(value).__name__}, "
+                f"expected {expected}"
+            )
+    if record["v"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema version {record['v']} (this reader handles "
+            f"{SCHEMA_VERSION})"
+        )
+    if record["kind"] not in KINDS:
+        raise ValueError(f"unknown kind {record['kind']!r}")
+    if record["kind"] == "span" and "dur" not in record:
+        raise ValueError(f"span {record['name']!r} lacks 'dur'")
+    if record["kind"] != "span" and "dur" in record:
+        raise ValueError(f"{record['kind']} {record['name']!r} carries 'dur'")
+    if record["ts"] < 0 or record["kind"] == "span" and record["dur"] < 0:
+        raise ValueError("negative timestamp/duration")
+    return record
+
+
+def read_trace(lines: Iterable[str]) -> list[dict]:
+    """Parse and validate a JSONL trace; raises ``ValueError`` with the
+    offending line number on the first bad record."""
+    records = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = validate_record(json.loads(line))
+        except ValueError as exc:
+            raise ValueError(f"trace line {number}: {exc}") from None
+        records.append(record)
+    if not records:
+        raise ValueError("empty trace")
+    if records[0]["kind"] != "meta":
+        raise ValueError("trace does not start with a meta record")
+    return records

@@ -1,0 +1,136 @@
+"""Offline trace analysis: turn a recorded JSONL run into tables.
+
+``python -m repro trace summarize FILE.jsonl`` renders what this module
+computes: per-run (and whole-trace) phase time tables from the
+``metrics`` events, a cache report from the ``cache`` events and point
+stream, and span/wave accounting — all without touching the study
+stack, so traces can be analysed on machines that never ran a study.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.telemetry.metrics import format_phases, merge_snapshots
+from repro.telemetry.schema import read_trace
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Read and schema-validate one trace file."""
+    with Path(path).open() as handle:
+        return read_trace(handle)
+
+
+def summarize_trace(records: list[dict]) -> dict:
+    """Aggregate one validated record list.
+
+    Returns a plain dict: ``study`` (name or None), ``records``,
+    ``spans`` (name -> {count, seconds}), ``runs`` — one entry per run
+    label with its merged metrics snapshot, wave/point accounting and
+    cache delta — plus ``metrics``, the all-run merge.
+    """
+    study = None
+    spans: dict[str, dict] = {}
+    runs: dict[str, dict] = {}
+
+    def run_entry(label: str) -> dict:
+        entry = runs.get(label)
+        if entry is None:
+            entry = runs[label] = {
+                "label": label,
+                "waves": 0,
+                "points": 0,
+                "cached_points": 0,
+                "metrics": None,
+                "cache": None,
+                "seconds": None,
+            }
+        return entry
+
+    for record in records:
+        study = record.get("study", study)
+        name = record["name"]
+        label = record.get("run")
+        if record["kind"] == "span":
+            span = spans.setdefault(name, {"count": 0, "seconds": 0.0})
+            span["count"] += 1
+            span["seconds"] = round(span["seconds"] + record["dur"], 6)
+            if name == "run" and label is not None:
+                run_entry(label)["seconds"] = round(record["dur"], 6)
+        elif record["kind"] == "event" and label is not None:
+            entry = run_entry(label)
+            data = record.get("data", {})
+            if name == "wave":
+                entry["waves"] += 1
+            elif name == "point":
+                entry["points"] += 1
+                if data.get("source") == "cache":
+                    entry["cached_points"] += 1
+            elif name == "metrics":
+                entry["metrics"] = data
+            elif name == "cache":
+                entry["cache"] = data
+
+    merged = merge_snapshots(
+        [r["metrics"] for r in runs.values() if r["metrics"]]
+    )
+    return {
+        "study": study,
+        "records": len(records),
+        "spans": spans,
+        "runs": list(runs.values()),
+        "metrics": merged,
+    }
+
+
+def _cache_lines(cache: dict, indent: str) -> list[str]:
+    hits = cache.get("hits", 0)
+    misses = cache.get("misses", 0)
+    looked = hits + misses
+    lines = [
+        f"{indent}result cache: {hits} hits / {looked} lookups"
+        + (f" ({hits / looked:.1%})" if looked else "")
+        + f", {cache.get('puts', 0)} writes"
+    ]
+    detail = []
+    if cache.get("merged_axes"):
+        detail.append(f"{cache['merged_axes']} merged post-pass axes")
+    if cache.get("bytes_written") is not None:
+        detail.append(f"{cache['bytes_written']} bytes written")
+    if cache.get("bytes_on_disk") is not None:
+        detail.append(f"{cache['bytes_on_disk']} bytes on disk")
+    if detail:
+        lines.append(f"{indent}              {', '.join(detail)}")
+    return lines
+
+
+def format_trace_summary(summary: dict) -> str:
+    """Human-readable report of one :func:`summarize_trace` result."""
+    study = summary["study"] or "(unnamed)"
+    lines = [
+        f"trace of study {study!r}: {summary['records']} records, "
+        f"{len(summary['runs'])} run{'s' if len(summary['runs']) != 1 else ''}"
+    ]
+    for run in summary["runs"]:
+        header = f"run {run['label']}"
+        if run["seconds"] is not None:
+            header += f" ({run['seconds']:.2f}s)"
+        header += (
+            f": {run['points']} points over {run['waves']} waves, "
+            f"{run['cached_points']} from cache"
+        )
+        lines.append(header)
+        if run["metrics"]:
+            lines.append(format_phases(run["metrics"], indent="  "))
+            counters = run["metrics"].get("counters", {})
+            if counters:
+                joined = ", ".join(
+                    f"{k}={counters[k]}" for k in sorted(counters)
+                )
+                lines.append(f"  counters: {joined}")
+        if run["cache"]:
+            lines.extend(_cache_lines(run["cache"], "  "))
+    if len(summary["runs"]) > 1 and summary["metrics"]["phases"]:
+        lines.append("all runs:")
+        lines.append(format_phases(summary["metrics"], indent="  "))
+    return "\n".join(lines)

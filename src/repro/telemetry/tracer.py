@@ -1,0 +1,154 @@
+"""Structured tracing: span/event records onto a JSONL sink.
+
+A :class:`Tracer` is a thin, zero-dependency writer of the records
+documented in :mod:`repro.telemetry.schema`.  Timestamps come from
+``time.perf_counter`` relative to the moment the tracer opened, so the
+stream is monotonic and durations subtract exactly; the wall-clock
+start lives in the header record for humans.
+
+Tracing is strictly opt-in: nothing in the study stack constructs a
+tracer on its own, and every instrumented call site accepts
+``tracer=None`` (the default) and skips all work in that case.  Only
+the parent process traces — pool workers report their share through
+metric snapshots merged on wave completion, never through the sink —
+so one file descriptor owns the file and records never interleave.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from time import perf_counter
+from typing import IO, Iterator
+
+from repro.telemetry.schema import SCHEMA_VERSION
+
+
+class Tracer:
+    """Emit schema-versioned span/event records as JSON lines.
+
+    ``sink`` is a path (opened for writing, parents created) or any
+    object with ``write``/``flush``.  ``study`` stamps every record
+    with the study id; the engine fills it in lazily when the CLI did
+    not.  Each record is flushed as written, so a killed run keeps a
+    valid trace of everything that happened.
+    """
+
+    def __init__(
+        self,
+        sink: str | Path | IO[str],
+        study: str | None = None,
+    ) -> None:
+        if isinstance(sink, (str, Path)):
+            path = Path(sink)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._file: IO[str] = path.open("w")
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+        self.study = study
+        self._t0 = perf_counter()
+        self._closed = False
+        self._write({
+            "v": SCHEMA_VERSION,
+            "kind": "meta",
+            "ts": 0.0,
+            "name": "trace",
+            "data": {
+                "schema": SCHEMA_VERSION,
+                "started": time.time(),
+                "pid": os.getpid(),
+            },
+        })
+
+    # ------------------------------------------------------------------
+    def _write(self, record: dict) -> None:
+        if self._closed:
+            return
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def _record(
+        self,
+        kind: str,
+        name: str,
+        ts: float,
+        run: str | None,
+        wave: int | None,
+        config: str | None,
+        data: dict | None,
+        dur: float | None = None,
+    ) -> None:
+        record: dict = {
+            "v": SCHEMA_VERSION,
+            "kind": kind,
+            "ts": round(ts, 6),
+            "name": name,
+        }
+        if dur is not None:
+            record["dur"] = round(dur, 6)
+        if self.study is not None:
+            record["study"] = self.study
+        if run is not None:
+            record["run"] = run
+        if wave is not None:
+            record["wave"] = wave
+        if config is not None:
+            record["config"] = config
+        if data:
+            record["data"] = data
+        self._write(record)
+
+    # ------------------------------------------------------------------
+    def event(
+        self,
+        name: str,
+        run: str | None = None,
+        wave: int | None = None,
+        config: str | None = None,
+        **data,
+    ) -> None:
+        """Emit one point-in-time event record."""
+        self._record(
+            "event", name, perf_counter() - self._t0, run, wave, config,
+            data or None,
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        run: str | None = None,
+        wave: int | None = None,
+        config: str | None = None,
+        **data,
+    ) -> Iterator[None]:
+        """Time a block; emits one complete span record on exit.
+
+        The record is written even when the block raises, so traces of
+        failed runs still account for the time spent.
+        """
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            end = perf_counter()
+            self._record(
+                "span", name, start - self._t0, run, wave, config,
+                data or None, dur=end - start,
+            )
+
+    def close(self) -> None:
+        if not self._closed and self._owns_file:
+            self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

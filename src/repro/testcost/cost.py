@@ -168,6 +168,7 @@ def attach_test_costs(
     points: list[EvaluatedPoint],
     march_name: str = "March C-",
     width: int = 16,
+    metrics=None,
 ) -> list[EvaluatedPoint]:
     """Annotate evaluated points with ``f_t`` (feasible points only).
 
@@ -176,10 +177,20 @@ def attach_test_costs(
     component-fingerprint cache, so attaching costs to a Pareto set does
     not re-instantiate templates or re-run the ATPG engine for component
     types it has already seen.
+
+    ``metrics`` (a :class:`repro.telemetry.MetricsCollector`) times the
+    analytical model as the ``test_cost`` phase and counts annotated
+    points (``test_cost_attached``); ``None`` skips all bookkeeping.
     """
     for point in points:
         if not point.feasible:
             continue
-        arch = architecture_of(point, width)
-        point.test_cost = architecture_test_cost(arch, march_name).total
+        if metrics is None:
+            arch = architecture_of(point, width)
+            point.test_cost = architecture_test_cost(arch, march_name).total
+            continue
+        with metrics.phase("test_cost"):
+            arch = architecture_of(point, width)
+            point.test_cost = architecture_test_cost(arch, march_name).total
+        metrics.count("test_cost_attached")
     return points

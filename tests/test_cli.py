@@ -274,3 +274,46 @@ def test_bench_no_write(capsys, tmp_path, monkeypatch):
     assert code == 0
     assert "pareto filter" in out
     assert not (tmp_path / "BENCH_evaluate.json").exists()
+
+
+def test_study_trace_and_metrics_out(capsys, tmp_path):
+    trace = tmp_path / "study.jsonl"
+    metrics = tmp_path / "metrics.json"
+    code, out, err = _run(
+        capsys, "study", "--workloads", "gcd", "--space", "small",
+        "--no-cache", "-q",
+        "--trace", str(trace), "--metrics-out", str(metrics),
+    )
+    assert code == 0
+    assert "phase" in out and "schedule" in out  # summary prints the table
+    report = json.loads(metrics.read_text())
+    run = report["runs"][0]
+    counters = run["counters"]
+    assert counters["proposed"] == counters["cache_hits"] + counters["evaluated"]
+    assert report["merged"]["phases"]
+    # the trace validates and summarizes through the CLI
+    code, out, _ = _run(capsys, "trace", "validate", str(trace))
+    assert code == 0 and "schema OK" in out
+    code, out, _ = _run(capsys, "trace", "summarize", str(trace))
+    assert code == 0
+    assert "gcd/small/w16" in out and "12 points" in out
+
+
+def test_trace_rejects_corrupt_file(capsys, tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"v": 1, "kind": "event", "ts": 0.0, "name": "x"}\n')
+    code, _, err = _run(capsys, "trace", "validate", str(bad))
+    assert code == 1
+    assert "meta" in err
+
+
+def test_energy_metrics_out(capsys, tmp_path):
+    metrics = tmp_path / "energy-metrics.json"
+    code, out, _ = _run(
+        capsys, "energy", "gcd", "--space", "small", "--index", "5",
+        "--metrics-out", str(metrics),
+    )
+    assert code == 0
+    snapshot = json.loads(metrics.read_text())
+    assert "simulate" in snapshot["phases"]
+    assert "energy_model" in snapshot["phases"]

@@ -1,0 +1,400 @@
+"""Telemetry: tracing, phase metrics, and their result-neutrality.
+
+The contract under test is the tentpole's hard requirement: telemetry
+is strictly opt-in and *result-equivalent* — a study run with a tracer
+and metrics attached produces exactly the fronts and cache contents of
+an untraced run — plus the bookkeeping invariants (phase seconds sum
+to at most the elapsed wall clock, merged pool counters are
+deterministic, ``proposed == cache_hits + evaluated``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultCache, run_campaign
+from repro.study import StudySpec, run_study
+from repro.telemetry import (
+    MetricsCollector,
+    Tracer,
+    load_trace,
+    merge_snapshots,
+    read_trace,
+    summarize_trace,
+    validate_record,
+)
+from repro.telemetry.metrics import format_phases
+from repro.telemetry.summarize import format_trace_summary
+
+
+def _point_rows(result):
+    return [
+        (p.label, p.area, p.cycles, p.test_cost, p.energy, p.feasible)
+        for run in result.runs
+        for p in run.result.points
+    ]
+
+
+def _cache_bytes(directory: Path) -> dict[str, str]:
+    return {
+        path.name: path.read_text()
+        for path in sorted(Path(directory).glob("*.json"))
+    }
+
+
+# ----------------------------------------------------------------------
+# schema + tracer round-trip
+# ----------------------------------------------------------------------
+class TestSchema:
+    def test_tracer_output_round_trips_through_validation(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path, study="s") as tracer:
+            tracer.event("wave", run="r", wave=0, requested=3)
+            with tracer.span("study", strategy="exhaustive"):
+                tracer.event(
+                    "point", run="r", wave=0, config="b2", source="fresh",
+                )
+        records = read_trace(path.read_text().splitlines())
+        assert [r["kind"] for r in records] == [
+            "meta", "event", "event", "span",
+        ]
+        assert records[0]["name"] == "trace"
+        assert records[0]["data"]["schema"] == 1
+        # spans carry a duration, and ts are monotone non-negative
+        span = records[-1]
+        assert span["dur"] >= 0
+        assert all(r["ts"] >= 0 for r in records)
+        assert all(r["study"] == "s" for r in records[1:])
+
+    def test_validate_record_rejects_malformed(self):
+        good = {"v": 1, "kind": "event", "ts": 0.5, "name": "wave"}
+        assert validate_record(dict(good)) == good
+        bad = [
+            {**good, "extra": 1},                      # unknown field
+            {**good, "v": 2},                          # wrong version
+            {**good, "kind": "other"},                 # unknown kind
+            {**good, "ts": -1.0},                      # negative ts
+            {**good, "ts": True},                      # bool-as-number
+            {**good, "dur": 0.1},                      # dur on non-span
+            {"v": 1, "kind": "span", "ts": 0.0, "name": "s"},  # no dur
+            {"v": 1, "kind": "meta", "ts": 0.0},       # missing name
+            [good],                                    # not an object
+        ]
+        for record in bad:
+            with pytest.raises(ValueError):
+                validate_record(record)
+
+    def test_read_trace_requires_meta_header(self):
+        line = json.dumps({"v": 1, "kind": "event", "ts": 0.0, "name": "x"})
+        with pytest.raises(ValueError, match="meta"):
+            read_trace([line])
+        with pytest.raises(ValueError, match="empty"):
+            read_trace([])
+        with pytest.raises(ValueError, match="line 2"):
+            meta = json.dumps(
+                {"v": 1, "kind": "meta", "ts": 0.0, "name": "trace"}
+            )
+            read_trace([meta, "{not json"])
+
+    def test_tracer_accepts_file_like_sink(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.event("wave", run="r")
+        tracer.close()
+        records = read_trace(sink.getvalue().splitlines())
+        assert len(records) == 2
+        assert records[1]["run"] == "r"
+
+
+# ----------------------------------------------------------------------
+# metrics collector
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_phase_and_counter_accumulation(self):
+        m = MetricsCollector()
+        for _ in range(3):
+            with m.phase("schedule"):
+                pass
+        m.count("proposed", 5)
+        m.count("proposed")
+        snap = m.snapshot()
+        assert snap["phases"]["schedule"]["calls"] == 3
+        assert snap["phases"]["schedule"]["seconds"] >= 0
+        assert snap["counters"] == {"proposed": 6}
+
+    def test_phase_records_time_on_exception(self):
+        m = MetricsCollector()
+        with pytest.raises(RuntimeError):
+            with m.phase("build"):
+                raise RuntimeError("boom")
+        assert m.snapshot()["phases"]["build"]["calls"] == 1
+
+    def test_merge_is_additive_and_order_independent(self):
+        a = MetricsCollector()
+        with a.phase("build"):
+            pass
+        a.count("evaluated", 2)
+        b = MetricsCollector()
+        with b.phase("build"):
+            pass
+        with b.phase("simulate"):
+            pass
+        b.count("evaluated", 3)
+        ab = merge_snapshots([a.snapshot(), b.snapshot()])
+        ba = merge_snapshots([b.snapshot(), a.snapshot()])
+        assert ab["counters"] == ba["counters"] == {"evaluated": 5}
+        assert ab["phases"]["build"]["calls"] == 2
+        assert ab["phases"].keys() == ba["phases"].keys()
+
+    def test_format_phases_lists_known_phases_first(self):
+        m = MetricsCollector()
+        with m.phase("zebra"):
+            pass
+        with m.phase("build"):
+            pass
+        text = format_phases(m.snapshot())
+        assert text.index("build") < text.index("zebra")
+        assert format_phases({"phases": {}}) == "(no phase timings)"
+
+
+# ----------------------------------------------------------------------
+# result equivalence: telemetry on == telemetry off
+# ----------------------------------------------------------------------
+SPACES = (
+    ("gcd", "small"),
+    ("fir", "dsp"),
+)
+
+
+class TestResultEquivalence:
+    @pytest.mark.parametrize("workload,space", SPACES)
+    def test_study_results_and_cache_identical(
+        self, tmp_path, workload, space
+    ):
+        """Same fronts, same bytes in the result cache, on vs off."""
+        def spec(name):
+            return StudySpec(
+                name=name, workloads=(workload,), space=space,
+                objectives=("area", "cycles", "test_cost"), select=True,
+            )
+
+        plain = run_study(spec("off"), cache=ResultCache(tmp_path / "a"))
+        traced = run_study(
+            spec("on"),
+            cache=ResultCache(tmp_path / "b"),
+            tracer=Tracer(tmp_path / "t.jsonl"),
+            collect_metrics=True,
+        )
+        assert _point_rows(plain) == _point_rows(traced)
+        assert [p.label for p in plain.single.pareto] == [
+            p.label for p in traced.single.pareto
+        ]
+        if plain.single.selection is not None:
+            assert (
+                plain.single.selection.point.label
+                == traced.single.selection.point.label
+            )
+        assert _cache_bytes(tmp_path / "a") == _cache_bytes(tmp_path / "b")
+
+    def test_annealing_rng_stream_unchanged_by_move_counters(self):
+        """Move accounting must not perturb the annealing walk."""
+        def spec(name):
+            return StudySpec(
+                name=name, workloads=("gcd",), space="small",
+                strategy="simulated_annealing",
+                strategy_params={"max_evaluations": 10, "seed": 3},
+            )
+
+        plain = run_study(spec("off"))
+        metered = run_study(spec("on"), collect_metrics=True)
+        assert _point_rows(plain) == _point_rows(metered)
+        counters = metered.single.stats.counters
+        assert counters["moves_proposed"] == (
+            counters["moves_accepted"] + counters["moves_rejected"]
+        )
+
+    def test_stats_empty_without_telemetry(self):
+        result = run_study(
+            StudySpec(name="plain", workloads=("gcd",), space="small")
+        )
+        assert result.single.stats.phases == {}
+        assert result.single.stats.counters == {}
+
+
+# ----------------------------------------------------------------------
+# phase timers and counter invariants
+# ----------------------------------------------------------------------
+class TestInvariants:
+    def test_phase_seconds_bounded_by_elapsed_serial(self):
+        from repro.energy import attach as energy_attach
+
+        # Earlier tests may have memoized gcd/small energies in this
+        # process; the simulate phase only runs on memo misses.
+        energy_attach._ENERGY_CACHE.clear()
+        result = run_study(
+            StudySpec(
+                name="timed", workloads=("gcd",), space="small",
+                objectives=("area", "cycles", "test_cost", "energy"),
+            ),
+            collect_metrics=True,
+        )
+        stats = result.single.stats
+        assert stats.phases, "metrics collection yielded no phases"
+        total = sum(p["seconds"] for p in stats.phases.values())
+        assert total <= stats.elapsed
+        assert {"build", "schedule", "test_cost", "simulate"} <= set(
+            stats.phases
+        )
+
+    def test_proposed_equals_hits_plus_evaluated(self, tmp_path):
+        spec = StudySpec(name="inv", workloads=("gcd",), space="small")
+        cache = ResultCache(tmp_path)
+        for _ in range(2):  # second pass is all cache hits
+            stats = run_study(
+                spec, cache=cache, collect_metrics=True
+            ).single.stats
+            c = stats.counters
+            assert c["proposed"] == c["cache_hits"] + c["evaluated"]
+            assert c["cache_hits"] == stats.cache_hits
+            assert c["evaluated"] == stats.evaluated
+
+    def test_merged_pool_counters_deterministic(self, tmp_path):
+        """workers=2 merges per-config snapshots in submission order:
+        counters must match serial exactly, run after run."""
+        def counters(cache_dir, workers):
+            stats = run_study(
+                StudySpec(
+                    name="pool", workloads=("gcd",), space="small",
+                ),
+                cache=ResultCache(cache_dir),
+                workers=workers,
+                collect_metrics=True,
+            ).single.stats
+            return stats.counters
+
+        serial = counters(tmp_path / "w1", 1)
+        pooled_a = counters(tmp_path / "w2a", 2)
+        pooled_b = counters(tmp_path / "w2b", 2)
+        assert pooled_a == pooled_b == serial
+        assert serial["proposed"] == 12
+
+
+# ----------------------------------------------------------------------
+# cache + post-pass instrumentation
+# ----------------------------------------------------------------------
+class TestCacheInstrumentation:
+    def test_cache_stats_lifecycle(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = StudySpec(
+            name="cs", workloads=("gcd",), space="small",
+            objectives=("area", "cycles", "test_cost"),
+        )
+        run_study(spec, cache=cache)
+        first = cache.stats.as_dict()
+        assert first["misses"] == 12
+        assert first["puts"] >= 12
+        assert first["bytes_written"] > 0
+        assert cache.bytes_on_disk() > 0
+        run_study(spec, cache=cache)
+        delta = cache.stats.delta(first)
+        assert delta["hits"] == 12
+        assert delta["misses"] == 0
+        assert delta["puts"] == 0
+        assert 0 < cache.stats.hit_rate < 1
+
+    def test_post_pass_hits_reported_without_telemetry(self, tmp_path):
+        """Satellite: the second run's summary must credit post-pass
+        work served from the cache, with telemetry off."""
+        cache = ResultCache(tmp_path)
+        spec = StudySpec(
+            name="pp", workloads=("gcd",), space="small",
+            objectives=("area", "cycles", "test_cost"),
+        )
+        first = run_study(spec, cache=cache)
+        assert first.single.stats.post_pass_hits == 0
+        second = run_study(spec, cache=cache)
+        front = len(second.single.pareto)
+        assert second.single.stats.post_pass_hits == front > 0
+        assert f"+{front}pp" in second.summary()
+
+
+# ----------------------------------------------------------------------
+# trace contents + offline summarize
+# ----------------------------------------------------------------------
+class TestTraceContents:
+    def test_study_trace_structure(self, tmp_path):
+        path = tmp_path / "study.jsonl"
+        with Tracer(path) as tracer:
+            run_study(
+                StudySpec(
+                    name="traced", workloads=("gcd",), space="small",
+                    objectives=("area", "cycles", "test_cost"),
+                ),
+                cache=ResultCache(tmp_path / "cache"),
+                tracer=tracer,
+            )
+        records = load_trace(path)
+        by_name: dict[str, list] = {}
+        for r in records:
+            by_name.setdefault(r["name"], []).append(r)
+        assert set(by_name) >= {
+            "trace", "study", "run", "search", "wave", "point",
+            "cache", "metrics",
+        }
+        points = by_name["point"]
+        assert len(points) == 12
+        assert {p["data"]["source"] for p in points} == {"fresh"}
+        assert all(p["config"] for p in points)
+        summary = summarize_trace(records)
+        assert summary["study"] == "traced"
+        run = summary["runs"][0]
+        assert run["points"] == 12
+        assert run["cached_points"] == 0
+        assert run["seconds"] is not None
+        text = format_trace_summary(summary)
+        assert "gcd/small/w16" in text
+        assert "result cache" in text
+
+    def test_campaign_trace_spans_all_jobs(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with Tracer(path) as tracer:
+            run_campaign(
+                CampaignSpec(
+                    name="camp", workloads=("gcd", "crc16"),
+                    spaces=("small",), widths=(16,),
+                ),
+                cache=ResultCache(tmp_path / "cache"),
+                tracer=tracer,
+            )
+        summary = summarize_trace(load_trace(path))
+        assert summary["study"] == "camp"
+        assert {r["label"] for r in summary["runs"]} == {
+            "gcd/small/w16", "crc16/small/w16",
+        }
+        assert summary["metrics"]["phases"]
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+class TestReporting:
+    def test_study_to_json_carries_telemetry(self):
+        from repro.reporting import study_to_dict
+
+        result = run_study(
+            StudySpec(
+                name="ser", workloads=("gcd",), space="small",
+                objectives=("area", "cycles", "test_cost"),
+            ),
+            collect_metrics=True,
+        )
+        data = study_to_dict(result)
+        stats = data["runs"][0]["stats"]
+        assert stats["post_pass_hits"] == 0
+        assert "schedule" in stats["phases"]
+        assert stats["counters"]["proposed"] == 12
+        json.dumps(data)  # JSON-safe end to end
