@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Eight subcommands drive the paper's flow at campaign scale:
+Nine subcommands drive the paper's flow at campaign scale:
 
 * ``study``    — the general entry point: one declarative spec
   (workloads, space, objectives, strategy) through the study engine,
@@ -16,7 +16,16 @@ Eight subcommands drive the paper's flow at campaign scale:
 * ``list``     — show the registered workloads, spaces, objectives,
   search strategies and technology parameter sets,
 * ``bench``    — run the tracked evaluation-pipeline benchmark suite,
-* ``trace``    — validate / summarize a recorded telemetry trace.
+* ``trace``    — validate / summarize a recorded telemetry trace,
+* ``cache``    — verify / repair an on-disk result cache directory.
+
+``study`` and ``campaign`` take ``--fault-policy skip|retry`` (plus
+``--max-retries`` and ``--point-timeout``) so one dying configuration
+costs a point, not the run; ``study`` additionally checkpoints with
+``--checkpoint FILE`` / ``--checkpoint-every N`` and continues a killed
+run with ``--resume FILE``.  Study exit codes are structured: 0 clean,
+1 usage/runtime error, 3 interrupted (partial result), 4 completed but
+with failed points recorded.
 
 ``study``, ``explore`` and ``campaign`` accept ``--profile`` to dump a
 cProfile top-25 (cumulative) of the run to stderr.  ``study``,
@@ -112,6 +121,41 @@ def _collect_metrics(args: argparse.Namespace) -> bool:
     )
 
 
+def _make_policy(args: argparse.Namespace):
+    """A FaultPolicy from ``--fault-policy``/friends, or None (default)."""
+    mode = getattr(args, "fault_policy", None)
+    timeout = getattr(args, "point_timeout", None)
+    retries = getattr(args, "max_retries", None)
+    if mode is None and timeout is None and retries is None:
+        return None
+    from repro.resilience import FaultPolicy
+
+    return FaultPolicy(
+        mode=mode or "fail_fast",
+        max_retries=2 if retries is None else retries,
+        timeout=timeout,
+    )
+
+
+def _make_cancel(args: argparse.Namespace):
+    """A CancelToken from ``--cancel-after N``, or None."""
+    after = getattr(args, "cancel_after", None)
+    if not after:
+        return None
+    from repro.resilience import CancelToken
+
+    return CancelToken(after_points=after)
+
+
+def _study_exit_code(result) -> int:
+    """0 clean; 3 interrupted (partial result); 4 failed points."""
+    if result.interrupted:
+        return 3
+    if result.failures:
+        return 4
+    return 0
+
+
 def _write_metrics(runs, args: argparse.Namespace) -> None:
     """``--metrics-out``: per-run phase/counter snapshots as JSON."""
     if not getattr(args, "metrics_out", None):
@@ -201,18 +245,34 @@ def _study_spec_from_args(args: argparse.Namespace) -> StudySpec:
     )
 
 
-def _run_study(args: argparse.Namespace, spec: StudySpec):
-    """Build and run one study from parsed CLI args (shared plumbing)."""
+def _run_study(args: argparse.Namespace, spec: StudySpec | None):
+    """Build and run one study from parsed CLI args (shared plumbing).
+
+    ``spec=None`` means ``--resume``: the spec is rebuilt (and
+    hash-verified) from the checkpoint file instead of the flags.
+    The tracer is closed in the ``finally`` so an interrupted run
+    still leaves a valid JSONL trace behind.
+    """
     tracer = _make_tracer(args)
+    common = dict(
+        cache=_make_cache(args),
+        workers=args.workers,
+        progress=None if args.quiet else _progress,
+        tracer=tracer,
+        collect_metrics=_collect_metrics(args),
+        policy=_make_policy(args),
+        cancel=_make_cancel(args),
+        checkpoint_every=getattr(args, "checkpoint_every", None) or 16,
+    )
     try:
-        study = Study(
-            spec,
-            cache=_make_cache(args),
-            workers=args.workers,
-            progress=None if args.quiet else _progress,
-            tracer=tracer,
-            collect_metrics=_collect_metrics(args),
-        )
+        if spec is None:
+            study = Study.resume(args.resume, **common)
+        else:
+            study = Study(
+                spec,
+                checkpoint=getattr(args, "checkpoint", None),
+                **common,
+            )
         return _maybe_profiled(args, study.run)
     finally:
         if tracer is not None:
@@ -220,8 +280,15 @@ def _run_study(args: argparse.Namespace, spec: StudySpec):
 
 
 def cmd_study(args: argparse.Namespace) -> int:
-    result = _run_study(args, _study_spec_from_args(args))
+    spec = None if getattr(args, "resume", None) else (
+        _study_spec_from_args(args)
+    )
+    result = _run_study(args, spec)
     _write_metrics(result.runs, args)
+    for failure in result.failures:
+        print(f"failed: {failure}", file=sys.stderr)
+    if result.interrupted:
+        print("study interrupted: result is partial", file=sys.stderr)
     if args.format == "summary":
         text = result.summary()
         for line in _selection_lines(result.runs):
@@ -236,7 +303,7 @@ def cmd_study(args: argparse.Namespace) -> int:
         points = run.pareto if args.pareto else run.result.points
         text = _points_text(points, args.format)
     _emit(text, args.output)
-    return 0
+    return _study_exit_code(result)
 
 
 # ----------------------------------------------------------------------
@@ -304,6 +371,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 progress=None if args.quiet else _progress,
                 tracer=tracer,
                 collect_metrics=_collect_metrics(args),
+                policy=_make_policy(args),
             ),
         )
     finally:
@@ -441,6 +509,36 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``cache verify|repair``: sweep a result-cache directory.
+
+    ``verify`` reports and exits 1 when corrupt entries exist (leaving
+    them in place); ``repair`` moves them to ``<dir>/quarantine/`` and
+    exits 0 — re-evaluation then replaces them on the next run.
+    """
+    cache = ResultCache(args.cache_dir)
+    report = cache.verify(repair=args.action == "repair")
+    print(
+        f"cache {cache.directory}: {report['checked']} entries, "
+        f"{report['ok']} ok, {report['stale']} stale, "
+        f"{len(report['corrupt'])} corrupt"
+    )
+    for name in report["corrupt"]:
+        print(f"  corrupt: {name}")
+    if report["quarantined"]:
+        print(
+            f"quarantined {report['quarantined']} "
+            f"entr{'y' if report['quarantined'] == 1 else 'ies'} "
+            f"to {cache.directory / 'quarantine'}"
+        )
+    if args.action == "verify" and report["corrupt"]:
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 # trace
 # ----------------------------------------------------------------------
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -550,6 +648,21 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
                    help="re-evaluate every point, touch no cache")
 
 
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--fault-policy", choices=("fail_fast", "skip", "retry"),
+                   default=None,
+                   help="what a crashing evaluation does to the sweep: "
+                        "abort it (fail_fast, default), record the point "
+                        "as failed and continue (skip), or re-attempt "
+                        "with backoff first (retry)")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="extra attempts per point under --fault-policy "
+                        "retry (default 2)")
+    p.add_argument("--point-timeout", type=float, default=None, metavar="SEC",
+                   help="per-point wall-clock budget on the pool path; "
+                        "a point past it is recorded as failed")
+
+
 def _add_run_args(p: argparse.ArgumentParser, test_costs: bool = True) -> None:
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size; 1 = serial (default)")
@@ -606,6 +719,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(p, test_costs=False)
     _add_cache_args(p)
     _add_telemetry_args(p)
+    _add_fault_args(p)
+    p.add_argument("--checkpoint", default=None, metavar="FILE.json",
+                   help="write a resumable checkpoint here as points "
+                        "complete (see --resume)")
+    p.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                   help="flush the checkpoint every N points (default 16)")
+    p.add_argument("--resume", default=None, metavar="FILE.json",
+                   help="continue an interrupted study from its "
+                        "checkpoint instead of building a spec from "
+                        "the flags")
+    p.add_argument("--cancel-after", type=int, default=None, metavar="N",
+                   help="stop cleanly after N evaluated points "
+                        "(testing aid; the run is flagged interrupted)")
     # None (not 1) so a --spec file's own `workers` field wins unless
     # the flag is given explicitly.
     p.set_defaults(func=cmd_study, workers=None)
@@ -643,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(p)
     _add_cache_args(p)
     _add_telemetry_args(p)
+    _add_fault_args(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("energy",
@@ -690,6 +817,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-write", action="store_true",
                    help="print the report without touching the file")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("cache",
+                       help="verify or repair a result-cache directory")
+    p.add_argument("action", choices=("verify", "repair"),
+                   help="verify: report corrupt entries (exit 1 if any); "
+                        "repair: move them to <dir>/quarantine/")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                        "$REPRO_CAMPAIGN_CACHE or ~/.cache/repro-tta/campaign)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("trace",
                        help="validate or summarize a telemetry trace "

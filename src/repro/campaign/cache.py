@@ -10,6 +10,21 @@ surviving entries instead of re-compiling them.
 The cache stores *results* (area, cycles, test cost), never compiled
 programs — entries are a few hundred bytes and safe to version or rsync
 between machines.
+
+Robustness posture (PR 7):
+
+* a corrupt or truncated entry is **quarantined** — moved to
+  ``<dir>/quarantine/`` — so re-evaluation replaces it and the torn
+  bytes stay available for diagnosis instead of being re-read forever;
+* :meth:`ResultCache.put` holds a per-key ``flock`` around its
+  read-merge-write-replace, so two processes attaching different
+  post-pass axes to the same entry cannot drop each other's writes;
+* :meth:`ResultCache.verify` sweeps a directory for the ``repro cache
+  verify|repair`` CLI.
+
+The entry codec is shared: :func:`encode_entry`/:func:`decode_entry`
+are also what study checkpoints store per completed point, so the two
+on-disk formats cannot drift.
 """
 
 from __future__ import annotations
@@ -20,10 +35,19 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
+try:
+    import fcntl
+except ImportError:          # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 from repro.explore.evaluate import EvaluatedPoint
 from repro.explore.space import ArchConfig
 
 _SCHEMA = 1
+
+#: Exceptions that mean "this entry's bytes or shape are corrupt" (as
+#: opposed to OSError, which means the file is missing or unreadable).
+_CORRUPT_ERRORS = (ValueError, KeyError, TypeError, AttributeError)
 
 
 @dataclass
@@ -37,7 +61,8 @@ class CacheStats:
     attachment rewriting an existing entry), ``merged_axes`` the
     post-pass axes actually preserved from the old entry — each one a
     write that, unmerged, would have dropped another study's work.
-    ``bytes_written`` sums the serialised payloads.
+    ``bytes_written`` sums the serialised payloads.  ``quarantined``
+    counts corrupt entries moved aside by :meth:`ResultCache.get`.
     """
 
     hits: int = 0
@@ -46,6 +71,7 @@ class CacheStats:
     merge_reads: int = 0
     merged_axes: int = 0
     bytes_written: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -64,6 +90,7 @@ class CacheStats:
             "merge_reads": self.merge_reads,
             "merged_axes": self.merged_axes,
             "bytes_written": self.bytes_written,
+            "quarantined": self.quarantined,
         }
 
     def delta(self, since: dict) -> dict:
@@ -95,18 +122,105 @@ def cache_key(workload: str, config: ArchConfig, width: int) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def encode_entry(
+    workload: str,
+    point: EvaluatedPoint,
+    width: int,
+    march: str | None = None,
+    energy_model: str | None = None,
+) -> dict:
+    """One evaluated point as the JSON entry shape cache files use.
+
+    Post-pass provenance keys (``march``, ``energy_model``) are stored
+    only alongside the axis they qualify, so a restored axis can be
+    rejected when it was computed under different settings.
+    """
+    return {
+        "schema": _SCHEMA,
+        "workload": workload,
+        "width": width,
+        "config": point.config.to_dict(),
+        "area": point.area,
+        "cycles": point.cycles,
+        "test_cost": point.test_cost,
+        "march": march if point.test_cost is not None else None,
+        "energy": point.energy,
+        "energy_model": energy_model if point.energy is not None else None,
+    }
+
+
+def decode_entry(
+    data: dict,
+    march: str | None = None,
+    energy_model: str | None = None,
+) -> EvaluatedPoint | None:
+    """Invert :func:`encode_entry`.
+
+    Returns ``None`` on a schema mismatch (a stale-but-well-formed
+    entry, not an error); raises one of ``_CORRUPT_ERRORS`` when the
+    payload's shape is wrong — the caller decides whether that means
+    quarantine.  A stored test cost is only restored when it was
+    computed for the same ``march`` algorithm, and a stored energy only
+    under the same ``energy_model``; the (area, cycles) evaluation
+    depends on neither.
+    """
+    if not isinstance(data, dict):
+        raise TypeError("cache entry is not a JSON object")
+    if data.get("schema") != _SCHEMA:
+        return None
+    cycles = data["cycles"]
+    test_cost = data.get("test_cost")
+    if test_cost is not None and data.get("march") != march:
+        test_cost = None
+    energy = data.get("energy")
+    if energy is not None and data.get("energy_model") != energy_model:
+        energy = None
+    return EvaluatedPoint(
+        config=ArchConfig.from_dict(data["config"]),
+        area=float(data["area"]),
+        cycles=None if cycles is None else int(cycles),
+        test_cost=None if test_cost is None else int(test_cost),
+        energy=None if energy is None else float(energy),
+    )
+
+
 class ResultCache:
     """Directory of evaluated points, one JSON file per cache key."""
 
     def __init__(self, directory: str | Path | None = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
-        self.directory.mkdir(parents=True, exist_ok=True)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise OSError(
+                f"cache directory {self.directory} cannot be created "
+                f"({exc}); pass a writable --cache-dir or set "
+                "REPRO_CAMPAIGN_CACHE, or disable caching with --no-cache"
+            ) from exc
+        if not os.access(self.directory, os.W_OK):
+            raise OSError(
+                f"cache directory {self.directory} is not writable; "
+                "pass a writable --cache-dir or set REPRO_CAMPAIGN_CACHE, "
+                "or disable caching with --no-cache"
+            )
         #: Always-on lifetime counters (reading them costs nothing on
         #: the hot path; a handful of integer adds per get/put).
         self.stats = CacheStats()
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
+
+    def _quarantine(self, path: Path) -> Path:
+        """Move a corrupt entry to ``<dir>/quarantine/``; count it."""
+        qdir = self.directory / "quarantine"
+        qdir.mkdir(exist_ok=True)
+        target = qdir / path.name
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass                    # a concurrent reader beat us to it
+        self.stats.quarantined += 1
+        return target
 
     def get(
         self,
@@ -118,39 +232,31 @@ class ResultCache:
     ) -> EvaluatedPoint | None:
         """Return the cached point, or None on a miss.
 
-        Unreadable or schema-mismatched entries count as misses — a
-        killed writer or an old cache degrades to re-evaluation, never
-        to a crash or a wrong result.  A stored test cost is only
-        restored when it was computed for the same ``march`` algorithm,
-        and a stored energy only under the same ``energy_model``
-        (technology fingerprint); the (area, cycles) evaluation depends
-        on neither.
+        A missing or unreadable file is a plain miss.  A *corrupt*
+        entry (truncated bytes, wrong shape) is quarantined to
+        ``<dir>/quarantine/`` and then counts as a miss — the killed
+        writer that tore it degrades to one re-evaluation, never to a
+        crash, a wrong result, or a file that stays poisonous forever.
+        A well-formed entry from an older schema is a plain miss (stale
+        is not corrupt).
         """
         path = self._path(cache_key(workload, config, width))
         try:
-            data = json.loads(path.read_text())
-            if data.get("schema") != _SCHEMA:
-                self.stats.misses += 1
-                return None
-            cycles = data["cycles"]
-            test_cost = data.get("test_cost")
-            if test_cost is not None and data.get("march") != march:
-                test_cost = None
-            energy = data.get("energy")
-            if energy is not None and data.get("energy_model") != energy_model:
-                energy = None
-            point = EvaluatedPoint(
-                config=ArchConfig.from_dict(data["config"]),
-                area=float(data["area"]),
-                cycles=None if cycles is None else int(cycles),
-                test_cost=None if test_cost is None else int(test_cost),
-                energy=None if energy is None else float(energy),
-            )
-            self.stats.hits += 1
-            return point
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            text = path.read_text()
+        except OSError:
             self.stats.misses += 1
             return None
+        try:
+            point = decode_entry(json.loads(text), march, energy_model)
+        except _CORRUPT_ERRORS:
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        if point is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return point
 
     def put(
         self,
@@ -167,29 +273,43 @@ class ResultCache:
         energy axis restores points with ``test_cost=None`` (its march
         key differs) and must not wipe another study's persisted ATPG
         result when it writes its energies back — and vice versa.
+
+        The whole read-merge-write-replace runs under a per-key
+        ``flock`` (a sibling ``<key>.lock`` file — the entry itself
+        cannot carry the lock because ``os.replace`` swaps its inode),
+        so two processes attaching different axes to the same entry
+        serialise instead of dropping each other's writes.
         """
         key = cache_key(workload, point.config, width)
+        if fcntl is None:
+            self._put_locked(key, workload, point, width, march, energy_model)
+            return
+        lock_path = self.directory / f"{key}.lock"
+        with open(lock_path, "w") as lock_file:
+            fcntl.flock(lock_file, fcntl.LOCK_EX)
+            try:
+                self._put_locked(
+                    key, workload, point, width, march, energy_model
+                )
+            finally:
+                fcntl.flock(lock_file, fcntl.LOCK_UN)
+
+    def _put_locked(
+        self,
+        key: str,
+        workload: str,
+        point: EvaluatedPoint,
+        width: int,
+        march: str | None,
+        energy_model: str | None,
+    ) -> None:
         path = self._path(key)
-        data = {
-            "schema": _SCHEMA,
-            "workload": workload,
-            "width": width,
-            "config": point.config.to_dict(),
-            "area": point.area,
-            "cycles": point.cycles,
-            "test_cost": point.test_cost,
-            "march": march if point.test_cost is not None else None,
-            "energy": point.energy,
-            "energy_model": energy_model if point.energy is not None else None,
-        }
+        data = encode_entry(workload, point, width, march, energy_model)
         # Merge only when the caller computed exactly one post-pass axis
         # (a test-cost or energy attachment rewriting an existing entry);
         # a plain (area, cycles) store is a cache miss — the entry it
         # would merge from was just found absent — so the common fresh-
-        # evaluation path pays no extra read.  The read-then-replace is
-        # not atomic across processes: two concurrent attachers can drop
-        # each other's freshly written axis, which degrades to a
-        # re-attachment on the next run, never to a wrong value.
+        # evaluation path pays no extra read.
         if (point.test_cost is None) != (point.energy is None):
             self.stats.merge_reads += 1
             try:
@@ -216,6 +336,38 @@ class ResultCache:
         self.stats.puts += 1
         self.stats.bytes_written += len(payload)
 
+    def verify(self, repair: bool = False) -> dict:
+        """Sweep every entry; optionally quarantine the corrupt ones.
+
+        Returns ``{"checked", "ok", "stale", "corrupt": [names],
+        "quarantined"}``.  ``repair=True`` moves each corrupt entry to
+        ``<dir>/quarantine/`` (what :meth:`get` would do lazily on its
+        next lookup); ``stale`` counts well-formed entries from another
+        schema, which are left in place.
+        """
+        report: dict = {
+            "checked": 0,
+            "ok": 0,
+            "stale": 0,
+            "corrupt": [],
+            "quarantined": 0,
+        }
+        for path in sorted(self.directory.glob("*.json")):
+            report["checked"] += 1
+            try:
+                point = decode_entry(json.loads(path.read_text()))
+            except (OSError, *_CORRUPT_ERRORS):
+                report["corrupt"].append(path.name)
+                if repair:
+                    self._quarantine(path)
+                    report["quarantined"] += 1
+                continue
+            if point is None:
+                report["stale"] += 1
+            else:
+                report["ok"] += 1
+        return report
+
     def bytes_on_disk(self) -> int:
         """Total size of every entry file, in bytes (walks the dir)."""
         return sum(
@@ -226,9 +378,15 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        Lock files are swept too but not counted — they are plumbing,
+        not entries.
+        """
         removed = 0
         for path in self.directory.glob("*.json"):
             path.unlink()
             removed += 1
+        for path in self.directory.glob("*.lock"):
+            path.unlink(missing_ok=True)
         return removed

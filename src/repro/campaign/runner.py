@@ -149,6 +149,7 @@ def _run_job(
     progress: ProgressFn | None,
     tracer: "Tracer | None" = None,
     collect_metrics: bool = False,
+    policy=None,
 ) -> WorkloadRun:
     study = Study(
         study_spec_for_job(spec, workload_name, space_name, width),
@@ -157,6 +158,7 @@ def _run_job(
         progress=progress,
         tracer=tracer,
         collect_metrics=collect_metrics,
+        policy=policy,
     )
     run = study.run().single
     return WorkloadRun(
@@ -176,6 +178,7 @@ def run_campaign(
     progress: ProgressFn | None = None,
     tracer: "Tracer | None" = None,
     collect_metrics: bool = False,
+    policy=None,
 ) -> CampaignResult:
     """Run every (workload, space, width) job of ``spec``.
 
@@ -187,11 +190,21 @@ def run_campaign(
     ``tracer``/``collect_metrics`` thread straight through to each
     job's :class:`~repro.study.engine.Study` — one trace covers the
     whole campaign (the tracer's study field is the campaign name), and
-    per-job phase tables land in each run's stats.
+    per-job phase tables land in each run's stats.  ``policy`` (a
+    :class:`~repro.resilience.policy.FaultPolicy`) likewise applies to
+    every job: under ``skip``/``retry`` a configuration whose
+    evaluation dies costs the campaign one point, not the whole run.
     """
-    spec.validate()
+    # Everything that can be rejected cheaply is rejected before any
+    # evaluation starts: the worker count, then every registry name the
+    # spec references (the cache directory validated itself when the
+    # ResultCache was constructed).
     if workers < 1:
-        raise ValueError("workers must be >= 1")
+        raise ValueError(
+            f"workers must be >= 1 (got {workers}); "
+            "use workers=1 for the serial path"
+        )
+    spec.validate()
     if tracer is not None and tracer.study is None:
         tracer.study = spec.name
     campaign = CampaignResult(spec=spec)
@@ -201,6 +214,7 @@ def run_campaign(
                 spec, workload_name, space_name, width,
                 workers, cache, progress,
                 tracer=tracer, collect_metrics=collect_metrics,
+                policy=policy,
             )
         )
     return campaign

@@ -43,6 +43,7 @@ from repro.explore.space import (
     ArchConfig,
     build_architecture_cached,
 )
+from repro.resilience import faults as _faults
 from repro.telemetry.metrics import MetricsCollector
 from repro.tta.arch import Architecture
 from repro.tta.timing import validate_program
@@ -78,6 +79,11 @@ class EvaluatedPoint:
     test_cost: int | None = None            # attached by repro.testcost
     energy: float | None = None             # attached by repro.energy
     compile_result: CompileResult | None = None
+    #: True for the placeholder a skipped/exhausted-retries evaluation
+    #: failure leaves in the point list (always infeasible; the real
+    #: record is the run's FailedPoint).  Distinguishes "could not be
+    #: evaluated" from the ordinary "compiles to infeasible".
+    failed: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -164,6 +170,7 @@ class EvaluationContext:
         the metered twin runs instead; the untimed path below stays
         branch-free so sweeps with telemetry off pay nothing.
         """
+        _faults.on_evaluate(config)
         if self.metrics is not None:
             return self._evaluate_metered(config, keep_compile_result)
         arch = build_architecture_cached(config, self.width)

@@ -1,0 +1,54 @@
+"""Fault isolation, checkpoint/resume, and fault injection for studies.
+
+The package is the robustness layer under the study engine:
+
+* :mod:`repro.resilience.policy` — :class:`FaultPolicy` (``fail_fast``
+  | ``skip`` | ``retry`` with backoff and per-point timeouts) and the
+  structured :class:`FailedPoint` record;
+* :mod:`repro.resilience.isolation` — the fault-isolated serial guard
+  and pool supervisor behind ``iter_evaluations``;
+* :mod:`repro.resilience.checkpoint` — :class:`CheckpointManager`,
+  :class:`CancelToken`, and the RNG-state codecs that make
+  ``Study.resume`` exact for seeded strategies;
+* :mod:`repro.resilience.faults` — deterministic fault injectors
+  (raise / sleep / SIGKILL / truncate-cache-entry) the test suite and
+  CI smoke jobs drive the recovery paths with.
+"""
+
+from repro.resilience.checkpoint import (
+    CancelToken,
+    CheckpointManager,
+    StudyInterrupted,
+    rng_state_from_json,
+    rng_state_to_json,
+)
+from repro.resilience.isolation import (
+    SweepInterrupted,
+    WorkerCrash,
+    call_guarded,
+    iter_pool_isolated,
+)
+from repro.resilience.policy import (
+    FAIL_FAST,
+    MODES,
+    FailedPoint,
+    FaultPolicy,
+    traceback_digest,
+)
+
+__all__ = [
+    "FAIL_FAST",
+    "MODES",
+    "CancelToken",
+    "CheckpointManager",
+    "FailedPoint",
+    "FaultPolicy",
+    "StudyInterrupted",
+    "SweepInterrupted",
+    "WorkerCrash",
+    "call_guarded",
+    "iter_pool_isolated",
+    "rng_state_from_json",
+    "rng_state_to_json",
+    "traceback_digest",
+]

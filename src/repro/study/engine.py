@@ -17,9 +17,9 @@ ResultCache`.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
+from pathlib import Path
 from time import perf_counter
 from typing import Callable, Iterable, Iterator
 
@@ -38,6 +38,17 @@ from repro.explore.evaluate import (
 from repro.explore.explorer import ExplorationResult
 from repro.explore.selection import SelectionResult, select_architecture
 from repro.explore.space import ArchConfig
+from repro.resilience.checkpoint import (
+    CancelToken,
+    CheckpointManager,
+    StudyInterrupted,
+)
+from repro.resilience.isolation import (
+    SweepInterrupted,
+    call_guarded,
+    iter_pool_isolated,
+)
+from repro.resilience.policy import FAIL_FAST, FailedPoint, FaultPolicy
 from repro.study.objectives import (
     Objective,
     cost_vector,
@@ -51,6 +62,24 @@ from repro.telemetry.tracer import Tracer
 from repro.testcost.cost import attach_test_costs
 
 ProgressFn = Callable[[str], None]
+
+_CODEC = None
+
+
+def _entry_codec():
+    """The cache's (encode_entry, decode_entry) pair, imported lazily.
+
+    Checkpoints store completed points in the exact entry shape the
+    result cache writes, so the two formats cannot drift — but
+    ``repro.campaign`` imports this module, so the codec import must
+    not run at import time.
+    """
+    global _CODEC
+    if _CODEC is None:
+        from repro.campaign.cache import decode_entry, encode_entry
+
+        _CODEC = (encode_entry, decode_entry)
+    return _CODEC
 
 
 @lru_cache(maxsize=256)
@@ -110,13 +139,26 @@ def iter_evaluations(
     workers: int,
     context: EvaluationContext | None = None,
     metrics: MetricsCollector | None = None,
-) -> Iterator[EvaluatedPoint]:
-    """Yield evaluated points in configuration order, streaming.
+    policy: FaultPolicy | None = None,
+    token: CancelToken | None = None,
+    on_retry: Callable | None = None,
+) -> Iterator[EvaluatedPoint | FailedPoint]:
+    """Yield evaluation outcomes in configuration order, streaming.
 
     Streaming matters for resumability: the caller persists each point
     as it arrives, so a killed run keeps everything that finished
-    rather than losing the whole sweep.  ``pool.map`` yields completed
-    results in submission order, chunk by chunk.
+    rather than losing the whole sweep.  The pool path submits through
+    the fault-isolated supervisor (:func:`~repro.resilience.isolation.
+    iter_pool_isolated`), whose ordered reassembly buffer yields in
+    submission order no matter how completions interleave.
+
+    Under a ``skip``/``retry`` :class:`FaultPolicy` a configuration
+    whose evaluation dies yields a :class:`FailedPoint` in its slot
+    instead of aborting the sweep; ``fail_fast`` (the default)
+    propagates the exception exactly as before.  ``token`` cancellation
+    raises :class:`StudyInterrupted` (serial) or
+    :class:`~repro.resilience.isolation.SweepInterrupted` carrying the
+    drained results (pool).
 
     Pass ``context`` to reuse a caller-held sweep context on the serial
     path — batch-per-wave strategies would otherwise rebuild the
@@ -134,24 +176,33 @@ def iter_evaluations(
                 workload, profile, width, metrics=metrics
             )
         for config in configs:
-            yield context.evaluate(config)
-        return
-    chunksize = max(1, len(configs) // (workers * 4))
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(configs)),
-        initializer=init_evaluation_worker,
-        initargs=(workload, profile, width),
-    ) as pool:
-        if metrics is None:
-            yield from pool.map(
-                evaluate_config_worker, configs, chunksize=chunksize
+            if token is not None:
+                token.raise_if_cancelled()
+            yield call_guarded(
+                context.evaluate, config, policy, on_retry=on_retry
             )
-            return
-        for point, snapshot in pool.map(
-            evaluate_config_worker_metered, configs, chunksize=chunksize
-        ):
-            metrics.merge(snapshot)
+        return
+    worker_fn = (
+        evaluate_config_worker if metrics is None
+        else evaluate_config_worker_metered
+    )
+    for outcome in iter_pool_isolated(
+        configs,
+        worker_fn,
+        init_evaluation_worker,
+        (workload, profile, width),
+        min(workers, len(configs)),
+        policy=policy,
+        token=token,
+        on_retry=on_retry,
+    ):
+        if isinstance(outcome, tuple):      # metered: (point, snapshot)
+            point, snapshot = outcome
+            if metrics is not None:
+                metrics.merge(snapshot)
             yield point
+        else:
+            yield outcome
 
 
 def evaluate_configs(
@@ -202,6 +253,10 @@ class CachedEvaluator:
         label: str | None = None,
         metrics: MetricsCollector | None = None,
         tracer: Tracer | None = None,
+        policy: FaultPolicy | None = None,
+        token: CancelToken | None = None,
+        manager: CheckpointManager | None = None,
+        overlay: dict[str, dict] | None = None,
     ) -> None:
         self.workload_name = workload_name
         self.workload = workload
@@ -215,6 +270,17 @@ class CachedEvaluator:
         self.label = label or workload_name
         self.metrics = metrics
         self.tracer = tracer
+        #: Fault handling: the policy governs unexpected evaluation
+        #: exceptions (skip/retry record a FailedPoint instead of
+        #: aborting); the token cancels cooperatively; the manager
+        #: receives every completed point and failure (the checkpoint);
+        #: the overlay is a resumed checkpoint's completed points,
+        #: consulted before the result cache (counted as cache hits).
+        self.policy = policy or FAIL_FAST
+        self.token = token
+        self.manager = manager
+        self.overlay = overlay or {}
+        self.failures: list[FailedPoint] = []
         self.cache_hits = 0
         self.evaluated = 0
         self.wave = 0
@@ -244,6 +310,16 @@ class CachedEvaluator:
         )
 
     def _lookup(self, config: ArchConfig) -> EvaluatedPoint | None:
+        if self.overlay:
+            entry = self.overlay.get(config.label())
+            if entry is not None:
+                _, decode = _entry_codec()
+                try:
+                    point = decode(entry, self.march, self.energy_model)
+                except (ValueError, KeyError, TypeError, AttributeError):
+                    point = None
+                if point is not None:
+                    return point
         if self.cache is None:
             return None
         return self.cache.get(
@@ -251,15 +327,87 @@ class CachedEvaluator:
             energy_model=self.energy_model,
         )
 
+    def _remember(self, point: EvaluatedPoint) -> None:
+        """Record one completed point into the study checkpoint."""
+        if self.manager is not None and not point.failed:
+            encode, _ = _entry_codec()
+            self.manager.record_point(
+                self.label,
+                point.label,
+                encode(
+                    self.workload_name, point, self.width, self.march,
+                    self.energy_model,
+                ),
+            )
+
     def _store(self, point: EvaluatedPoint) -> None:
-        if self.cache is not None:
+        if self.cache is not None and not point.failed:
             self.cache.put(
                 self.workload_name, point, self.width, self.march,
                 energy_model=self.energy_model,
             )
+        self._remember(point)
+
+    def _on_retry(self, config, attempt: int, exc: BaseException) -> None:
+        """Between-attempt hook: count and trace the retry."""
+        if self.metrics is not None:
+            self.metrics.count("points_retried")
+        if self.tracer is not None:
+            self.tracer.event(
+                "retry",
+                run=self.label,
+                config=config.label(),
+                attempt=attempt,
+                error=type(exc).__name__,
+            )
+
+    def _accept(
+        self, outcome: EvaluatedPoint | FailedPoint, wave: int | None = None
+    ) -> EvaluatedPoint:
+        """Fold one fresh outcome into the run's accounting.
+
+        A :class:`FailedPoint` is recorded (result failures, metrics,
+        trace, checkpoint) and replaced by an infeasible placeholder so
+        the strategy's point list keeps its shape — the front simply
+        loses that one point.
+        """
+        if isinstance(outcome, FailedPoint):
+            self.failures.append(outcome)
+            if self.metrics is not None:
+                self.metrics.count("points_failed")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "failure",
+                    run=self.label,
+                    wave=wave,
+                    config=outcome.label,
+                    error=outcome.error_type,
+                    message=outcome.message,
+                    digest=outcome.digest,
+                    attempts=outcome.attempts,
+                )
+            if self.manager is not None:
+                self.manager.record_failure(self.label, outcome)
+            point = EvaluatedPoint(
+                config=ArchConfig.from_dict(outcome.config),
+                area=0.0,
+                cycles=None,
+                failed=True,
+            )
+        else:
+            point = outcome
+            if self.tracer is not None:
+                self._trace_point(point, "fresh", wave)
+            self._store(point)
+        self.evaluated += 1
+        if self.token is not None:
+            self.token.tick()
+        return point
 
     def evaluate(self, config: ArchConfig) -> EvaluatedPoint:
         """Cost one configuration, cache-first."""
+        if self.token is not None:
+            self.token.raise_if_cancelled()
         if self.metrics is not None:
             self.metrics.count("proposed")
         cached = self._lookup(config)
@@ -269,20 +417,22 @@ class CachedEvaluator:
                 self.metrics.count("cache_hits")
             if self.tracer is not None:
                 self._trace_point(cached, "cache")
+            self._remember(cached)
             return cached
-        point = self.context.evaluate(config)
-        self.evaluated += 1
         if self.metrics is not None:
             self.metrics.count("evaluated")
-        if self.tracer is not None:
-            self._trace_point(point, "fresh")
-        self._store(point)
-        return point
+        outcome = call_guarded(
+            self.context.evaluate, config, self.policy,
+            on_retry=self._on_retry,
+        )
+        return self._accept(outcome)
 
     def evaluate_many(
         self, configs: list[ArchConfig]
     ) -> list[EvaluatedPoint]:
         """Cost an ordered batch, cache-first, fanning out the misses."""
+        if self.token is not None:
+            self.token.raise_if_cancelled()
         wave = self.wave
         self.wave += 1
         points: list[EvaluatedPoint | None] = [None] * len(configs)
@@ -324,6 +474,9 @@ class CachedEvaluator:
             for point in points:
                 if point is not None:
                     self._trace_point(point, "cache", wave)
+        for point in points:
+            if point is not None:
+                self._remember(point)
         if missing:
             fresh = iter_evaluations(
                 [configs[i] for i in missing],
@@ -333,13 +486,26 @@ class CachedEvaluator:
                 workers,
                 context=self.context if serial else None,
                 metrics=None if serial else self.metrics,
+                policy=self.policy,
+                token=self.token,
+                on_retry=self._on_retry,
             )
-            for i, point in zip(missing, fresh):
-                points[i] = point
-                self.evaluated += 1
-                if self.tracer is not None:
-                    self._trace_point(point, "fresh", wave)
-                self._store(point)
+            done = 0
+            try:
+                for outcome in fresh:
+                    points[missing[done]] = self._accept(outcome, wave)
+                    done += 1
+            except SweepInterrupted as exc:
+                # The pool drained: record what finished but was not
+                # yet yielded, then surface the interruption — the
+                # study turns it into a partial result.
+                for sub_index, outcome in sorted(exc.completed.items()):
+                    if isinstance(outcome, tuple):   # metered worker
+                        outcome, snapshot = outcome
+                        if self.metrics is not None:
+                            self.metrics.merge(snapshot)
+                    points[missing[sub_index]] = self._accept(outcome, wave)
+                raise StudyInterrupted() from None
         return points
 
 
@@ -423,6 +589,12 @@ class StudyRun:
     evaluations: int
     iterations: int = 1
     frontier_history: list[int] = field(default_factory=list)
+    #: Configurations whose evaluation died after all policy attempts
+    #: (skip/retry modes); empty under fail_fast or on a clean run.
+    failures: list[FailedPoint] = field(default_factory=list)
+    #: True when this run was cut short (cancel token / ^C) and holds
+    #: only the points that finished before the interruption.
+    interrupted: bool = False
 
     @property
     def label(self) -> str:
@@ -446,6 +618,10 @@ class StudyResult:
 
     spec: StudySpec
     runs: list[StudyRun] = field(default_factory=list)
+    #: True when the study was interrupted (cancel token / ^C): the
+    #: result is partial but valid — every completed run plus the
+    #: interrupted run's finished points.
+    interrupted: bool = False
 
     @property
     def cache_hits(self) -> int:
@@ -454,6 +630,11 @@ class StudyResult:
     @property
     def evaluated(self) -> int:
         return sum(r.stats.evaluated for r in self.runs)
+
+    @property
+    def failures(self) -> list[FailedPoint]:
+        """Every failed point across the study's runs."""
+        return [f for r in self.runs for f in r.failures]
 
     def run(self, label: str) -> StudyRun:
         """Look one run up by ``workload/space/wWIDTH`` label."""
@@ -492,6 +673,8 @@ class StudyResult:
             f"objectives={'+'.join(spec.objectives)}, "
             f"{len(self.runs)} run{'s' if len(self.runs) != 1 else ''}, "
             f"{self.evaluated} evaluated, {self.cache_hits} cache hits"
+            + (f", {len(self.failures)} failed" if self.failures else "")
+            + (" [INTERRUPTED]" if self.interrupted else "")
         ]
         for r in self.runs:
             res = r.result
@@ -505,6 +688,10 @@ class StudyResult:
                 f"[{cached} cached, {r.stats.evaluated} "
                 f"evaluated, {r.stats.elapsed:.2f}s]",
             ]
+            if r.failures:
+                parts.append(f"{len(r.failures)} failed")
+            if r.interrupted:
+                parts.append("(interrupted)")
             if r.selection is not None:
                 parts.append(f"-> {r.selection.point.label}")
             elif spec.select:
@@ -544,35 +731,122 @@ class Study:
         progress: ProgressFn | None = None,
         tracer: Tracer | None = None,
         collect_metrics: bool = False,
+        policy: FaultPolicy | None = None,
+        checkpoint: str | Path | None = None,
+        checkpoint_every: int = 16,
+        cancel: CancelToken | None = None,
+        _manager: CheckpointManager | None = None,
     ) -> None:
         spec.validate()
         self.spec = spec
         self.cache = cache
         self.workers = spec.workers if workers is None else workers
         if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+            raise ValueError(
+                f"workers must be >= 1 (got {self.workers}); "
+                "use workers=1 for the serial path"
+            )
         self.progress = progress
         self.tracer = tracer
         self.collect_metrics = collect_metrics or tracer is not None
+        #: Fault policy for unexpected evaluation exceptions; the
+        #: default (fail_fast) is exactly the pre-resilience behaviour.
+        self.policy = policy or FAIL_FAST
+        self.cancel = cancel
+        # The manager always exists: with no checkpoint path it stays
+        # in memory, which is what lets an interrupted run assemble a
+        # partial-but-valid result from the points that finished.
+        if _manager is not None:
+            self._manager = _manager
+        else:
+            self._manager = CheckpointManager(
+                spec.to_dict(), path=checkpoint, every=checkpoint_every
+            )
+        self._current: dict | None = None
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: str | Path,
+        cache=None,
+        workers: int | None = None,
+        progress: ProgressFn | None = None,
+        tracer: Tracer | None = None,
+        collect_metrics: bool = False,
+        policy: FaultPolicy | None = None,
+        checkpoint_every: int = 16,
+        cancel: CancelToken | None = None,
+    ) -> Study:
+        """A study continuing a killed/interrupted run from its file.
+
+        The checkpoint's spec is rebuilt and hash-verified; every point
+        it recorded becomes an evaluator overlay (a free cache layer),
+        and strategies that saved mid-search state (iterative,
+        simulated annealing) restore it — including the RNG state — so
+        the resumed walk is the uninterrupted walk, not a restart.
+        """
+        manager = CheckpointManager.load(checkpoint, every=checkpoint_every)
+        spec = StudySpec.from_dict(manager.spec_dict)
+        return cls(
+            spec,
+            cache=cache,
+            workers=workers,
+            progress=progress,
+            tracer=tracer,
+            collect_metrics=collect_metrics,
+            policy=policy,
+            cancel=cancel,
+            _manager=manager,
+        )
 
     def run(self) -> StudyResult:
+        """Execute the spec; on interruption return a partial result.
+
+        ``KeyboardInterrupt`` or a tripped :class:`CancelToken` does
+        not discard finished work: in-flight pool futures are drained,
+        completed points are checkpointed, the in-progress run joins
+        the result with its finished points, and the whole result is
+        flagged ``interrupted=True``.  The checkpoint file (when one
+        was requested) and the telemetry sinks are flushed either way.
+        """
         if self.tracer is not None and self.tracer.study is None:
             self.tracer.study = self.spec.name
         result = StudyResult(spec=self.spec)
-        if self.tracer is None:
-            for workload_name in self.spec.workloads:
-                result.runs.append(self._run_one(workload_name))
-            return result
         spec = self.spec
-        with self.tracer.span(
-            "study", strategy=spec.strategy,
-            objectives=list(spec.objectives),
-            workloads=list(spec.workloads),
-        ):
-            for workload_name in spec.workloads:
-                label = f"{workload_name}/{spec.space_label}/w{spec.width}"
-                with self.tracer.span("run", run=label):
+        try:
+            if self.tracer is None:
+                for workload_name in spec.workloads:
                     result.runs.append(self._run_one(workload_name))
+            else:
+                with self.tracer.span(
+                    "study", strategy=spec.strategy,
+                    objectives=list(spec.objectives),
+                    workloads=list(spec.workloads),
+                ):
+                    for workload_name in spec.workloads:
+                        label = (
+                            f"{workload_name}/{spec.space_label}"
+                            f"/w{spec.width}"
+                        )
+                        with self.tracer.span("run", run=label):
+                            result.runs.append(self._run_one(workload_name))
+        except (KeyboardInterrupt, StudyInterrupted):
+            result.interrupted = True
+            self._manager.interrupted = True
+            partial = self._partial_run()
+            if partial is not None:
+                result.runs.append(partial)
+        else:
+            # A clean completion clears the flag a resumed checkpoint
+            # inherited from the interrupted run that wrote it.
+            self._manager.interrupted = False
+        finally:
+            # Flush durable state even on the interrupt path: the
+            # checkpoint must reflect every recorded point, and the
+            # trace must stay valid JSONL (each tracer record is
+            # flushed on write; spans close on exception).
+            self._manager.write(force=True)
+            self._current = None
         return result
 
     def _run_one(self, workload_name: str) -> StudyRun:
@@ -610,7 +884,22 @@ class Study:
             label=label,
             metrics=metrics,
             tracer=self.tracer,
+            policy=self.policy,
+            token=self.cancel,
+            manager=self._manager,
+            overlay=dict(self._manager.points(label)),
         )
+        # Everything _partial_run needs to assemble an interrupted
+        # run's result — the strategy's outcome is lost when the
+        # interruption propagates, but the checkpointed points are not.
+        self._current = {
+            "label": label,
+            "workload": workload_name,
+            "started": started,
+            "total": len(configs),
+            "evaluator": evaluator,
+            "metrics": metrics,
+        }
         job = SearchJob(
             workload=workload,
             profile=profile,
@@ -618,6 +907,10 @@ class Study:
             width=spec.width,
             evaluate=evaluator.evaluate,
             evaluate_many=evaluator.evaluate_many,
+            save_state=(
+                lambda state: self._manager.set_strategy_state(label, state)
+            ),
+            resume_state=self._manager.strategy_state(label),
         )
         if self.tracer is None:
             outcome = run_strategy(spec.strategy, job, spec.params)
@@ -704,6 +997,8 @@ class Study:
                 post_pass_hits=stats.post_pass_hits,
                 workers=stats.workers,
             )
+        self._manager.mark_done(label)
+        self._current = None
         return StudyRun(
             workload=workload_name,
             space=spec.space_label,
@@ -715,6 +1010,82 @@ class Study:
             evaluations=outcome.evaluations,
             iterations=outcome.iterations,
             frontier_history=outcome.frontier_history,
+            failures=list(evaluator.failures),
+        )
+
+    def _partial_run(self) -> StudyRun | None:
+        """The in-progress run's finished points, as a valid StudyRun.
+
+        Called from the interrupt handler: the strategy's outcome never
+        materialised, so the point list is rebuilt from the checkpoint
+        manager's records for this run (every completed point was
+        recorded as it arrived).  No selection, no post-pass attachment
+        — a partial run reports what finished, nothing more.
+        """
+        cur = self._current
+        if cur is None:
+            return None
+        spec = self.spec
+        evaluator: CachedEvaluator = cur["evaluator"]
+        metrics = cur["metrics"]
+        _, decode = _entry_codec()
+        points: list[EvaluatedPoint] = []
+        for entry in self._manager.points(cur["label"]).values():
+            try:
+                point = decode(entry, evaluator.march, evaluator.energy_model)
+            except (ValueError, KeyError, TypeError, AttributeError):
+                point = None
+            if point is not None:
+                points.append(point)
+        result = ExplorationResult(
+            workload=cur["workload"], profile=evaluator.profile,
+            points=points,
+        )
+        snapshot = (
+            metrics.snapshot() if metrics is not None
+            else {"phases": {}, "counters": {}}
+        )
+        stats = RunStats(
+            total=cur["total"],
+            cache_hits=evaluator.cache_hits,
+            evaluated=evaluator.evaluated,
+            workers=self.workers,
+            elapsed=perf_counter() - cur["started"],
+            phases=snapshot["phases"],
+            counters=snapshot["counters"],
+        )
+        if self.tracer is not None:
+            # The in-progress wave's telemetry would otherwise be lost:
+            # emit the final snapshot and the interruption marker so an
+            # interrupted trace still summarises.
+            self.tracer.event(
+                "metrics",
+                run=cur["label"],
+                phases=snapshot["phases"],
+                counters=snapshot["counters"],
+                total=stats.total,
+                cache_hits=stats.cache_hits,
+                evaluated=stats.evaluated,
+                post_pass_hits=0,
+                workers=stats.workers,
+            )
+            self.tracer.event(
+                "interrupted",
+                run=cur["label"],
+                completed=len(points),
+                total=cur["total"],
+            )
+        return StudyRun(
+            workload=cur["workload"],
+            space=spec.space_label,
+            width=spec.width,
+            objectives=spec.objectives,
+            result=result,
+            selection=None,
+            stats=stats,
+            evaluations=evaluator.evaluated,
+            failures=list(evaluator.failures),
+            interrupted=True,
         )
 
     def _attach_test_costs(
@@ -801,9 +1172,15 @@ def run_study(
     progress: ProgressFn | None = None,
     tracer: Tracer | None = None,
     collect_metrics: bool = False,
+    policy: FaultPolicy | None = None,
+    checkpoint: str | Path | None = None,
+    checkpoint_every: int = 16,
+    cancel: CancelToken | None = None,
 ) -> StudyResult:
     """Build and run a :class:`Study` in one call."""
     return Study(
         spec, cache=cache, workers=workers, progress=progress,
         tracer=tracer, collect_metrics=collect_metrics,
+        policy=policy, checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every, cancel=cancel,
     ).run()

@@ -99,7 +99,10 @@ class StudySpec:
         if self.width <= 0:
             raise ValueError("width must be positive")
         if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+            raise ValueError(
+                f"workers must be >= 1 (got {self.workers}); "
+                "use workers=1 for the serial path"
+            )
         # Fail before the sweep runs, not in the selection afterwards
         # (extra weights beyond the vector's dimension are ignored, as
         # in the campaign surface).
@@ -131,16 +134,26 @@ class StudySpec:
         return list(self.space)
 
     def validate(self) -> None:
-        """Resolve every registry reference (raises KeyError/ValueError)."""
+        """Resolve every registry reference (raises KeyError/ValueError).
+
+        Runs before anything is evaluated, so a typo in a workload or
+        space name fails in milliseconds with the registry's
+        known-names message instead of mid-sweep.
+        """
         from repro.energy.model import technology_by_name
 
-        for workload in self.workloads:
-            workload_entry(workload)
-        if isinstance(self.space, str):
-            space_by_name(self.space)
-        resolve_objectives(self.objectives)
-        validate_strategy_params(self.strategy, self.params)
-        technology_by_name(self.tech)
+        try:
+            for workload in self.workloads:
+                workload_entry(workload)
+            if isinstance(self.space, str):
+                space_by_name(self.space)
+            resolve_objectives(self.objectives)
+            validate_strategy_params(self.strategy, self.params)
+            technology_by_name(self.tech)
+        except (KeyError, ValueError) as exc:
+            kind = type(exc)
+            message = exc.args[0] if exc.args else str(exc)
+            raise kind(f"study {self.name!r}: {message}") from None
 
     # ------------------------------------------------------------------
     # serialisation

@@ -32,6 +32,7 @@ from repro.compiler.ir import IRFunction
 from repro.explore.evaluate import EvaluatedPoint
 from repro.explore.pareto import pareto_filter
 from repro.explore.space import ArchConfig
+from repro.resilience.checkpoint import rng_state_from_json, rng_state_to_json
 
 
 @dataclass
@@ -49,6 +50,15 @@ class SearchJob:
     width: int
     evaluate: Callable[[ArchConfig], EvaluatedPoint]
     evaluate_many: Callable[[list[ArchConfig]], list[EvaluatedPoint]]
+    #: Checkpoint hooks (both optional; wired by the engine when the
+    #: study checkpoints).  ``save_state`` receives a JSON-safe dict of
+    #: the strategy's mid-search state after every wave/step;
+    #: ``resume_state`` is the last such dict of an interrupted run.
+    #: Enumerating strategies (exhaustive, random) need neither — their
+    #: walk replays deterministically through the checkpoint's point
+    #: overlay — so only the stateful walks implement them.
+    save_state: Callable[[dict], None] | None = None
+    resume_state: dict | None = None
 
 
 @dataclass
@@ -229,6 +239,26 @@ def iterative_search(
     history: list[int] = []
     proposed = accepted = 0
 
+    if job.resume_state is not None:
+        # Continue an interrupted walk from its last completed wave:
+        # re-evaluating the seen set is free (the engine overlays the
+        # checkpoint's points), and dominance filtering is transitive,
+        # so the rebuilt frontier equals the incremental one.
+        state = job.resume_state
+        for config_dict in state["order"]:
+            config = ArchConfig.from_dict(config_dict)
+            seen[config.label()] = job.evaluate(config)
+        frontier = pareto_filter(
+            [p for p in seen.values() if p.feasible],
+            key=lambda p: p.cost2d(),
+        )
+        queue = [ArchConfig.from_dict(c) for c in state["queue"]]
+        evaluations = int(state["evaluations"])
+        iterations = int(state["iterations"])
+        history = list(state["history"])
+        proposed = int(state["proposed"])
+        accepted = int(state["accepted"])
+
     while queue and evaluations < max_evaluations:
         iterations += 1
         # One wave: the queue's unseen configs, deduplicated in order,
@@ -269,6 +299,17 @@ def iterative_search(
                     continue
                 queue.append(neighbour)
                 accepted += 1
+
+        if job.save_state is not None:
+            job.save_state({
+                "order": [p.config.to_dict() for p in seen.values()],
+                "queue": [c.to_dict() for c in queue],
+                "evaluations": evaluations,
+                "iterations": iterations,
+                "history": list(history),
+                "proposed": proposed,
+                "accepted": accepted,
+            })
 
     return SearchOutcome(
         points=list(seen.values()),
@@ -353,13 +394,42 @@ def simulated_annealing_search(
         return point.area / reference[0] + point.cycles / reference[1]
 
     current_config = start
-    current_cost = cost(evaluate(start))
-    frontier: list[EvaluatedPoint] = pareto_filter(
-        [p for p in seen.values() if p.feasible], key=lambda p: p.cost2d()
-    )
-    history: list[int] = [len(frontier)]
-    steps = 0
-    proposals = accepted = 0
+    if job.resume_state is not None:
+        # Resume the interrupted walk mid-sequence: restore the
+        # normalisation reference *before* replaying the seen set (the
+        # engine's checkpoint overlay makes the replay free), then the
+        # RNG state — the resumed walk draws exactly the proposals the
+        # uninterrupted walk would have drawn.
+        state = job.resume_state
+        reference = (
+            tuple(state["reference"]) if state["reference"] else None
+        )
+        for config_dict in state["order"]:
+            evaluate(ArchConfig.from_dict(config_dict))
+        rng.setstate(rng_state_from_json(state["rng"]))
+        current_config = ArchConfig.from_dict(state["current"])
+        current_cost = (
+            math.inf if state["current_cost"] is None
+            else float(state["current_cost"])
+        )
+        temp = float(state["temp"])
+        steps = int(state["steps"])
+        proposals = int(state["proposals"])
+        accepted = int(state["accepted"])
+        history = list(state["history"])
+        frontier: list[EvaluatedPoint] = pareto_filter(
+            [p for p in seen.values() if p.feasible],
+            key=lambda p: p.cost2d(),
+        )
+    else:
+        current_cost = cost(evaluate(start))
+        frontier = pareto_filter(
+            [p for p in seen.values() if p.feasible],
+            key=lambda p: p.cost2d(),
+        )
+        history = [len(frontier)]
+        steps = 0
+        proposals = accepted = 0
     # Each step proposes at most one fresh evaluation; stale proposals
     # (already-seen neighbours) cost a step but no budget, so cap steps
     # to keep a fully-explored neighbourhood from spinning forever.
@@ -391,6 +461,21 @@ def simulated_annealing_search(
             )
         if fresh:
             history.append(len(frontier))
+        if job.save_state is not None:
+            job.save_state({
+                "rng": rng_state_to_json(rng.getstate()),
+                "current": current_config.to_dict(),
+                "current_cost": (
+                    None if current_cost == math.inf else current_cost
+                ),
+                "reference": list(reference) if reference else None,
+                "temp": temp,
+                "steps": steps,
+                "proposals": proposals,
+                "accepted": accepted,
+                "order": [p.config.to_dict() for p in seen.values()],
+                "history": list(history),
+            })
 
     return SearchOutcome(
         points=list(seen.values()),

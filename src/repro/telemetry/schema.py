@@ -33,7 +33,13 @@ Required fields (every record):
       run (hits, misses, puts, merged axes, bytes);
     * ``metrics``  (event) — the run's merged phase timers and
       counters (a :meth:`~repro.telemetry.metrics.MetricsCollector.
-      snapshot`).
+      snapshot`);
+    * ``retry``    (event) — one re-attempt of a failing point under a
+      ``retry`` fault policy (config, attempt ordinal, error class);
+    * ``failure``  (event) — a point whose evaluation died for good:
+      error class, message, traceback digest, attempts used;
+    * ``interrupted`` (event) — the run was cut short (cancel token or
+      KeyboardInterrupt); carries completed/total point counts.
 
 Optional fields:
 

@@ -44,6 +44,9 @@ def summarize_trace(records: list[dict]) -> dict:
                 "metrics": None,
                 "cache": None,
                 "seconds": None,
+                "failures": [],
+                "retries": 0,
+                "interrupted": None,
             }
         return entry
 
@@ -70,6 +73,20 @@ def summarize_trace(records: list[dict]) -> dict:
                 entry["metrics"] = data
             elif name == "cache":
                 entry["cache"] = data
+            elif name == "failure":
+                entry["failures"].append({
+                    "config": record.get("config"),
+                    "error": data.get("error"),
+                    "digest": data.get("digest"),
+                    "attempts": data.get("attempts"),
+                })
+            elif name == "retry":
+                entry["retries"] += 1
+            elif name == "interrupted":
+                entry["interrupted"] = {
+                    "completed": data.get("completed"),
+                    "total": data.get("total"),
+                }
 
     merged = merge_snapshots(
         [r["metrics"] for r in runs.values() if r["metrics"]]
@@ -120,6 +137,27 @@ def format_trace_summary(summary: dict) -> str:
             f"{run['cached_points']} from cache"
         )
         lines.append(header)
+        if run["interrupted"]:
+            done = run["interrupted"].get("completed")
+            total = run["interrupted"].get("total")
+            lines.append(
+                f"  interrupted after {done}/{total} points"
+                if done is not None and total is not None
+                else "  interrupted"
+            )
+        if run["failures"] or run["retries"]:
+            quarantined = (run["cache"] or {}).get("quarantined", 0)
+            lines.append(
+                f"  robustness: {len(run['failures'])} failed, "
+                f"{run['retries']} retried, {quarantined} quarantined"
+            )
+            for failure in run["failures"]:
+                lines.append(
+                    f"    failed {failure['config']}: {failure['error']} "
+                    f"(trace {failure['digest']}, "
+                    f"{failure['attempts']} attempt"
+                    f"{'s' if failure['attempts'] != 1 else ''})"
+                )
         if run["metrics"]:
             lines.append(format_phases(run["metrics"], indent="  "))
             counters = run["metrics"].get("counters", {})
