@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Nine subcommands drive the paper's flow at campaign scale:
+The batch subcommands drive the paper's flow at campaign scale:
 
 * ``study``    — the general entry point: one declarative spec
   (workloads, space, objectives, strategy) through the study engine,
@@ -17,7 +17,18 @@ Nine subcommands drive the paper's flow at campaign scale:
   search strategies and technology parameter sets,
 * ``bench``    — run the tracked evaluation-pipeline benchmark suite,
 * ``trace``    — validate / summarize a recorded telemetry trace,
-* ``cache``    — verify / repair an on-disk result cache directory.
+* ``cache``    — verify / repair / stat an on-disk result cache.
+
+The service subcommands run the same engine as a long-lived job server
+(see :mod:`repro.service`):
+
+* ``serve``    — start the study server on a unix socket or TCP port,
+* ``submit``   — send a study spec to a server (``--watch`` streams
+  partial fronts and the job's state transitions),
+* ``jobs``     — list a server's queue (``--stats`` adds cache/queue/
+  dedupe counters),
+* ``results``  — fetch a finished job's result JSON,
+* ``cancel``   — cancel a queued or running job.
 
 ``study`` and ``campaign`` take ``--fault-policy skip|retry`` (plus
 ``--max-retries`` and ``--point-timeout``) so one dying configuration
@@ -511,14 +522,59 @@ def cmd_report(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # cache
 # ----------------------------------------------------------------------
+def _cache_stats_text(cache: ResultCache) -> str:
+    """The ``cache stats`` report: shards, sizes, lifetime counters."""
+    shards = cache.shard_stats()
+    entries = sum(s["entries"] for s in shards.values())
+    total = sum(s["bytes"] for s in shards.values())
+    lines = [
+        f"cache {cache.directory}: {entries} entries, "
+        f"{total} bytes in {len(shards)} shard(s)"
+    ]
+    for name in sorted(shards):
+        shard = shards[name]
+        lines.append(
+            f"  shard {name:<6} {shard['entries']:>6} entries  "
+            f"{shard['bytes']:>10} bytes"
+        )
+    quarantined = cache.quarantined_entries()
+    if quarantined:
+        lines.append(f"quarantine: {quarantined} entries")
+    persisted = cache.persisted_stats()
+    if persisted:
+        lookups = persisted.get("hits", 0) + persisted.get("misses", 0)
+        rate = persisted.get("hits", 0) / lookups if lookups else 0.0
+        lines.append(
+            "lifetime: "
+            f"{persisted.get('hits', 0)} hits / {lookups} lookups "
+            f"({rate:.1%}), {persisted.get('puts', 0)} puts, "
+            f"{persisted.get('merged_axes', 0)} merged axes, "
+            f"{persisted.get('quarantined', 0)} quarantined, "
+            f"{persisted.get('evictions', 0)} evicted, "
+            f"{persisted.get('migrated', 0)} migrated"
+        )
+    else:
+        lines.append(
+            "lifetime: no persisted counters yet (runs record them "
+            "on completion)"
+        )
+    return "\n".join(lines)
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
-    """``cache verify|repair``: sweep a result-cache directory.
+    """``cache verify|repair|stats``: inspect a result-cache directory.
 
     ``verify`` reports and exits 1 when corrupt entries exist (leaving
     them in place); ``repair`` moves them to ``<dir>/quarantine/`` and
     exits 0 — re-evaluation then replaces them on the next run.
+    ``stats`` prints per-shard entry counts and sizes plus the
+    persisted lifetime hit/miss/quarantine counters; it works on both
+    flat and sharded layouts (a flat remainder reports as ``(flat)``).
     """
     cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        _emit(_cache_stats_text(cache), getattr(args, "output", None))
+        return 0
     report = cache.verify(repair=args.action == "repair")
     print(
         f"cache {cache.directory}: {report['checked']} entries, "
@@ -536,6 +592,159 @@ def cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "verify" and report["corrupt"]:
         return 1
     return 0
+
+
+# ----------------------------------------------------------------------
+# service (serve / submit / jobs / results / cancel)
+# ----------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the study server until SIGINT/SIGTERM or a shutdown op."""
+    import asyncio
+    import signal
+
+    from repro.service import StudyServer
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir, max_bytes=args.max_cache_bytes)
+    tracer = _make_tracer(args)
+    server = StudyServer(
+        args.state_dir,
+        cache=cache,
+        total_workers=args.workers,
+        job_workers=args.job_workers,
+        tenant_max_running=args.tenant_max_running,
+        stream_every=args.stream_every,
+        checkpoint_every=args.checkpoint_every,
+        tracer=tracer,
+    )
+
+    async def run() -> None:
+        bound = await server.start(args.address)
+        # The readiness line scripts and tests wait for; stdout so it
+        # composes with `grep -m1` without touching diagnostics.
+        print(f"listening on {bound}", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.stop)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(run())
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
+def _service_errors(call) -> int:
+    """Run one client command; map service/transport errors to exit 1."""
+    from repro.service.client import ServiceError
+
+    try:
+        return call()
+    except (ServiceError, ConnectionError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    spec = _study_spec_from_args(args)
+
+    def run() -> int:
+        with ServiceClient(args.server) as client:
+            response = client.submit(
+                spec.to_dict(), tenant=args.tenant, priority=args.priority
+            )
+            job = response["job"]
+            note = (
+                f" (duplicate: already {response['state']})"
+                if response["deduped"] else ""
+            )
+            print(f"submitted {job}{note}")
+            if not args.watch:
+                return 0
+            final = None
+            for frame in client.watch(job):
+                if frame["event"] == "front":
+                    kind = "front" if not frame.get("final") else (
+                        "final front"
+                    )
+                    print(
+                        f"[{frame['run']}] {kind}: "
+                        f"{len(frame['front'])} points "
+                        f"({frame['done']} evaluated)"
+                    )
+                elif frame["event"] == "job_state":
+                    line = f"[{job}] {frame['state']}"
+                    if frame.get("error"):
+                        line += f": {frame['error']}"
+                    print(line)
+                    if frame.get("terminal"):
+                        final = frame["state"]
+            # Mirror the batch study exit codes: 0 clean, 3
+            # interrupted/cancelled, 4 failed points.
+            return {"done": 0, "cancelled": 3, "failed": 4}.get(final, 1)
+
+    return _service_errors(run)
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    def run() -> int:
+        with ServiceClient(args.server) as client:
+            jobs = client.jobs()
+            if not jobs:
+                print("no jobs")
+            for job in jobs:
+                line = (
+                    f"{job['job']:<28} {job['state']:<10} "
+                    f"tenant={job['tenant']} priority={job['priority']} "
+                    f"name={job['name']}"
+                )
+                if job.get("error"):
+                    line += f"  error: {job['error']}"
+                print(line)
+            if args.stats:
+                stats = client.stats()
+                stats.pop("ok", None)
+                print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+
+    return _service_errors(run)
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    def run() -> int:
+        with ServiceClient(args.server) as client:
+            result = client.result(args.job)
+        _emit(json.dumps(result, indent=2), args.output)
+        return 0
+
+    return _service_errors(run)
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    def run() -> int:
+        with ServiceClient(args.server) as client:
+            response = client.cancel(args.job)
+        if response.get("noop"):
+            print(
+                f"{response['job']} already {response['state']}; "
+                "nothing to cancel"
+            )
+        else:
+            print(f"cancelling {response['job']} ({response['state']})")
+        return 0
+
+    return _service_errors(run)
 
 
 # ----------------------------------------------------------------------
@@ -819,14 +1028,107 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("cache",
-                       help="verify or repair a result-cache directory")
-    p.add_argument("action", choices=("verify", "repair"),
+                       help="verify, repair or stat a result-cache "
+                            "directory")
+    p.add_argument("action", choices=("verify", "repair", "stats"),
                    help="verify: report corrupt entries (exit 1 if any); "
-                        "repair: move them to <dir>/quarantine/")
+                        "repair: move them to <dir>/quarantine/; "
+                        "stats: per-shard sizes + lifetime hit/miss "
+                        "counters")
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: "
                         "$REPRO_CAMPAIGN_CACHE or ~/.cache/repro-tta/campaign)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to file instead of stdout")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("serve",
+                       help="run the study job server (see repro submit)")
+    p.add_argument("address",
+                   help="bind address: unix:PATH, PATH.sock, "
+                        "tcp:HOST:PORT, HOST:PORT or PORT (0 picks a "
+                        "free port)")
+    p.add_argument("--state-dir", default="repro-service",
+                   help="queue state, per-job checkpoints and results "
+                        "live here (default: ./repro-service)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="shared evaluation-worker budget leased across "
+                        "running jobs (default 2)")
+    p.add_argument("--job-workers", type=int, default=1,
+                   help="minimum worker lease per job (default 1)")
+    p.add_argument("--tenant-max-running", type=int, default=2,
+                   help="max concurrently running jobs per tenant "
+                        "(default 2)")
+    p.add_argument("--stream-every", type=int, default=4,
+                   help="recompute+stream a watching client's partial "
+                        "front every N completed points (default 4)")
+    p.add_argument("--checkpoint-every", type=int, default=4,
+                   help="flush per-job study checkpoints every N points "
+                        "(default 4)")
+    p.add_argument("--max-cache-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="LRU budget for the result cache (default: "
+                        "unbounded)")
+    _add_cache_args(p)
+    p.add_argument("--trace", default=None, metavar="FILE.jsonl",
+                   help="record job/queue telemetry events here")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a study spec to a running server")
+    p.add_argument("--server", required=True,
+                   help="server address (same forms as repro serve)")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for fairness/quota accounting")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs earlier within your tenant "
+                        "(default 0)")
+    p.add_argument("--watch", action="store_true",
+                   help="stay connected; print partial fronts and state "
+                        "changes until the job finishes")
+    p.add_argument("--spec", default=None,
+                   help="study spec JSON file (overrides the flags)")
+    p.add_argument("--name", default="study")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload names")
+    p.add_argument("--space", default="small",
+                   help=f"one of: {', '.join(space_names())}")
+    p.add_argument("--width", type=int, default=16)
+    p.add_argument("--objectives", default="area,cycles",
+                   help="comma-separated objective names")
+    p.add_argument("--strategy", default="exhaustive",
+                   help="search strategy")
+    p.add_argument("--param", action="append", metavar="KEY=VALUE",
+                   help="strategy parameter (repeatable)")
+    p.add_argument("--select", action="store_true",
+                   help="pick an architecture with the weighted norm")
+    p.add_argument("--march", default="March C-",
+                   help="march algorithm for RF test costs")
+    p.add_argument("--tech", default="default",
+                   help="technology parameter set")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="list a running server's job queue")
+    p.add_argument("--server", required=True,
+                   help="server address (same forms as repro serve)")
+    p.add_argument("--stats", action="store_true",
+                   help="also print queue/worker/dedupe/cache counters")
+    p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser("results",
+                       help="fetch a finished job's result JSON")
+    p.add_argument("job", help="job id (see repro jobs)")
+    p.add_argument("--server", required=True,
+                   help="server address (same forms as repro serve)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to file instead of stdout")
+    p.set_defaults(func=cmd_results)
+
+    p = sub.add_parser("cancel", help="cancel a queued or running job")
+    p.add_argument("job", help="job id (see repro jobs)")
+    p.add_argument("--server", required=True,
+                   help="server address (same forms as repro serve)")
+    p.set_defaults(func=cmd_cancel)
 
     p = sub.add_parser("trace",
                        help="validate or summarize a telemetry trace "

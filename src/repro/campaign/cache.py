@@ -11,6 +11,21 @@ The cache stores *results* (area, cycles, test cost), never compiled
 programs — entries are a few hundred bytes and safe to version or rsync
 between machines.
 
+Scaling posture (PR 8):
+
+* entries live in **shards** — ``shards/<prefix>/`` keyed by the first
+  :data:`SHARD_WIDTH` hex characters of the entry key — so a
+  million-entry cache never puts a million files in one directory, and
+  concurrent writers from different studies spread their directory
+  traffic across 256 subtrees; a flat (pre-shard) cache is migrated
+  transparently, entry by entry, as keys are touched;
+* an optional ``max_bytes`` budget turns the cache into an **LRU**:
+  hits refresh an entry's mtime and :meth:`ResultCache.compact` evicts
+  the least-recently-used entries once the budget is exceeded;
+* lifetime :class:`CacheStats` counters can be folded into a durable
+  ``stats.json`` (:meth:`ResultCache.persist_stats`) so ``repro cache
+  stats`` reports hit rates across processes, not just one run.
+
 Robustness posture (PR 7):
 
 * a corrupt or truncated entry is **quarantined** — moved to
@@ -19,7 +34,7 @@ Robustness posture (PR 7):
 * :meth:`ResultCache.put` holds a per-key ``flock`` around its
   read-merge-write-replace, so two processes attaching different
   post-pass axes to the same entry cannot drop each other's writes;
-* :meth:`ResultCache.verify` sweeps a directory for the ``repro cache
+* :meth:`ResultCache.verify` sweeps every shard for the ``repro cache
   verify|repair`` CLI.
 
 The entry codec is shared: :func:`encode_entry`/:func:`decode_entry`
@@ -29,11 +44,11 @@ on-disk formats cannot drift.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
 try:
     import fcntl
@@ -42,8 +57,16 @@ except ImportError:          # pragma: no cover - non-POSIX fallback
 
 from repro.explore.evaluate import EvaluatedPoint
 from repro.explore.space import ArchConfig
+from repro.util.digest import content_digest
 
 _SCHEMA = 1
+
+#: Hex characters of the key that name an entry's shard (2 -> 256 shards).
+SHARD_WIDTH = 2
+
+#: Top-level file that accumulates persisted :class:`CacheStats`
+#: counters; never an entry, excluded from every entry walk.
+STATS_FILE = "stats.json"
 
 #: Exceptions that mean "this entry's bytes or shape are corrupt" (as
 #: opposed to OSError, which means the file is missing or unreadable).
@@ -62,7 +85,9 @@ class CacheStats:
     post-pass axes actually preserved from the old entry — each one a
     write that, unmerged, would have dropped another study's work.
     ``bytes_written`` sums the serialised payloads.  ``quarantined``
-    counts corrupt entries moved aside by :meth:`ResultCache.get`.
+    counts corrupt entries moved aside by :meth:`ResultCache.get`,
+    ``evictions`` entries removed by the LRU budget, and ``migrated``
+    flat-layout entries relocated into their shard.
     """
 
     hits: int = 0
@@ -72,6 +97,8 @@ class CacheStats:
     merged_axes: int = 0
     bytes_written: int = 0
     quarantined: int = 0
+    evictions: int = 0
+    migrated: int = 0
 
     @property
     def lookups(self) -> int:
@@ -91,6 +118,8 @@ class CacheStats:
             "merged_axes": self.merged_axes,
             "bytes_written": self.bytes_written,
             "quarantined": self.quarantined,
+            "evictions": self.evictions,
+            "migrated": self.migrated,
         }
 
     def delta(self, since: dict) -> dict:
@@ -109,17 +138,14 @@ def default_cache_dir() -> Path:
 
 def cache_key(workload: str, config: ArchConfig, width: int) -> str:
     """Stable content hash of one evaluation's inputs."""
-    payload = json.dumps(
+    return content_digest(
         {
             "schema": _SCHEMA,
             "workload": workload,
             "width": width,
             "config": config.to_dict(),
-        },
-        sort_keys=True,
-        separators=(",", ":"),
+        }
     )
-    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def encode_entry(
@@ -185,9 +211,20 @@ def decode_entry(
 
 
 class ResultCache:
-    """Directory of evaluated points, one JSON file per cache key."""
+    """Sharded directory of evaluated points, one JSON file per key.
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    ``max_bytes`` (optional) bounds the entries' total size on disk:
+    hits refresh the entry's mtime, and every put past the budget
+    evicts least-recently-used entries back under it.  The budget
+    governs entry files only — quarantine and lock plumbing are not
+    counted.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -203,12 +240,68 @@ class ResultCache:
                 "pass a writable --cache-dir or set REPRO_CAMPAIGN_CACHE, "
                 "or disable caching with --no-cache"
             )
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(
+                f"max_bytes must be positive (got {max_bytes}); "
+                "omit it for an unbounded cache"
+            )
+        self.max_bytes = max_bytes
         #: Always-on lifetime counters (reading them costs nothing on
         #: the hot path; a handful of integer adds per get/put).
         self.stats = CacheStats()
+        self._persisted = CacheStats().as_dict()
+        # The LRU budget needs a running total; one walk at
+        # construction, then deltas per put/eviction keep it current.
+        self._disk_bytes = (
+            self.bytes_on_disk() if max_bytes is not None else 0
+        )
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def _shard_dir(self, key: str) -> Path:
+        return self.directory / "shards" / key[:SHARD_WIDTH]
 
     def _path(self, key: str) -> Path:
+        """The sharded home of one key (where every write lands)."""
+        return self._shard_dir(key) / f"{key}.json"
+
+    def _flat_path(self, key: str) -> Path:
+        """Where a pre-shard cache stored this key."""
         return self.directory / f"{key}.json"
+
+    def _locate(self, key: str) -> Path:
+        """The entry's current path, migrating a flat entry on touch.
+
+        Migration is a rename into the shard — atomic, content
+        untouched — so opening an old flat cache transparently becomes
+        a sharded one as its keys are used; entries never touched
+        simply stay where they are (every walk covers both layouts).
+        """
+        path = self._path(key)
+        if path.exists():
+            return path
+        flat = self._flat_path(key)
+        if flat.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(flat, path)
+            except OSError:
+                # A concurrent reader migrated (or removed) it first.
+                return path if path.exists() else flat
+            self.stats.migrated += 1
+        return path
+
+    def _entry_paths(self) -> Iterator[Path]:
+        """Every entry file, sharded layout first, then flat leftovers."""
+        shards = self.directory / "shards"
+        if shards.is_dir():
+            for shard in sorted(shards.iterdir()):
+                if shard.is_dir():
+                    yield from sorted(shard.glob("*.json"))
+        for path in sorted(self.directory.glob("*.json")):
+            if path.name != STATS_FILE:
+                yield path
 
     def _quarantine(self, path: Path) -> Path:
         """Move a corrupt entry to ``<dir>/quarantine/``; count it."""
@@ -216,12 +309,18 @@ class ResultCache:
         qdir.mkdir(exist_ok=True)
         target = qdir / path.name
         try:
+            size = path.stat().st_size
             os.replace(path, target)
         except OSError:
             pass                    # a concurrent reader beat us to it
+        else:
+            self._disk_bytes -= size
         self.stats.quarantined += 1
         return target
 
+    # ------------------------------------------------------------------
+    # get / put
+    # ------------------------------------------------------------------
     def get(
         self,
         workload: str,
@@ -240,7 +339,7 @@ class ResultCache:
         A well-formed entry from an older schema is a plain miss (stale
         is not corrupt).
         """
-        path = self._path(cache_key(workload, config, width))
+        path = self._locate(cache_key(workload, config, width))
         try:
             text = path.read_text()
         except OSError:
@@ -255,6 +354,11 @@ class ResultCache:
         if point is None:
             self.stats.misses += 1
             return None
+        if self.max_bytes is not None:
+            try:
+                os.utime(path)          # the hit is the LRU touch
+            except OSError:
+                pass
         self.stats.hits += 1
         return point
 
@@ -275,24 +379,29 @@ class ResultCache:
         result when it writes its energies back — and vice versa.
 
         The whole read-merge-write-replace runs under a per-key
-        ``flock`` (a sibling ``<key>.lock`` file — the entry itself
-        cannot carry the lock because ``os.replace`` swaps its inode),
-        so two processes attaching different axes to the same entry
-        serialise instead of dropping each other's writes.
+        ``flock`` (a sibling ``<key>.lock`` file in the key's shard —
+        the entry itself cannot carry the lock because ``os.replace``
+        swaps its inode), so two processes attaching different axes to
+        the same entry serialise instead of dropping each other's
+        writes.  Keys hash uniformly, so concurrent writers contend on
+        a shard's directory inode 1/256th as often as on a flat layout.
         """
         key = cache_key(workload, point.config, width)
+        self._shard_dir(key).mkdir(parents=True, exist_ok=True)
         if fcntl is None:
             self._put_locked(key, workload, point, width, march, energy_model)
-            return
-        lock_path = self.directory / f"{key}.lock"
-        with open(lock_path, "w") as lock_file:
-            fcntl.flock(lock_file, fcntl.LOCK_EX)
-            try:
-                self._put_locked(
-                    key, workload, point, width, march, energy_model
-                )
-            finally:
-                fcntl.flock(lock_file, fcntl.LOCK_UN)
+        else:
+            lock_path = self._shard_dir(key) / f"{key}.lock"
+            with open(lock_path, "w") as lock_file:
+                fcntl.flock(lock_file, fcntl.LOCK_EX)
+                try:
+                    self._put_locked(
+                        key, workload, point, width, march, energy_model
+                    )
+                finally:
+                    fcntl.flock(lock_file, fcntl.LOCK_UN)
+        if self.max_bytes is not None and self._disk_bytes > self.max_bytes:
+            self.compact()
 
     def _put_locked(
         self,
@@ -303,7 +412,7 @@ class ResultCache:
         march: str | None,
         energy_model: str | None,
     ) -> None:
-        path = self._path(key)
+        path = self._locate(key)
         data = encode_entry(workload, point, width, march, energy_model)
         # Merge only when the caller computed exactly one post-pass axis
         # (a test-cost or energy attachment rewriting an existing entry);
@@ -329,13 +438,61 @@ class ResultCache:
                         self.stats.merged_axes += 1
             except (OSError, ValueError, AttributeError):
                 pass
+        try:
+            replaced = path.stat().st_size
+        except OSError:
+            replaced = 0
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         payload = json.dumps(data, sort_keys=True)
         tmp.write_text(payload)
         os.replace(tmp, path)
+        self._disk_bytes += len(payload) - replaced
         self.stats.puts += 1
         self.stats.bytes_written += len(payload)
 
+    # ------------------------------------------------------------------
+    # budget / compaction
+    # ------------------------------------------------------------------
+    def compact(self, max_bytes: int | None = None) -> dict:
+        """Evict least-recently-used entries until under the budget.
+
+        ``max_bytes`` overrides the instance budget for this call (so
+        an unbounded cache can still be compacted explicitly).  Returns
+        ``{"evicted", "bytes"}`` — entries removed and entry bytes
+        remaining.  Eviction order is mtime (hits refresh it when a
+        budget is set, so mtime *is* recency-of-use); each eviction
+        also sweeps the entry's lock file.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        entries = []
+        total = 0
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        self._disk_bytes = total
+        evicted = 0
+        if budget is not None:
+            entries.sort()
+            for _, size, path in entries:
+                if self._disk_bytes <= budget:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                path.with_suffix(".lock").unlink(missing_ok=True)
+                self._disk_bytes -= size
+                evicted += 1
+        self.stats.evictions += evicted
+        return {"evicted": evicted, "bytes": self._disk_bytes}
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
     def verify(self, repair: bool = False) -> dict:
         """Sweep every entry; optionally quarantine the corrupt ones.
 
@@ -343,7 +500,8 @@ class ResultCache:
         "quarantined"}``.  ``repair=True`` moves each corrupt entry to
         ``<dir>/quarantine/`` (what :meth:`get` would do lazily on its
         next lookup); ``stale`` counts well-formed entries from another
-        schema, which are left in place.
+        schema, which are left in place.  Both shard and flat layouts
+        are swept.
         """
         report: dict = {
             "checked": 0,
@@ -352,7 +510,7 @@ class ResultCache:
             "corrupt": [],
             "quarantined": 0,
         }
-        for path in sorted(self.directory.glob("*.json")):
+        for path in self._entry_paths():
             report["checked"] += 1
             try:
                 point = decode_entry(json.loads(path.read_text()))
@@ -368,14 +526,93 @@ class ResultCache:
                 report["ok"] += 1
         return report
 
+    def shard_stats(self) -> dict[str, dict]:
+        """Per-shard entry counts and bytes, ``"(flat)"`` for leftovers.
+
+        Walks the directory; shards with no entries are omitted.
+        """
+        report: dict[str, dict] = {}
+
+        def bucket(name: str, path: Path) -> None:
+            entry = report.setdefault(name, {"entries": 0, "bytes": 0})
+            entry["entries"] += 1
+            try:
+                entry["bytes"] += path.stat().st_size
+            except OSError:
+                pass
+
+        shards = self.directory / "shards"
+        if shards.is_dir():
+            for shard in sorted(shards.iterdir()):
+                if shard.is_dir():
+                    for path in shard.glob("*.json"):
+                        bucket(shard.name, path)
+        for path in self.directory.glob("*.json"):
+            if path.name != STATS_FILE:
+                bucket("(flat)", path)
+        return report
+
+    def quarantined_entries(self) -> int:
+        """Entries currently sitting in ``<dir>/quarantine/``."""
+        qdir = self.directory / "quarantine"
+        if not qdir.is_dir():
+            return 0
+        return sum(1 for _ in qdir.glob("*.json"))
+
     def bytes_on_disk(self) -> int:
         """Total size of every entry file, in bytes (walks the dir)."""
-        return sum(
-            path.stat().st_size for path in self.directory.glob("*.json")
-        )
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self._entry_paths())
+
+    # ------------------------------------------------------------------
+    # durable counters
+    # ------------------------------------------------------------------
+    def persist_stats(self) -> dict:
+        """Fold this instance's counter deltas into ``<dir>/stats.json``.
+
+        Accumulates across processes: the file's counters grow by the
+        change since the last persist, under a ``flock`` so concurrent
+        writers (several CLI runs, a service's periodic flush) merge
+        instead of clobbering.  Returns the merged totals.  Idempotent
+        — persisting twice with no new activity writes nothing.
+        """
+        delta = self.stats.delta(self._persisted)
+        stats_path = self.directory / STATS_FILE
+        if not any(delta.values()):
+            return self.persisted_stats()
+        lock_path = self.directory / "stats.lock"
+        lock_file = open(lock_path, "w") if fcntl is not None else None
+        try:
+            if lock_file is not None:
+                fcntl.flock(lock_file, fcntl.LOCK_EX)
+            merged = self.persisted_stats()
+            for key, value in delta.items():
+                merged[key] = merged.get(key, 0) + value
+            tmp = stats_path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(merged, sort_keys=True))
+            os.replace(tmp, stats_path)
+        finally:
+            if lock_file is not None:
+                fcntl.flock(lock_file, fcntl.LOCK_UN)
+                lock_file.close()
+        self._persisted = self.stats.as_dict()
+        return merged
+
+    def persisted_stats(self) -> dict:
+        """The accumulated ``stats.json`` counters ({} when absent)."""
+        try:
+            data = json.loads((self.directory / STATS_FILE).read_text())
+        except (OSError, ValueError):
+            return {}
+        return data if isinstance(data, dict) else {}
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed.
@@ -384,9 +621,14 @@ class ResultCache:
         not entries.
         """
         removed = 0
-        for path in self.directory.glob("*.json"):
+        for path in list(self._entry_paths()):
             path.unlink()
             removed += 1
+        shards = self.directory / "shards"
+        if shards.is_dir():
+            for path in shards.glob("*/*.lock"):
+                path.unlink(missing_ok=True)
         for path in self.directory.glob("*.lock"):
             path.unlink(missing_ok=True)
+        self._disk_bytes = 0
         return removed

@@ -24,11 +24,12 @@ deterministic mid-wave kill the resilience tests and CI smoke job use.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import threading
 from pathlib import Path
+
+from repro.util.digest import content_digest
 
 CHECKPOINT_SCHEMA = 1
 
@@ -39,6 +40,7 @@ __all__ = [
     "StudyInterrupted",
     "rng_state_from_json",
     "rng_state_to_json",
+    "spec_digest",
 ]
 
 
@@ -111,9 +113,13 @@ def rng_state_from_json(data) -> tuple:
 
 
 def spec_digest(spec_dict: dict) -> str:
-    """Stable content hash of a spec's dict form."""
-    payload = json.dumps(spec_dict, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode()).hexdigest()
+    """Stable content hash of a spec's dict form.
+
+    The same digest a :class:`~repro.study.spec.StudySpec` reports as
+    its ``spec_id`` — clients, checkpoints and the service layer's
+    dedupe index all key jobs identically.
+    """
+    return content_digest(spec_dict)
 
 
 class CheckpointManager:

@@ -12,9 +12,11 @@ CI exercises them.  This module plants reproducible faults inside
   checkpoint/resume story's test vehicle).
 
 A fault fires on a *target*: a configuration label (deterministic
-across pool scheduling and process boundaries) or the N-th evaluation
-call of the current process (``#N``, 1-based).  ``times`` bounds how
-often a plan fires (-1 = every time), so a ``retry`` policy can be
+across pool scheduling and process boundaries), the N-th evaluation
+call of the current process (``#N``, 1-based), or every evaluation
+(``*`` — how the service tests stretch each point by a fixed sleep so
+kills and cancels land mid-study deterministically).  ``times`` bounds
+how often a plan fires (-1 = every time), so a ``retry`` policy can be
 shown to recover from a transient fault.
 
 Installation is either programmatic (:func:`install` / :func:`clear`,
@@ -60,10 +62,11 @@ class InjectedFault(RuntimeError):
 class FaultPlan:
     """One planted fault: what fires, where, and how often.
 
-    Exactly one of ``label`` (fire on this configuration) and ``nth``
-    (fire on the N-th evaluation call of this process, 1-based) must be
-    set.  ``times`` caps total firings (-1 = unlimited); the counter is
-    per-process, so a forked pool worker starts fresh.
+    Exactly one of ``label`` (fire on this configuration; ``"*"``
+    matches every configuration) and ``nth`` (fire on the N-th
+    evaluation call of this process, 1-based) must be set.  ``times``
+    caps total firings (-1 = unlimited); the counter is per-process, so
+    a forked pool worker starts fresh.
     """
 
     kind: str
@@ -86,7 +89,7 @@ class FaultPlan:
         if self.times >= 0 and self.fired >= self.times:
             return False
         if self.label is not None:
-            return label == self.label
+            return self.label == "*" or label == self.label
         return call == self.nth
 
     def fire(self) -> None:
@@ -108,8 +111,8 @@ class FaultPlan:
 def plan_from_env(value: str) -> FaultPlan:
     """Parse one ``kind@target[...]`` spec.
 
-    ``target`` is a configuration label or ``#N`` for the N-th
-    evaluation call.  ``raise``/``kill`` take an optional firing cap
+    ``target`` is a configuration label, ``*`` for every evaluation, or
+    ``#N`` for the N-th call.  ``raise``/``kill`` take an optional firing cap
     (``raise@LABEL:1`` — raise once for that config); ``sleep`` takes
     a duration then the cap (``sleep@#3:2.5`` — third call sleeps
     2.5 s, every time).  ``kill@LABEL`` always kills.

@@ -1,0 +1,290 @@
+"""The job queue: priorities, per-tenant fairness, durable state.
+
+A :class:`Job` is one submitted spec with an owner (*tenant*), a
+priority and a lifecycle (``queued → running → done|failed|cancelled``).
+The queue is plain data plus scheduling policy — no threads, no I/O —
+so the server can mutate it from its event loop and unit tests can
+drive every corner without a socket in sight.
+
+Scheduling is fair across tenants first, priority within a tenant
+second: :meth:`JobQueue.pick` chooses the eligible tenant with the
+fewest running jobs (ties broken by who was scheduled longest ago),
+then that tenant's highest-priority oldest job.  A tenant hammering
+the queue with a hundred submissions therefore delays its *own* jobs,
+not its neighbours'.
+
+Duplicate submissions dedupe on ``(tenant, spec_id)`` — the same
+stable content hash checkpoints and the result cache derive
+(:attr:`~repro.study.spec.StudySpec.spec_id`) — so a client retrying a
+submit after a dropped connection gets the original job back instead
+of queueing the study twice.  A *finished* duplicate re-queues only
+when the first attempt failed or was cancelled.
+
+The whole queue serialises to one dict (:meth:`JobQueue.to_dict`) so
+the server can persist it through the checkpoint machinery; on load,
+jobs that were mid-run are returned to ``queued`` — their evaluated
+points live in per-job study checkpoints, so re-running them resumes
+rather than restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "JobQueue", "JobState"]
+
+QUEUE_SCHEMA = 1
+
+
+class JobState:
+    """The lifecycle names (plain strings on the wire and on disk)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a job never leaves (except by explicit resubmission).
+    TERMINAL = (DONE, FAILED, CANCELLED)
+    #: States in which a duplicate submit returns the existing job.
+    DEDUPE = (QUEUED, RUNNING, DONE)
+
+
+@dataclass
+class Job:
+    """One submitted study and its lifecycle bookkeeping.
+
+    ``job_id`` is ``<tenant>-<spec_id prefix>`` — human-quotable, and
+    stable across server restarts because both halves are.  ``seq`` is
+    the submission serial (FIFO tiebreaker); ``last_scheduled`` the
+    scheduler serial of the job's tenant when it last started (fairness
+    tiebreaker).  ``interrupted`` marks a job recovered from a killed
+    server, so the runner knows to resume from its study checkpoint.
+    """
+
+    tenant: str
+    spec_id: str
+    spec_dict: dict
+    priority: int = 0
+    seq: int = 0
+    state: str = JobState.QUEUED
+    error: str | None = None
+    interrupted: bool = False
+    submissions: int = 1
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.tenant}-{self.spec_id[:10]}"
+
+    @property
+    def name(self) -> str:
+        return str(self.spec_dict.get("name", "?"))
+
+    def describe(self) -> dict:
+        """The wire/status view of this job."""
+        return {
+            "job": self.job_id,
+            "tenant": self.tenant,
+            "name": self.name,
+            "spec_id": self.spec_id,
+            "priority": self.priority,
+            "state": self.state,
+            "error": self.error,
+            "submissions": self.submissions,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "spec_id": self.spec_id,
+            "spec": self.spec_dict,
+            "priority": self.priority,
+            "seq": self.seq,
+            "state": self.state,
+            "error": self.error,
+            "interrupted": self.interrupted,
+            "submissions": self.submissions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> Job:
+        return cls(
+            tenant=str(data["tenant"]),
+            spec_id=str(data["spec_id"]),
+            spec_dict=data["spec"],
+            priority=int(data.get("priority", 0)),
+            seq=int(data.get("seq", 0)),
+            state=str(data.get("state", JobState.QUEUED)),
+            error=data.get("error"),
+            interrupted=bool(data.get("interrupted", False)),
+            submissions=int(data.get("submissions", 1)),
+        )
+
+
+class JobQueue:
+    """Priority queue with per-tenant fairness and submit dedupe.
+
+    ``tenant_max_running`` caps how many of one tenant's jobs run
+    concurrently (the server separately caps total concurrency through
+    its worker budget).
+    """
+
+    def __init__(self, tenant_max_running: int = 2) -> None:
+        if tenant_max_running < 1:
+            raise ValueError("tenant_max_running must be >= 1")
+        self.tenant_max_running = tenant_max_running
+        self.jobs: dict[str, Job] = {}
+        self._seq = 0
+        self._sched_seq = 0
+        self._last_scheduled: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, tenant: str, spec_id: str, spec_dict: dict, priority: int = 0
+    ) -> tuple[Job, bool]:
+        """Queue a job; returns ``(job, deduped)``.
+
+        ``deduped=True`` means an equivalent submission already exists:
+        queued, running, or successfully finished — the caller gets the
+        original job (its id, its state, eventually its result).  A
+        failed or cancelled duplicate is *re-armed*: same job id, back
+        to ``queued``, priority raised to the new submission's if
+        higher.
+        """
+        if not tenant:
+            raise ValueError("tenant must be non-empty")
+        job = Job(
+            tenant=tenant, spec_id=spec_id, spec_dict=spec_dict,
+            priority=priority,
+        )
+        existing = self.jobs.get(job.job_id)
+        if existing is not None:
+            existing.submissions += 1
+            if existing.state in JobState.DEDUPE:
+                return existing, True
+            # failed/cancelled: resubmission is the retry path
+            existing.state = JobState.QUEUED
+            existing.error = None
+            existing.priority = max(existing.priority, priority)
+            self._seq += 1
+            existing.seq = self._seq
+            return existing, False
+        self._seq += 1
+        job.seq = self._seq
+        self.jobs[job.job_id] = job
+        return job, False
+
+    def get(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(
+                f"no job {job_id!r} "
+                f"(known: {', '.join(sorted(self.jobs)) or 'none'})"
+            )
+        return job
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def running_count(self, tenant: str | None = None) -> int:
+        return sum(
+            1 for j in self.jobs.values()
+            if j.state == JobState.RUNNING
+            and (tenant is None or j.tenant == tenant)
+        )
+
+    def queued(self) -> list[Job]:
+        return [
+            j for j in self.jobs.values() if j.state == JobState.QUEUED
+        ]
+
+    def pick(self) -> Job | None:
+        """The next job to start, or None when nothing is eligible.
+
+        Fairness first: among tenants with queued work under their
+        running cap, the one with the fewest running jobs wins (ties to
+        the tenant scheduled longest ago, then name for determinism).
+        Then that tenant's best job: highest priority, oldest
+        submission.  The caller marks the job running via
+        :meth:`mark_running`.
+        """
+        by_tenant: dict[str, list[Job]] = {}
+        for job in self.queued():
+            by_tenant.setdefault(job.tenant, []).append(job)
+        eligible = [
+            tenant for tenant in by_tenant
+            if self.running_count(tenant) < self.tenant_max_running
+        ]
+        if not eligible:
+            return None
+        tenant = min(
+            eligible,
+            key=lambda t: (
+                self.running_count(t),
+                self._last_scheduled.get(t, 0),
+                t,
+            ),
+        )
+        return min(by_tenant[tenant], key=lambda j: (-j.priority, j.seq))
+
+    def mark_running(self, job: Job) -> None:
+        self._sched_seq += 1
+        self._last_scheduled[job.tenant] = self._sched_seq
+        job.state = JobState.RUNNING
+
+    def finish(self, job: Job, state: str, error: str | None = None) -> None:
+        if state not in JobState.TERMINAL:
+            raise ValueError(f"not a terminal state: {state!r}")
+        job.state = state
+        job.error = error
+        job.interrupted = False
+
+    # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": QUEUE_SCHEMA,
+            "tenant_max_running": self.tenant_max_running,
+            "seq": self._seq,
+            "sched_seq": self._sched_seq,
+            "last_scheduled": dict(self._last_scheduled),
+            "jobs": [
+                job.to_dict()
+                for job in sorted(self.jobs.values(), key=lambda j: j.seq)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> JobQueue:
+        """Rehydrate a queue; mid-run jobs return to ``queued``.
+
+        A job that was ``running`` when the server died is exactly a
+        job whose study was interrupted: it goes back in the queue with
+        ``interrupted=True`` so the runner resumes it from its study
+        checkpoint instead of starting over.
+        """
+        if data.get("schema") != QUEUE_SCHEMA:
+            raise ValueError(
+                f"queue state has schema {data.get('schema')!r}; "
+                f"this reader handles {QUEUE_SCHEMA}"
+            )
+        queue = cls(
+            tenant_max_running=int(data.get("tenant_max_running", 2))
+        )
+        queue._seq = int(data.get("seq", 0))
+        queue._sched_seq = int(data.get("sched_seq", 0))
+        queue._last_scheduled = {
+            str(k): int(v)
+            for k, v in data.get("last_scheduled", {}).items()
+        }
+        for entry in data.get("jobs", []):
+            job = Job.from_dict(entry)
+            if job.state == JobState.RUNNING:
+                job.state = JobState.QUEUED
+                job.interrupted = True
+            queue.jobs[job.job_id] = job
+        return queue

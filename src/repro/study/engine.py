@@ -735,7 +735,7 @@ class Study:
         checkpoint: str | Path | None = None,
         checkpoint_every: int = 16,
         cancel: CancelToken | None = None,
-        _manager: CheckpointManager | None = None,
+        manager: CheckpointManager | None = None,
     ) -> None:
         spec.validate()
         self.spec = spec
@@ -756,10 +756,12 @@ class Study:
         # The manager always exists: with no checkpoint path it stays
         # in memory, which is what lets an interrupted run assemble a
         # partial-but-valid result from the points that finished.
-        if _manager is not None:
-            self._manager = _manager
+        # Passing one in (``manager=``) is how resume and the service
+        # layer observe or pre-load recorded points.
+        if manager is not None:
+            self.manager = manager
         else:
-            self._manager = CheckpointManager(
+            self.manager = CheckpointManager(
                 spec.to_dict(), path=checkpoint, every=checkpoint_every
             )
         self._current: dict | None = None
@@ -796,7 +798,7 @@ class Study:
             collect_metrics=collect_metrics,
             policy=policy,
             cancel=cancel,
-            _manager=manager,
+            manager=manager,
         )
 
     def run(self) -> StudyResult:
@@ -832,20 +834,20 @@ class Study:
                             result.runs.append(self._run_one(workload_name))
         except (KeyboardInterrupt, StudyInterrupted):
             result.interrupted = True
-            self._manager.interrupted = True
+            self.manager.interrupted = True
             partial = self._partial_run()
             if partial is not None:
                 result.runs.append(partial)
         else:
             # A clean completion clears the flag a resumed checkpoint
             # inherited from the interrupted run that wrote it.
-            self._manager.interrupted = False
+            self.manager.interrupted = False
         finally:
             # Flush durable state even on the interrupt path: the
             # checkpoint must reflect every recorded point, and the
             # trace must stay valid JSONL (each tracer record is
             # flushed on write; spans close on exception).
-            self._manager.write(force=True)
+            self.manager.write(force=True)
             self._current = None
         return result
 
@@ -886,8 +888,8 @@ class Study:
             tracer=self.tracer,
             policy=self.policy,
             token=self.cancel,
-            manager=self._manager,
-            overlay=dict(self._manager.points(label)),
+            manager=self.manager,
+            overlay=dict(self.manager.points(label)),
         )
         # Everything _partial_run needs to assemble an interrupted
         # run's result — the strategy's outcome is lost when the
@@ -908,9 +910,9 @@ class Study:
             evaluate=evaluator.evaluate,
             evaluate_many=evaluator.evaluate_many,
             save_state=(
-                lambda state: self._manager.set_strategy_state(label, state)
+                lambda state: self.manager.set_strategy_state(label, state)
             ),
-            resume_state=self._manager.strategy_state(label),
+            resume_state=self.manager.strategy_state(label),
         )
         if self.tracer is None:
             outcome = run_strategy(spec.strategy, job, spec.params)
@@ -997,7 +999,7 @@ class Study:
                 post_pass_hits=stats.post_pass_hits,
                 workers=stats.workers,
             )
-        self._manager.mark_done(label)
+        self.manager.mark_done(label)
         self._current = None
         return StudyRun(
             workload=workload_name,
@@ -1030,7 +1032,7 @@ class Study:
         metrics = cur["metrics"]
         _, decode = _entry_codec()
         points: list[EvaluatedPoint] = []
-        for entry in self._manager.points(cur["label"]).values():
+        for entry in self.manager.points(cur["label"]).values():
             try:
                 point = decode(entry, evaluator.march, evaluator.energy_model)
             except (ValueError, KeyError, TypeError, AttributeError):

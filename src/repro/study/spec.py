@@ -155,6 +155,21 @@ class StudySpec:
             message = exc.args[0] if exc.args else str(exc)
             raise kind(f"study {self.name!r}: {message}") from None
 
+    @property
+    def spec_id(self) -> str:
+        """Stable content hash of this spec (hex SHA-256).
+
+        Every party that needs to recognise "the same study" — service
+        clients, the job queue's duplicate-submit dedupe, checkpoint
+        files (:func:`~repro.resilience.checkpoint.spec_digest` is the
+        same function) — keys on this id, so they can never disagree
+        about identity.  Two specs that normalise to the same canonical
+        dict share an id; any field change produces a new one.
+        """
+        from repro.resilience.checkpoint import spec_digest
+
+        return spec_digest(self.to_dict())
+
     # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------
@@ -212,7 +227,7 @@ class StudySpec:
     def __hash__(self) -> int:
         # The generated dataclass hash would require every strategy-param
         # value to be hashable, but structured params (iterative seeds)
-        # normalise to lists/dicts.  The canonical JSON form is unique
-        # per spec (fields are fixed-order, params key-sorted), so hash
-        # that instead — specs stay usable as dict/lru_cache keys.
-        return hash(self.to_json())
+        # normalise to lists/dicts.  The content hash is unique per
+        # canonical spec, so hash that instead — specs stay usable as
+        # dict/lru_cache keys.
+        return hash(self.spec_id)

@@ -41,6 +41,17 @@ Required fields (every record):
     * ``interrupted`` (event) — the run was cut short (cancel token or
       KeyboardInterrupt); carries completed/total point counts.
 
+    Names used by the study service (:mod:`repro.service`; its ``run``
+    field carries the job id, not a run label):
+
+    * ``job_state`` (event) — one job lifecycle transition: the new
+      state (``queued|running|done|failed|cancelled``), the tenant,
+      and the error text for failures;
+    * ``queue``    (event) — one scheduler action: ``action=submit``
+      (with dedupe outcome and priority), ``action=start`` (with the
+      worker lease granted and remaining budget), ``action=cancel``,
+      or ``action=finish`` (with in-flight dedupe claims released).
+
 Optional fields:
 
 ``dur``

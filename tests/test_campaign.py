@@ -119,7 +119,7 @@ def test_cache_infeasible_and_corrupt(tmp_path):
     hit = cache.get("gcd", config, 16)
     assert hit is not None and not hit.feasible
     # corrupt entry degrades to a miss
-    for path in cache.directory.glob("*.json"):
+    for path in cache.directory.glob("shards/*/*.json"):
         path.write_text("{ not json")
     assert cache.get("gcd", config, 16) is None
 
@@ -178,7 +178,7 @@ def test_campaign_partial_cache_resumes(tmp_path):
     cache = ResultCache(tmp_path)
     run_campaign(_spec(), cache=cache)
     # drop a third of the entries: an interrupted campaign
-    for path in sorted(cache.directory.glob("*.json"))[:4]:
+    for path in sorted(cache.directory.glob("shards/*/*.json"))[:4]:
         path.unlink()
     resumed = run_campaign(_spec(), cache=cache)
     assert resumed.cache_hits == 8 and resumed.evaluated == 4

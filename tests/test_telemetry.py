@@ -42,7 +42,7 @@ def _point_rows(result):
 def _cache_bytes(directory: Path) -> dict[str, str]:
     return {
         path.name: path.read_text()
-        for path in sorted(Path(directory).glob("*.json"))
+        for path in sorted(Path(directory).glob("shards/*/*.json"))
     }
 
 
