@@ -618,12 +618,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         tracer=tracer,
     )
+    exporter = None
+    if args.metrics_addr is not None:
+        from repro.telemetry import MetricsExporter
+
+        host, _, port = args.metrics_addr.rpartition(":")
+        exporter = MetricsExporter(
+            server.registry, host=host or "127.0.0.1", port=int(port),
+        ).start()
 
     async def run() -> None:
         bound = await server.start(args.address)
         # The readiness line scripts and tests wait for; stdout so it
         # composes with `grep -m1` without touching diagnostics.
         print(f"listening on {bound}", flush=True)
+        if exporter is not None:
+            print(
+                f"metrics on http://{exporter.address}/metrics",
+                flush=True,
+            )
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, server.stop)
@@ -632,6 +645,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         asyncio.run(run())
     finally:
+        if exporter is not None:
+            exporter.stop()
         if tracer is not None:
             tracer.close()
     return 0
@@ -747,6 +762,39 @@ def cmd_cancel(args: argparse.Namespace) -> int:
     return _service_errors(run)
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """One-shot scrape of a running server's live metrics."""
+    from repro.service import ServiceClient
+    from repro.telemetry import render_prometheus
+
+    def run() -> int:
+        with ServiceClient(args.server) as client:
+            metrics = client.metrics(tenant=args.tenant)
+        if args.format == "json":
+            _emit(json.dumps(metrics, indent=2, sort_keys=True),
+                  args.output)
+        else:
+            _emit(render_prometheus(metrics["registry"]).rstrip("\n"),
+                  args.output)
+        return 0
+
+    return _service_errors(run)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard polling a running server."""
+    from repro.service import run_top
+
+    return _service_errors(
+        lambda: run_top(
+            args.server,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+        )
+    )
+
+
 # ----------------------------------------------------------------------
 # trace
 # ----------------------------------------------------------------------
@@ -761,7 +809,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.action == "validate":
         print(f"{args.input}: {len(records)} records, schema OK")
         return 0
-    _emit(format_trace_summary(summarize_trace(records)), args.output)
+    summary = summarize_trace(records)
+    if args.format == "json":
+        _emit(json.dumps(summary, indent=2, sort_keys=True), args.output)
+    else:
+        _emit(format_trace_summary(summary), args.output)
     return 0
 
 
@@ -769,7 +821,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 # bench
 # ----------------------------------------------------------------------
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import format_report, run_benchmarks, write_report
+    from repro.bench import (
+        append_history,
+        format_report,
+        run_benchmarks,
+        write_report,
+    )
 
     suites = (
         ("small", "medium") if args.suite == "full" else (args.suite,)
@@ -779,6 +836,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not args.no_write:
         out = write_report(report, args.output)
         print(f"wrote {out}", file=sys.stderr)
+        history = append_history(report, args.history)
+        print(f"appended {history}", file=sys.stderr)
     return 0
 
 
@@ -1025,6 +1084,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="benchmark report file (default: ./BENCH_evaluate.json)")
     p.add_argument("--no-write", action="store_true",
                    help="print the report without touching the file")
+    p.add_argument("--history", default="benchmarks/history.jsonl",
+                   help="JSONL file each run appends one line to "
+                        "(timestamp, commit, headline speedups); "
+                        "default: benchmarks/history.jsonl")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("cache",
@@ -1072,6 +1135,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p)
     p.add_argument("--trace", default=None, metavar="FILE.jsonl",
                    help="record job/queue telemetry events here")
+    p.add_argument("--metrics-addr", default=None, metavar="HOST:PORT",
+                   help="serve Prometheus text at "
+                        "http://HOST:PORT/metrics (port 0 picks a free "
+                        "one; a bare PORT binds 127.0.0.1)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit",
@@ -1130,6 +1197,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="server address (same forms as repro serve)")
     p.set_defaults(func=cmd_cancel)
 
+    p = sub.add_parser("metrics",
+                       help="scrape a running server's live metrics")
+    p.add_argument("action", choices=("dump",),
+                   help="dump: one-shot scrape over the metrics op")
+    p.add_argument("--server", required=True,
+                   help="server address (same forms as repro serve)")
+    p.add_argument("--tenant", default=None,
+                   help="narrow per-tenant aggregates to one tenant")
+    p.add_argument("--format", choices=("prom", "json"), default="prom",
+                   help="prom: Prometheus text exposition (default); "
+                        "json: the full metrics op response")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to file instead of stdout")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("top",
+                       help="live dashboard: tenants, jobs, queue depth, "
+                            "latency percentiles")
+    p.add_argument("--server", required=True,
+                   help="server address (same forms as repro serve)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N frames (default: run until ^C)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of redrawing (for "
+                        "transcripts and pipes)")
+    p.set_defaults(func=cmd_top)
+
     p = sub.add_parser("trace",
                        help="validate or summarize a telemetry trace "
                             "(JSONL written by --trace)")
@@ -1137,6 +1233,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="summarize: phase/cache/wave report; "
                         "validate: schema-check every record")
     p.add_argument("input", help="a .jsonl trace file")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="summarize output: human report (default) or "
+                        "the raw summary dict as JSON")
     p.add_argument("-o", "--output", default=None,
                    help="write to file instead of stdout")
     p.set_defaults(func=cmd_trace)

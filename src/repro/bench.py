@@ -272,6 +272,53 @@ def write_report(report: dict, path: str | Path = DEFAULT_OUTPUT) -> Path:
     return out
 
 
+#: JSONL file each bench run appends one line to (tracked in git).
+DEFAULT_HISTORY = "benchmarks/history.jsonl"
+
+
+def _current_commit() -> str | None:
+    """Short commit hash of the working tree, or None outside git."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def history_line(report: dict, commit: str | None = None) -> dict:
+    """One compact history record from a full benchmark report.
+
+    Keeps only what a trend plot needs — when, which commit, and the
+    headline speedups — so the tracked JSONL stays small while
+    ``BENCH_evaluate.json`` keeps only the latest full report.
+    """
+    return {
+        "timestamp": report["generated_at"],
+        "commit": commit if commit is not None else _current_commit(),
+        "small_speedup": report.get("small_speedup"),
+        "medium_speedup": report.get("medium_speedup"),
+        "python": report["host"]["python"],
+    }
+
+
+def append_history(
+    report: dict, path: str | Path = DEFAULT_HISTORY,
+    commit: str | None = None,
+) -> Path:
+    """Append one :func:`history_line` record to the history JSONL."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(history_line(report, commit=commit), sort_keys=True)
+    with out.open("a") as handle:
+        handle.write(line + "\n")
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     """Stand-alone entry point (``python benchmarks/bench_evaluate.py``)."""
     import argparse
@@ -282,6 +329,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT)
     parser.add_argument("--no-write", action="store_true")
+    parser.add_argument("--history", default=DEFAULT_HISTORY)
     args = parser.parse_args(argv)
     suites = ("small", "medium") if args.suite == "full" else (args.suite,)
     report = run_benchmarks(suites=suites)
@@ -289,6 +337,8 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_write:
         out = write_report(report, args.output)
         print(f"wrote {out}", file=sys.stderr)
+        history = append_history(report, args.history)
+        print(f"appended {history}", file=sys.stderr)
     return 0
 
 

@@ -26,6 +26,7 @@ share one code path and produce identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.compiler.ir import LOAD_OPCODES, IRFunction
 from repro.compiler.regalloc import (
@@ -211,8 +212,20 @@ class EvaluationContext:
         violation still yields the same infeasible point.  Counters
         (``evaluations``, ``feasible``, ``infeasible_*``) are
         per-configuration and therefore merge deterministically from
-        any pool interleaving.
+        any pool interleaving.  The whole call is additionally observed
+        into the ``eval_seconds`` histogram — measured in-worker, so
+        the latency distribution rides the same snapshot channel as
+        the counters.
         """
+        start = perf_counter()
+        try:
+            return self._evaluate_metered_inner(config, keep_compile_result)
+        finally:
+            self.metrics.observe("eval_seconds", perf_counter() - start)
+
+    def _evaluate_metered_inner(
+        self, config: ArchConfig, keep_compile_result: bool = False
+    ) -> EvaluatedPoint:
         metrics = self.metrics
         with metrics.phase("build"):
             arch = build_architecture_cached(config, self.width)

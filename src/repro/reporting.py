@@ -128,6 +128,7 @@ def study_to_dict(result) -> dict:
                     "post_pass_hits": run.stats.post_pass_hits,
                     "phases": run.stats.phases,
                     "counters": run.stats.counters,
+                    "histograms": run.stats.histograms,
                 },
                 "points": exploration_rows(run.result.points),
                 "pareto": [p.label for p in run.pareto],

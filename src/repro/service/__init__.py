@@ -16,13 +16,26 @@ resumes its queue (:mod:`~repro.service.server`).
 :class:`~repro.service.client.ServiceClient` is the blocking-socket
 counterpart the CLI (``repro serve|submit|jobs|results|cancel``) and
 the tests drive.
+
+Operational telemetry is live: the server keeps a
+:class:`~repro.telemetry.live.LiveRegistry` of queue/worker gauges,
+job lifecycle counters and latency histograms, answers the ``metrics``
+protocol op with per-tenant and global aggregates, and (via the CLI's
+``--metrics-addr``) serves Prometheus text over HTTP.  ``repro top``
+(:mod:`~repro.service.top`) renders the same numbers as a terminal
+dashboard.
 """
 
 from repro.service.client import ServiceClient, wait_for_server
 from repro.service.dedupe import DedupeCache, InflightIndex
-from repro.service.protocol import PROTOCOL_VERSION, parse_address
+from repro.service.protocol import (
+    METRICS_VERSION,
+    PROTOCOL_VERSION,
+    parse_address,
+)
 from repro.service.queue import Job, JobQueue, JobState
 from repro.service.server import StudyServer
+from repro.service.top import render_dashboard, run_top
 
 __all__ = [
     "DedupeCache",
@@ -30,9 +43,12 @@ __all__ = [
     "Job",
     "JobQueue",
     "JobState",
+    "METRICS_VERSION",
     "PROTOCOL_VERSION",
     "ServiceClient",
     "StudyServer",
     "parse_address",
+    "render_dashboard",
+    "run_top",
     "wait_for_server",
 ]

@@ -122,6 +122,12 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def metrics(self, tenant: str | None = None) -> dict:
+        """The server's live metrics: registry snapshot, per-tenant
+        and global aggregates with histogram quantiles."""
+        fields = {} if tenant is None else {"tenant": tenant}
+        return self.request("metrics", **fields)["metrics"]
+
     def shutdown(self) -> dict:
         return self.request("shutdown")
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 
 __all__ = [
+    "METRICS_VERSION",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "decode_frame",
@@ -44,8 +45,13 @@ OPS = (
     "result",      # {"job"} -> the finished study's result dict
     "cancel",      # {"job"} -> cancel queued or running job
     "stats",       # cache + queue + dedupe counters
+    "metrics",     # {"tenant"?} -> live registry snapshot + aggregates
     "shutdown",    # graceful stop (drains running jobs)
 )
+
+#: Version of the ``metrics`` response shape (independent of the frame
+#: protocol so dashboards can evolve without a protocol bump).
+METRICS_VERSION = 1
 
 
 class ProtocolError(ValueError):

@@ -29,6 +29,7 @@ rather than restarts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 __all__ = ["Job", "JobQueue", "JobState"]
@@ -61,6 +62,12 @@ class Job:
     scheduler serial of the job's tenant when it last started (fairness
     tiebreaker).  ``interrupted`` marks a job recovered from a killed
     server, so the runner knows to resume from its study checkpoint.
+
+    ``submitted_at``/``started_at``/``finished_at`` are wall-clock
+    (``time.time``) lifecycle stamps — queue-wait (started - submitted)
+    and run duration (finished - started) feed the live metrics
+    histograms and the ``repro top`` dashboard.  They persist with the
+    job, so waits stay meaningful across a server restart.
     """
 
     tenant: str
@@ -72,6 +79,9 @@ class Job:
     error: str | None = None
     interrupted: bool = False
     submissions: int = 1
+    submitted_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
 
     @property
     def job_id(self) -> str:
@@ -92,6 +102,9 @@ class Job:
             "state": self.state,
             "error": self.error,
             "submissions": self.submissions,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
         }
 
     def to_dict(self) -> dict:
@@ -105,6 +118,9 @@ class Job:
             "error": self.error,
             "interrupted": self.interrupted,
             "submissions": self.submissions,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
         }
 
     @classmethod
@@ -119,6 +135,9 @@ class Job:
             error=data.get("error"),
             interrupted=bool(data.get("interrupted", False)),
             submissions=int(data.get("submissions", 1)),
+            submitted_at=data.get("submitted_at"),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
         )
 
 
@@ -169,11 +188,15 @@ class JobQueue:
             existing.state = JobState.QUEUED
             existing.error = None
             existing.priority = max(existing.priority, priority)
+            existing.submitted_at = time.time()
+            existing.started_at = None
+            existing.finished_at = None
             self._seq += 1
             existing.seq = self._seq
             return existing, False
         self._seq += 1
         job.seq = self._seq
+        job.submitted_at = time.time()
         self.jobs[job.job_id] = job
         return job, False
 
@@ -234,6 +257,7 @@ class JobQueue:
         self._sched_seq += 1
         self._last_scheduled[job.tenant] = self._sched_seq
         job.state = JobState.RUNNING
+        job.started_at = time.time()
 
     def finish(self, job: Job, state: str, error: str | None = None) -> None:
         if state not in JobState.TERMINAL:
@@ -241,6 +265,7 @@ class JobQueue:
         job.state = state
         job.error = error
         job.interrupted = False
+        job.finished_at = time.time()
 
     # ------------------------------------------------------------------
     # durable state

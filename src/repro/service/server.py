@@ -39,6 +39,7 @@ import asyncio
 import json
 import os
 from pathlib import Path
+from time import perf_counter, time
 
 from repro.campaign.cache import decode_entry
 from repro.reporting import study_to_dict
@@ -50,6 +51,7 @@ from repro.service.protocol import parse_address
 from repro.study.engine import Study
 from repro.study.objectives import pareto_front, resolve_objectives
 from repro.study.spec import StudySpec
+from repro.telemetry.live import LiveRegistry, aggregate_series
 
 __all__ = ["ServiceCheckpointManager", "StudyServer"]
 
@@ -132,6 +134,15 @@ class StudyServer:
     uncached — in-flight dedupe still works through study checkpoints?
     no: without a cache there is nowhere to coalesce *from*, so dedupe
     is effectively off).
+
+    Operational state lives in :attr:`registry` — a
+    :class:`~repro.telemetry.live.LiveRegistry` of queue/worker/cache
+    gauges, job lifecycle counters and queue-wait/evaluation-latency
+    histograms, served by the ``metrics`` op and (when the CLI starts
+    one) the Prometheus ``/metrics`` exporter.  ``collect_metrics``
+    runs each job's study metered so per-point latency histograms fold
+    in on completion; metering is result-equivalent by design, so this
+    defaults on.
     """
 
     def __init__(
@@ -146,6 +157,7 @@ class StudyServer:
         stats_every: float = 30.0,
         tracer=None,
         wait_timeout: float | None = None,
+        collect_metrics: bool = True,
     ) -> None:
         if total_workers < 1:
             raise ValueError("total_workers must be >= 1")
@@ -161,6 +173,11 @@ class StudyServer:
         self.stats_every = stats_every
         self.tracer = tracer
         self.wait_timeout = wait_timeout
+        self.collect_metrics = collect_metrics
+        #: The live, scrapeable operational metrics (thread-safe; the
+        #: ``metrics`` op and the Prometheus exporter both read it).
+        self.registry = LiveRegistry()
+        self.started_at = time()
         self.index = InflightIndex()
         self.queue = self._load_queue(tenant_max_running)
         self._queue_ckpt = CheckpointManager(
@@ -192,7 +209,12 @@ class StudyServer:
         # ``every=1`` means each record is one atomic write; the queue
         # state rides the checkpoint format (schema + spec hash), so a
         # torn or hand-edited file fails loudly at load, not silently.
+        start = perf_counter()
         self._queue_ckpt.record_point("queue", "state", self.queue.to_dict())
+        self.registry.observe(
+            "checkpoint_seconds", perf_counter() - start,
+            help="durable-state write durations by kind", kind="queue",
+        )
 
     # ------------------------------------------------------------------
     # telemetry + watcher fan-out
@@ -215,12 +237,24 @@ class StudyServer:
     def _set_state(self, job, state: str, error: str | None = None) -> None:
         if state in JobState.TERMINAL:
             self.queue.finish(job, state, error)
+            self.registry.count(
+                "jobs_finished",
+                help="jobs reaching a terminal state",
+                tenant=job.tenant, state=state,
+            )
+            if job.started_at is not None and job.finished_at is not None:
+                self.registry.observe(
+                    "job_seconds",
+                    max(0.0, job.finished_at - job.started_at),
+                    help="start-to-finish job duration",
+                    tenant=job.tenant,
+                )
         else:
             job.state = state
         self._persist_queue()
         self._trace_event(
-            "job_state", run=job.job_id, state=job.state,
-            tenant=job.tenant, error=error,
+            "job_state", run=job.job_id, job=job.job_id,
+            tenant=job.tenant, state=job.state, error=error,
         )
         self._notify(job.job_id, self._job_state_frame(job))
 
@@ -229,6 +263,119 @@ class StudyServer:
         self._notify(
             job_id,
             protocol.event("front", job=job_id, run=run_label, **info),
+        )
+
+    # ------------------------------------------------------------------
+    # live metrics
+    # ------------------------------------------------------------------
+    def _refresh_gauges(self, disk: bool = False) -> None:
+        """Bring the registry's point-in-time gauges up to date.
+
+        Cheap (in-memory) gauges refresh on every scheduler pass;
+        ``disk=True`` additionally walks the cache for entry/byte
+        totals — only the ``metrics`` op and the periodic stats
+        flusher pay that.
+        """
+        reg = self.registry
+        reg.gauge(
+            "queue_depth", len(self.queue.queued()),
+            help="jobs waiting for a worker lease",
+        )
+        reg.gauge(
+            "jobs_running", self.queue.running_count(),
+            help="jobs currently holding a lease",
+        )
+        reg.gauge(
+            "workers_total", self.total_workers,
+            help="the shared evaluation worker budget",
+        )
+        reg.gauge(
+            "workers_available", self.available_workers,
+            help="worker slots not currently leased",
+        )
+        reg.gauge(
+            "workers_busy", self.total_workers - self.available_workers,
+            help="worker slots leased to running jobs",
+        )
+        dedupe = self.index.as_dict()
+        reg.gauge(
+            "dedupe_inflight", dedupe["in_flight"],
+            help="points currently claimed by a running study",
+        )
+        reg.gauge(
+            "dedupe_claims", dedupe["claims"],
+            help="lifetime single-flight claims taken",
+        )
+        reg.gauge(
+            "dedupe_coalesced", dedupe["coalesced"],
+            help="lifetime evaluations avoided by coalescing",
+        )
+        if self.cache is not None:
+            stats = getattr(self.cache, "stats", None)
+            if stats is not None:
+                counters = stats.as_dict()
+                hits = counters.get("hits", 0)
+                misses = counters.get("misses", 0)
+                reg.gauge(
+                    "cache_hits_lifetime", hits,
+                    help="result-cache hits since server start",
+                )
+                reg.gauge(
+                    "cache_misses_lifetime", misses,
+                    help="result-cache misses since server start",
+                )
+                reg.gauge(
+                    "cache_hit_rate",
+                    hits / (hits + misses) if hits + misses else 0.0,
+                    help="hits / lookups since server start",
+                )
+            if disk:
+                reg.gauge(
+                    "cache_entries", len(self.cache),
+                    help="entries in the shared result cache",
+                )
+                reg.gauge(
+                    "cache_bytes", self.cache.bytes_on_disk(),
+                    help="result-cache bytes on disk",
+                )
+
+    def _fold_run_metrics(self, job, result) -> None:
+        """Fold a finished study's per-run telemetry into the registry.
+
+        Counters and ``eval_seconds`` histograms were merged inside the
+        study (worker snapshots, submission order — deterministic);
+        here they land labelled by (tenant, job) so the ``metrics`` op
+        can aggregate per tenant and globally.
+        """
+        labels = {"tenant": job.tenant, "job": job.job_id}
+        for run in result.runs:
+            stats = run.stats
+            self.registry.count(
+                "points_evaluated", stats.evaluated,
+                help="configurations actually compiled", **labels,
+            )
+            self.registry.count(
+                "cache_hits", stats.cache_hits,
+                help="points served from the result cache", **labels,
+            )
+            hist = stats.histograms.get("eval_seconds")
+            if hist is not None:
+                self.registry.merge_histogram(
+                    "eval_seconds", hist,
+                    help="per-point evaluation latency "
+                         "(measured in-worker)",
+                    **labels,
+                )
+
+    def _snapshot_to_trace(self, job=None) -> None:
+        """Emit one ``metric_snapshot`` trace record of the registry."""
+        if self.tracer is None:
+            return
+        self.tracer.metric_snapshot(
+            "registry",
+            self.registry.snapshot(),
+            job=None if job is None else job.job_id,
+            tenant=None if job is None else job.tenant,
         )
 
     # ------------------------------------------------------------------
@@ -248,9 +395,18 @@ class StudyServer:
             lease = min(requested, self.available_workers)
             self.available_workers -= lease
             self.queue.mark_running(job)
+            if job.submitted_at is not None and job.started_at is not None:
+                self.registry.observe(
+                    "queue_wait_seconds",
+                    max(0.0, job.started_at - job.submitted_at),
+                    help="submit-to-start latency",
+                    tenant=job.tenant,
+                )
             self._persist_queue()
+            self._refresh_gauges()
             self._trace_event(
-                "queue", run=job.job_id, action="start", lease=lease,
+                "queue", run=job.job_id, job=job.job_id,
+                tenant=job.tenant, action="start", lease=lease,
                 available=self.available_workers,
                 queued=len(self.queue.queued()),
             )
@@ -287,19 +443,43 @@ class StudyServer:
                 self._publish_front, job.job_id, label, info
             ),
         )
-        manager.on_point = streamer.on_point
+        registry = self.registry
+        tenant, job_id = job.tenant, job.job_id
+
+        def on_point(label, config_label, entry):
+            # Runs on the job's worker thread; the registry locks.
+            registry.count(
+                "points_recorded",
+                help="points recorded by running studies "
+                     "(fresh and cached)",
+                tenant=tenant, job=job_id,
+            )
+            streamer.on_point(label, config_label, entry)
+
+        manager.on_point = on_point
         cache = self.cache
         if cache is not None:
             cache = DedupeCache(
                 cache, self.index, job.job_id, token=token,
                 wait_timeout=self.wait_timeout,
             )
+        # Jobs run metered (opt-out via ``collect_metrics=False``):
+        # the per-run counters and in-worker ``eval_seconds``
+        # histograms fold into the live registry on completion.  When
+        # the server traces, each job traces through a bound view that
+        # stamps its job/tenant ids onto every study-layer record.
+        tracer = (
+            self.tracer.bind(job=job.job_id, tenant=job.tenant)
+            if self.tracer is not None else None
+        )
         study = Study(
             spec,
             cache=cache,
             workers=lease,
             manager=manager,
             cancel=token,
+            tracer=tracer,
+            collect_metrics=self.collect_metrics,
         )
         return study, token
 
@@ -310,6 +490,7 @@ class StudyServer:
             study, token = self._build_study(job, lease)
             self._tokens[job_id] = token
             result = await loop.run_in_executor(None, study.run)
+            self._fold_run_metrics(job, result)
             if result.interrupted:
                 self._set_state(job, JobState.CANCELLED)
                 return
@@ -344,14 +525,23 @@ class StudyServer:
             self._tokens.pop(job_id, None)
             released = self.index.release_owner(job_id)
             self._trace_event(
-                "queue", run=job_id, action="finish",
-                available=self.available_workers, claims_released=released,
+                "queue", run=job_id, job=job_id, tenant=job.tenant,
+                action="finish", available=self.available_workers,
+                claims_released=released,
             )
             if self.cache is not None:
                 try:
+                    start = perf_counter()
                     self.cache.persist_stats()
+                    self.registry.observe(
+                        "flush_seconds", perf_counter() - start,
+                        help="cache stats flush durations",
+                        kind="cache_stats",
+                    )
                 except OSError:
                     pass
+            self._refresh_gauges()
+            self._snapshot_to_trace(job)
             self._schedule()
 
     def _write_result(self, job_id: str, payload: dict) -> None:
@@ -420,6 +610,8 @@ class StudyServer:
             return await self._op_watch(frame, writer)
         if op == "stats":
             return self._op_stats()
+        if op == "metrics":
+            return self._op_metrics(frame)
         if op == "shutdown":
             return protocol.ok(stopping=True)
         return protocol.error(
@@ -434,10 +626,21 @@ class StudyServer:
         job, deduped = self.queue.submit(
             tenant, spec.spec_id, spec.to_dict(), priority
         )
+        self.registry.count(
+            "jobs_submitted", help="submit requests accepted",
+            tenant=tenant,
+        )
+        if deduped:
+            self.registry.count(
+                "jobs_deduped",
+                help="submits answered by an existing job",
+                tenant=tenant,
+            )
         self._persist_queue()
+        self._refresh_gauges()
         self._trace_event(
-            "queue", run=job.job_id, action="submit", tenant=tenant,
-            deduped=deduped, priority=priority,
+            "queue", run=job.job_id, job=job.job_id, tenant=tenant,
+            action="submit", deduped=deduped, priority=priority,
         )
         if not deduped:
             self._schedule()
@@ -466,7 +669,8 @@ class StudyServer:
             if token is not None:
                 token.cancel()
             self._trace_event(
-                "queue", run=job.job_id, action="cancel"
+                "queue", run=job.job_id, job=job.job_id,
+                tenant=job.tenant, action="cancel",
             )
             return protocol.ok(job=job.job_id, state=job.state)
         return protocol.ok(job=job.job_id, state=job.state, noop=True)
@@ -507,6 +711,68 @@ class StudyServer:
                     return None
         finally:
             self._watchers.get(job_id, set()).discard(events)
+
+    #: Metrics aggregated per tenant and globally by the ``metrics``
+    #: op (counters sum; histograms merge buckets and re-derive
+    #: quantiles).
+    _AGGREGATED = (
+        "jobs_submitted", "jobs_deduped", "jobs_finished",
+        "points_recorded", "points_evaluated", "cache_hits",
+        "queue_wait_seconds", "eval_seconds", "job_seconds",
+    )
+
+    def _op_metrics(self, frame: dict) -> dict:
+        """The live registry plus per-tenant/global roll-ups.
+
+        ``{"op": "metrics"}`` returns everything; ``{"op": "metrics",
+        "tenant": "a"}`` narrows the ``tenants`` section to one tenant
+        (the raw registry and global aggregates still cover all).
+        """
+        self._refresh_gauges(disk=True)
+        snapshot = self.registry.snapshot()
+
+        def series(name: str) -> list:
+            for table in ("counters", "histograms", "gauges"):
+                if name in snapshot[table]:
+                    return snapshot[table][name]
+            return []
+
+        tenants: dict[str, dict] = {}
+        global_agg: dict[str, dict] = {}
+        for name in self._AGGREGATED:
+            rows = series(name)
+            if not rows:
+                continue
+            for tenant, value in aggregate_series(rows, by="tenant").items():
+                if tenant:
+                    tenants.setdefault(tenant, {})[name] = value
+            global_agg[name] = aggregate_series(rows)[""]
+        wanted = frame.get("tenant")
+        if wanted is not None:
+            tenants = {
+                t: v for t, v in tenants.items() if t == str(wanted)
+            }
+        by_state: dict[str, int] = {}
+        for job in self.queue.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return protocol.ok(
+            metrics={
+                "version": protocol.METRICS_VERSION,
+                "uptime": round(time() - self.started_at, 3),
+                "queue": {
+                    "depth": len(self.queue.queued()),
+                    "jobs": by_state,
+                },
+                "workers": {
+                    "total": self.total_workers,
+                    "available": self.available_workers,
+                    "busy": self.total_workers - self.available_workers,
+                },
+                "tenants": tenants,
+                "global": global_agg,
+                "registry": snapshot,
+            }
+        )
 
     def _op_stats(self) -> dict:
         by_state: dict[str, int] = {}
@@ -566,13 +832,16 @@ class StudyServer:
             bound = f"tcp:{host}:{port}"
         # Recover: anything the loaded queue holds is schedulable now.
         self._persist_queue()
+        self._refresh_gauges()
         self._schedule()
         return bound
 
     async def serve_until_stopped(self) -> None:
         """Serve until ``shutdown`` (or :meth:`stop`); drain jobs."""
         stats_task = None
-        if self.cache is not None and self.stats_every > 0:
+        if self.stats_every > 0 and (
+            self.cache is not None or self.tracer is not None
+        ):
             stats_task = asyncio.get_running_loop().create_task(
                 self._stats_flusher()
             )
@@ -595,10 +864,19 @@ class StudyServer:
     async def _stats_flusher(self) -> None:
         while True:
             await asyncio.sleep(self.stats_every)
-            try:
-                self.cache.persist_stats()
-            except OSError:
-                pass
+            if self.cache is not None:
+                try:
+                    start = perf_counter()
+                    self.cache.persist_stats()
+                    self.registry.observe(
+                        "flush_seconds", perf_counter() - start,
+                        help="cache stats flush durations",
+                        kind="cache_stats",
+                    )
+                except OSError:
+                    pass
+            self._refresh_gauges(disk=True)
+            self._snapshot_to_trace()
 
     def stop(self) -> None:
         """Request a graceful stop; safe from any thread.

@@ -1,0 +1,174 @@
+"""``repro top``: a live terminal dashboard over the study server.
+
+Polls the server's ``metrics`` and ``jobs`` ops on an interval and
+redraws one plain-ANSI screen: uptime, worker occupancy, queue depth,
+per-tenant throughput and latency percentiles, and the job table with
+lifecycle ages.  No curses, no dependencies — the only escape codes
+used are clear-screen + cursor-home (``ESC[2J ESC[H``), so the output
+also behaves when piped (``--no-clear`` drops even those, printing one
+frame after another for transcripts and tests).
+
+Rendering is separated from polling: :func:`render_dashboard` is a
+pure function of the two response dicts, so tests can assert on frames
+without a server, and :func:`run_top` is the loop the CLI drives.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.client import ServiceClient
+
+__all__ = ["render_dashboard", "run_top"]
+
+CLEAR = "\x1b[2J\x1b[H"
+
+#: Job states in display order.
+_STATE_ORDER = ("running", "queued", "done", "failed", "cancelled")
+
+
+def _fmt_seconds(value: float | None) -> str:
+    """Compact duration: ``815us``, ``2.4ms``, ``1.8s``, ``3m12s``."""
+    if value is None:
+        return "-"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    if value < 60.0:
+        return f"{value:.1f}s"
+    minutes, seconds = divmod(int(value), 60)
+    return f"{minutes}m{seconds:02d}s"
+
+
+def _quantile(agg: dict | None, name: str) -> float | None:
+    if not agg:
+        return None
+    return (agg.get("quantiles") or {}).get(name)
+
+
+def _counter(tenant_agg: dict, name: str) -> int:
+    entry = tenant_agg.get(name)
+    return int(entry["value"]) if entry else 0
+
+
+def _job_points(metrics: dict) -> dict[str, int]:
+    """Per-job recorded-point counts out of the registry snapshot."""
+    series = (
+        metrics.get("registry", {})
+        .get("counters", {})
+        .get("points_recorded", [])
+    )
+    points: dict[str, int] = {}
+    for entry in series:
+        job = entry["labels"].get("job")
+        if job:
+            points[job] = points.get(job, 0) + int(entry["value"])
+    return points
+
+
+def render_dashboard(
+    metrics: dict, jobs: list[dict], now: float | None = None,
+) -> str:
+    """One dashboard frame from ``metrics`` op + ``jobs`` op output."""
+    now = time.time() if now is None else now
+    workers = metrics.get("workers", {})
+    queue = metrics.get("queue", {})
+    by_state = queue.get("jobs", {})
+    lines = [
+        "repro top — study server"
+        f" · up {_fmt_seconds(metrics.get('uptime'))}"
+        f" · workers {workers.get('busy', 0)}/{workers.get('total', 0)}"
+        f" · queue {queue.get('depth', 0)}",
+        " ".join(
+            f"{state}:{by_state[state]}"
+            for state in _STATE_ORDER if by_state.get(state)
+        ) or "(no jobs)",
+        "",
+    ]
+
+    tenants = metrics.get("tenants", {})
+    if tenants:
+        lines.append(
+            f"{'tenant':<10} {'jobs':>5} {'points':>7} {'evals':>6} "
+            f"{'hits':>5} {'wait p50':>9} {'wait p90':>9} "
+            f"{'eval p50':>9} {'eval p99':>9}"
+        )
+        for tenant in sorted(tenants):
+            agg = tenants[tenant]
+            wait = agg.get("queue_wait_seconds")
+            evals = agg.get("eval_seconds")
+            lines.append(
+                f"{tenant:<10} "
+                f"{_counter(agg, 'jobs_submitted'):>5} "
+                f"{_counter(agg, 'points_recorded'):>7} "
+                f"{_counter(agg, 'points_evaluated'):>6} "
+                f"{_counter(agg, 'cache_hits'):>5} "
+                f"{_fmt_seconds(_quantile(wait, 'p50')):>9} "
+                f"{_fmt_seconds(_quantile(wait, 'p90')):>9} "
+                f"{_fmt_seconds(_quantile(evals, 'p50')):>9} "
+                f"{_fmt_seconds(_quantile(evals, 'p99')):>9}"
+            )
+        lines.append("")
+
+    points = _job_points(metrics)
+    lines.append(
+        f"{'job':<26} {'tenant':<10} {'state':<10} {'points':>7} "
+        f"{'age':>7} {'took':>7}"
+    )
+    order = {state: i for i, state in enumerate(_STATE_ORDER)}
+    for job in sorted(
+        jobs, key=lambda j: (order.get(j.get("state"), 9), j.get("job", ""))
+    ):
+        submitted = job.get("submitted_at")
+        started = job.get("started_at")
+        finished = job.get("finished_at")
+        age = None if submitted is None else max(0.0, now - submitted)
+        took = None
+        if started is not None:
+            took = max(0.0, (finished or now) - started)
+        lines.append(
+            f"{job.get('job', '?'):<26} {job.get('tenant', '?'):<10} "
+            f"{job.get('state', '?'):<10} "
+            f"{points.get(job.get('job'), 0):>7} "
+            f"{_fmt_seconds(age):>7} {_fmt_seconds(took):>7}"
+        )
+    if not jobs:
+        lines.append("(queue is empty)")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    address: str,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """Poll ``address`` and redraw until interrupted.
+
+    ``iterations`` bounds the number of frames (None = forever); the
+    CLI leaves it unbounded, tests and the CI smoke pass a small
+    number.  Returns a process exit code.
+    """
+    import sys
+
+    out = sys.stdout if out is None else out
+    drawn = 0
+    try:
+        while iterations is None or drawn < iterations:
+            with ServiceClient(address) as client:
+                metrics = client.metrics()
+                jobs = client.request("jobs")["jobs"]
+            frame = render_dashboard(metrics, jobs)
+            if clear:
+                out.write(CLEAR)
+            out.write(frame)
+            out.flush()
+            drawn += 1
+            if iterations is not None and drawn >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -112,10 +112,11 @@ class RunStats:
     ``post_pass_hits`` counts points whose post-pass axis (test cost or
     energy) was already present — restored from the result cache — so
     cached work on post-pass studies is reported, not just the base
-    evaluations.  ``phases`` and ``counters`` are the run's merged
-    telemetry snapshot (``{phase: {"calls", "seconds"}}`` /
-    ``{counter: int}``), empty unless the study ran with metrics
-    collection on.
+    evaluations.  ``phases``, ``counters`` and ``histograms`` are the
+    run's merged telemetry snapshot (``{phase: {"calls", "seconds"}}``
+    / ``{counter: int}`` / ``{name: <histogram snapshot>}``, e.g. the
+    per-point ``eval_seconds`` latency distribution), empty unless the
+    study ran with metrics collection on.
     """
 
     total: int                 # points in the space
@@ -126,6 +127,7 @@ class RunStats:
     post_pass_hits: int = 0    # post-pass axes restored from the cache
     phases: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -975,7 +977,7 @@ class Study:
 
         snapshot = (
             metrics.snapshot() if metrics is not None
-            else {"phases": {}, "counters": {}}
+            else {"phases": {}, "counters": {}, "histograms": {}}
         )
         stats = RunStats(
             total=len(configs),
@@ -986,6 +988,7 @@ class Study:
             post_pass_hits=post_pass_hits,
             phases=snapshot["phases"],
             counters=snapshot["counters"],
+            histograms=snapshot.get("histograms", {}),
         )
         if self.tracer is not None:
             self.tracer.event(
@@ -993,6 +996,7 @@ class Study:
                 run=label,
                 phases=snapshot["phases"],
                 counters=snapshot["counters"],
+                histograms=snapshot.get("histograms", {}),
                 total=stats.total,
                 cache_hits=stats.cache_hits,
                 evaluated=stats.evaluated,
@@ -1045,7 +1049,7 @@ class Study:
         )
         snapshot = (
             metrics.snapshot() if metrics is not None
-            else {"phases": {}, "counters": {}}
+            else {"phases": {}, "counters": {}, "histograms": {}}
         )
         stats = RunStats(
             total=cur["total"],
@@ -1055,6 +1059,7 @@ class Study:
             elapsed=perf_counter() - cur["started"],
             phases=snapshot["phases"],
             counters=snapshot["counters"],
+            histograms=snapshot.get("histograms", {}),
         )
         if self.tracer is not None:
             # The in-progress wave's telemetry would otherwise be lost:
@@ -1065,6 +1070,7 @@ class Study:
                 run=cur["label"],
                 phases=snapshot["phases"],
                 counters=snapshot["counters"],
+                histograms=snapshot.get("histograms", {}),
                 total=stats.total,
                 cache_hits=stats.cache_hits,
                 evaluated=stats.evaluated,

@@ -1,15 +1,23 @@
 """``repro.telemetry`` — opt-in tracing and metrics for the study stack.
 
-Three small, zero-dependency pieces:
+Five small, zero-dependency pieces:
 
 * :class:`Tracer` — structured span/event records (monotonic
-  timestamps, study/run/wave/config ids) onto a JSONL sink, under the
-  documented, versioned schema of :mod:`repro.telemetry.schema`;
+  timestamps, study/run/wave/config ids, buffered writes) onto a JSONL
+  sink, under the documented, versioned schema of
+  :mod:`repro.telemetry.schema`; :meth:`Tracer.bind` stamps service
+  job/tenant ids so server records join study records;
 * :class:`MetricsCollector` — disjoint phase timers (compile,
   schedule, regalloc, timing-validate, simulate, netlist-stats,
-  test-cost, energy) and integer counters, with picklable snapshots so
-  process-pool workers report their share for merging on wave
-  completion;
+  test-cost, energy), integer counters and per-point latency
+  :class:`Histogram` s, with picklable snapshots so process-pool
+  workers report their share for merging on wave completion;
+* :class:`Histogram` — fixed-bucket, mergeable latency distributions
+  with estimated p50/p90/p99;
+* :class:`LiveRegistry` — the long-lived, thread-safe counters/gauges/
+  histograms the study server exposes over its ``metrics`` op and the
+  Prometheus ``/metrics`` listener (:class:`MetricsExporter`,
+  :func:`render_prometheus`);
 * :func:`summarize_trace` / :func:`format_trace_summary` — offline
   analysis of a recorded run (the ``python -m repro trace summarize``
   subcommand).
@@ -19,6 +27,17 @@ call site defaults to ``tracer=None`` / ``metrics=None`` and produces
 identical fronts and cache contents either way.
 """
 
+from repro.telemetry.histogram import (
+    DEFAULT_BOUNDS,
+    Histogram,
+    merge_histogram_snapshots,
+)
+from repro.telemetry.live import (
+    LiveRegistry,
+    MetricsExporter,
+    aggregate_series,
+    render_prometheus,
+)
 from repro.telemetry.metrics import (
     PHASES,
     MetricsCollector,
@@ -35,18 +54,26 @@ from repro.telemetry.summarize import (
     load_trace,
     summarize_trace,
 )
-from repro.telemetry.tracer import Tracer
+from repro.telemetry.tracer import BoundTracer, Tracer
 
 __all__ = [
+    "BoundTracer",
+    "DEFAULT_BOUNDS",
+    "Histogram",
+    "LiveRegistry",
     "MetricsCollector",
+    "MetricsExporter",
     "PHASES",
     "SCHEMA_VERSION",
     "Tracer",
+    "aggregate_series",
     "format_phases",
     "format_trace_summary",
     "load_trace",
+    "merge_histogram_snapshots",
     "merge_snapshots",
     "read_trace",
+    "render_prometheus",
     "summarize_trace",
     "validate_record",
 ]

@@ -11,6 +11,12 @@ A :class:`MetricsCollector` accumulates two kinds of numbers:
   strategy moves).  Counters recorded per configuration are
   deterministic: the same study merges to the same values no matter
   how a process pool interleaved the work.
+* **histograms** — fixed-bucket latency distributions
+  (:class:`~repro.telemetry.histogram.Histogram`) for per-point
+  timings such as ``eval_seconds``.  Bucket counts merge additively,
+  so merged pool snapshots are bucket-for-bucket deterministic the
+  same way counters are (the timings inside vary run to run, but the
+  *merge* never depends on pool interleaving).
 
 Collectors are cheap plain-dict state.  :meth:`~MetricsCollector.
 snapshot` returns a picklable plain-dict view, and :meth:`~
@@ -28,6 +34,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Iterator
+
+from repro.telemetry.histogram import Histogram
 
 #: The phases the study stack records, in pipeline order.  A collector
 #: accepts any name; this tuple is documentation plus the display
@@ -47,12 +55,13 @@ PHASES = (
 class MetricsCollector:
     """Accumulate disjoint phase timings and integer counters."""
 
-    __slots__ = ("phases", "counters")
+    __slots__ = ("phases", "counters", "histograms")
 
     def __init__(self) -> None:
         # phase name -> [calls, seconds]
         self.phases: dict[str, list] = {}
         self.counters: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -73,14 +82,21 @@ class MetricsCollector:
         """Add ``n`` to counter ``name``."""
         self.counters[name] = self.counters.get(name, 0) + n
 
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` (seconds) into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Picklable plain-dict view: what workers ship to the parent.
 
         Shape: ``{"phases": {name: {"calls": int, "seconds": float}},
-        "counters": {name: int}}``.  Seconds are rounded to the
-        microsecond so snapshots serialise compactly and compare
-        stably.
+        "counters": {name: int}, "histograms": {name: <histogram
+        snapshot>}}``.  Seconds are rounded to the microsecond so
+        snapshots serialise compactly and compare stably.
         """
         return {
             "phases": {
@@ -88,6 +104,10 @@ class MetricsCollector:
                 for name, (calls, seconds) in self.phases.items()
             },
             "counters": dict(self.counters),
+            "histograms": {
+                name: hist.snapshot()
+                for name, hist in self.histograms.items()
+            },
         }
 
     def merge(self, snapshot: dict) -> None:
@@ -101,6 +121,13 @@ class MetricsCollector:
                 entry[1] += stat["seconds"]
         for name, value in snapshot.get("counters", {}).items():
             self.counters[name] = self.counters.get(name, 0) + value
+        for name, hist_snap in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram(
+                    tuple(hist_snap["bounds"])
+                )
+            hist.merge(hist_snap)
 
 
 def merge_snapshots(snapshots: "list[dict]") -> dict:

@@ -1,4 +1,4 @@
-"""The versioned trace-record schema (schema version 1).
+"""The versioned trace-record schema (schema version 2).
 
 Every line of a trace file written by :class:`repro.telemetry.Tracer`
 is one JSON object — a *record* — with the following shape:
@@ -6,9 +6,17 @@ is one JSON object — a *record* — with the following shape:
 Required fields (every record):
 
 ``v``
-    int — schema version; this module validates version ``1``.
+    int — schema version; this module validates versions ``1`` and
+    ``2``.  Version 2 added the ``metric_snapshot`` kind and the
+    ``job``/``tenant`` correlation fields; a version-1 record may not
+    use either.
 ``kind``
-    str — one of ``meta``, ``span``, ``event``.
+    str — one of ``meta``, ``span``, ``event``, ``metric_snapshot``.
+    A ``metric_snapshot`` is a periodic dump of the live metrics
+    registry (:class:`~repro.telemetry.live.LiveRegistry`) — its
+    ``data`` holds the registry snapshot (or a subset of its series),
+    letting ``trace summarize`` plot operational state over the same
+    monotonic clock as spans and events.
 ``ts``
     float — seconds since the tracer opened, from a **monotonic**
     clock (``time.perf_counter``), so records order and subtract
@@ -50,7 +58,9 @@ Required fields (every record):
     * ``queue``    (event) — one scheduler action: ``action=submit``
       (with dedupe outcome and priority), ``action=start`` (with the
       worker lease granted and remaining budget), ``action=cancel``,
-      or ``action=finish`` (with in-flight dedupe claims released).
+      or ``action=finish`` (with in-flight dedupe claims released);
+    * ``registry`` (metric_snapshot) — the server's live-registry
+      dump, written periodically and at job completion.
 
 Optional fields:
 
@@ -66,8 +76,16 @@ Optional fields:
 ``config``
     str — the :meth:`~repro.explore.space.ArchConfig.label` of the
     configuration the record is about.
+``job``
+    str — **version 2+**: the service job id the record belongs to.
+    Server-side spans and events stamp it so ``trace summarize`` can
+    join server records to the study records the job produced (whose
+    service ``run`` field also carries the job id).
+``tenant``
+    str — **version 2+**: the service tenant that owns the record.
 ``data``
-    object — free-form JSON-safe payload (counter dicts, point costs).
+    object — free-form JSON-safe payload (counter dicts, point costs,
+    registry snapshots); required on ``metric_snapshot`` records.
 
 No other top-level fields are allowed; additions bump
 :data:`SCHEMA_VERSION`.
@@ -78,17 +96,25 @@ from __future__ import annotations
 import json
 from typing import Iterable
 
-#: Version stamped into (and required of) every record.
-SCHEMA_VERSION = 1
+#: Version stamped into new records; the reader accepts
+#: :data:`ACCEPTED_VERSIONS`.
+SCHEMA_VERSION = 2
 
-#: The record kinds schema version 1 defines.
-KINDS = ("meta", "span", "event")
+#: Versions :func:`validate_record` accepts.
+ACCEPTED_VERSIONS = (1, 2)
 
-#: Every top-level field a version-1 record may carry.
+#: The record kinds schema version 2 defines.
+KINDS = ("meta", "span", "event", "metric_snapshot")
+
+#: Every top-level field a version-2 record may carry.
 _FIELDS = {
     "v", "kind", "ts", "name", "dur", "study", "run", "wave", "config",
-    "data",
+    "job", "tenant", "data",
 }
+
+#: Additions version 2 made over version 1 (rejected on v=1 records).
+_V2_KINDS = ("metric_snapshot",)
+_V2_FIELDS = {"job", "tenant"}
 
 _REQUIRED = ("v", "kind", "ts", "name")
 
@@ -104,12 +130,14 @@ _TYPES = {
     "run": str,
     "wave": int,
     "config": str,
+    "job": str,
+    "tenant": str,
     "data": dict,
 }
 
 
 def validate_record(record: object) -> dict:
-    """Check one parsed record against schema version 1.
+    """Check one parsed record against the schema (versions 1 and 2).
 
     Returns the record on success; raises ``ValueError`` naming the
     first violation otherwise.
@@ -129,17 +157,31 @@ def validate_record(record: object) -> dict:
                 f"field {field!r} is {type(value).__name__}, "
                 f"expected {expected}"
             )
-    if record["v"] != SCHEMA_VERSION:
+    if record["v"] not in ACCEPTED_VERSIONS:
         raise ValueError(
             f"schema version {record['v']} (this reader handles "
-            f"{SCHEMA_VERSION})"
+            f"{ACCEPTED_VERSIONS})"
         )
     if record["kind"] not in KINDS:
         raise ValueError(f"unknown kind {record['kind']!r}")
+    if record["v"] == 1:
+        if record["kind"] in _V2_KINDS:
+            raise ValueError(
+                f"kind {record['kind']!r} requires schema version 2"
+            )
+        v2_used = _V2_FIELDS & set(record)
+        if v2_used:
+            raise ValueError(
+                f"field(s) {sorted(v2_used)} require schema version 2"
+            )
     if record["kind"] == "span" and "dur" not in record:
         raise ValueError(f"span {record['name']!r} lacks 'dur'")
     if record["kind"] != "span" and "dur" in record:
         raise ValueError(f"{record['kind']} {record['name']!r} carries 'dur'")
+    if record["kind"] == "metric_snapshot" and "data" not in record:
+        raise ValueError(
+            f"metric_snapshot {record['name']!r} lacks 'data'"
+        )
     if record["ts"] < 0 or record["kind"] == "span" and record["dur"] < 0:
         raise ValueError("negative timestamp/duration")
     return record

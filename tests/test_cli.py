@@ -256,8 +256,10 @@ def test_explore_profile_flag(capsys):
 
 def test_bench_small_suite(capsys, tmp_path):
     out_file = tmp_path / "bench.json"
+    history = tmp_path / "benchmarks" / "history.jsonl"
     code, out, _ = _run(
         capsys, "bench", "--suite", "small", "-o", str(out_file),
+        "--history", str(history),
     )
     assert code == 0
     assert "speedup" in out
@@ -266,6 +268,21 @@ def test_bench_small_suite(capsys, tmp_path):
         s["pareto_identical"] for s in report["sweeps"]
     )
     assert "small_speedup" in report
+    # every run appends one trend line: timestamp, commit, speedups
+    lines = history.read_text().splitlines()
+    assert len(lines) == 1
+    entry = json.loads(lines[0])
+    assert entry["timestamp"] == report["generated_at"]
+    assert entry["small_speedup"] == report["small_speedup"]
+    assert set(entry) == {
+        "timestamp", "commit", "small_speedup", "medium_speedup",
+        "python",
+    }
+    # a second run appends, never truncates
+    from repro.bench import append_history
+
+    append_history(report, history)
+    assert len(history.read_text().splitlines()) == 2
 
 
 def test_bench_no_write(capsys, tmp_path, monkeypatch):
@@ -274,6 +291,7 @@ def test_bench_no_write(capsys, tmp_path, monkeypatch):
     assert code == 0
     assert "pareto filter" in out
     assert not (tmp_path / "BENCH_evaluate.json").exists()
+    assert not (tmp_path / "benchmarks").exists()
 
 
 def test_study_trace_and_metrics_out(capsys, tmp_path):
@@ -297,6 +315,15 @@ def test_study_trace_and_metrics_out(capsys, tmp_path):
     code, out, _ = _run(capsys, "trace", "summarize", str(trace))
     assert code == 0
     assert "gcd/small/w16" in out and "12 points" in out
+    # --format json round-trips the whole summary dict
+    code, out, _ = _run(
+        capsys, "trace", "summarize", str(trace), "--format", "json",
+    )
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["runs"][0]["label"] == "gcd/small/w16"
+    assert summary["runs"][0]["points"] == 12
+    assert summary["jobs"] == []
 
 
 def test_trace_rejects_corrupt_file(capsys, tmp_path):

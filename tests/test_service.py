@@ -31,8 +31,10 @@ from repro.service import (
     InflightIndex,
     JobQueue,
     JobState,
+    METRICS_VERSION,
     ServiceClient,
     parse_address,
+    render_dashboard,
     wait_for_server,
 )
 from repro.service.client import ServiceError
@@ -653,5 +655,222 @@ class TestServiceEndToEnd:
             # the resumed run did not restart: all 12 points are there
             assert result_a["runs"][0]["stats"]["total"] == 12
             assert len(result_a["runs"][0]["points"]) == 12
+        finally:
+            _stop_server(proc, sock)
+
+
+# ----------------------------------------------------------------------
+# job lifecycle timestamps (what `repro top` ages come from)
+# ----------------------------------------------------------------------
+class TestJobTimestamps:
+    def test_lifecycle_stamps_and_round_trip(self):
+        queue = JobQueue()
+        job, _ = _submit(queue, "a")
+        assert job.submitted_at is not None
+        assert job.started_at is None and job.finished_at is None
+        queue.mark_running(job)
+        assert job.started_at >= job.submitted_at
+        queue.finish(job, JobState.DONE)
+        assert job.finished_at >= job.started_at
+        loaded = JobQueue.from_dict(
+            json.loads(json.dumps(queue.to_dict()))
+        ).get(job.job_id)
+        assert loaded.submitted_at == job.submitted_at
+        assert loaded.started_at == job.started_at
+        assert loaded.finished_at == job.finished_at
+
+    def test_rearm_resets_stamps(self):
+        queue = JobQueue()
+        job, _ = _submit(queue, "a")
+        first_submit = job.submitted_at
+        queue.mark_running(job)
+        queue.finish(job, JobState.FAILED, "boom")
+        time.sleep(0.01)
+        again, deduped = _submit(queue, "a")
+        assert again is job and not deduped
+        assert job.submitted_at > first_submit
+        assert job.started_at is None and job.finished_at is None
+
+
+# ----------------------------------------------------------------------
+# `repro top` rendering (pure function; no server)
+# ----------------------------------------------------------------------
+class TestTopDashboard:
+    METRICS = {
+        "uptime": 61.0,
+        "queue": {"depth": 1, "jobs": {"running": 1, "done": 2}},
+        "workers": {"total": 4, "available": 3, "busy": 1},
+        "tenants": {
+            "alice": {
+                "jobs_submitted": {"value": 2},
+                "points_recorded": {"value": 24},
+                "points_evaluated": {"value": 12},
+                "cache_hits": {"value": 12},
+                "queue_wait_seconds": {
+                    "count": 2, "quantiles": {"p50": 0.0008, "p90": 0.002},
+                },
+                "eval_seconds": {
+                    "count": 12,
+                    "quantiles": {"p50": 0.004, "p99": 0.09},
+                },
+            },
+        },
+        "registry": {"counters": {"points_recorded": [
+            {"labels": {"tenant": "alice", "job": "j1"}, "value": 24},
+        ]}},
+    }
+    JOBS = [
+        {"job": "j1", "tenant": "alice", "state": "done",
+         "submitted_at": 100.0, "started_at": 101.0, "finished_at": 103.5},
+        {"job": "j2", "tenant": "alice", "state": "running",
+         "submitted_at": 104.0, "started_at": 105.0, "finished_at": None},
+    ]
+
+    def test_frame_contents_and_ordering(self):
+        frame = render_dashboard(self.METRICS, self.JOBS, now=110.0)
+        assert "up 1m01s" in frame
+        assert "workers 1/4" in frame
+        assert "queue 1" in frame
+        assert "running:1 done:2" in frame
+        # tenant row: points, evals, hits, latency quantiles
+        alice = next(l for l in frame.splitlines() if l.startswith("alice"))
+        assert "24" in alice and "12" in alice
+        assert "800us" in alice and "4.0ms" in alice
+        # running jobs sort above done ones; ages come from the stamps
+        lines = frame.splitlines()
+        assert lines.index(
+            next(l for l in lines if l.startswith("j2"))
+        ) < lines.index(next(l for l in lines if l.startswith("j1")))
+        j1 = next(l for l in lines if l.startswith("j1"))
+        assert "2.5s" in j1      # took = finished - started
+        j2 = next(l for l in lines if l.startswith("j2"))
+        assert "6.0s" in j2      # age = now - submitted
+
+    def test_empty_server_renders(self):
+        frame = render_dashboard({"uptime": 0.5}, [], now=1.0)
+        assert "(no jobs)" in frame
+        assert "(queue is empty)" in frame
+
+
+# ----------------------------------------------------------------------
+# the metrics op + CLI, against real servers
+# ----------------------------------------------------------------------
+class TestMetricsEndToEnd:
+    def test_metrics_op_two_concurrent_tenants(self, tmp_path):
+        """Acceptance: per-tenant evaluation counts reported by the
+        ``metrics`` op equal the points actually recorded/evaluated by
+        that tenant's jobs, with both tenants in flight at once."""
+        sock = tmp_path / "s.sock"
+        proc = _start_server(
+            tmp_path,
+            "--workers", "2", "--stream-every", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            fault="sleep@*:0.05",
+        )
+        try:
+            with ServiceClient(str(sock)) as ca, \
+                    ServiceClient(str(sock)) as cb:
+                job_a = ca.submit(SPEC_A, tenant="a")["job"]
+                job_b = cb.submit(SPEC_B, tenant="b")["job"]
+                _watch_until_done(ca, job_a)
+                _watch_until_done(cb, job_b)
+                result_a = ca.result(job_a)
+                result_b = cb.result(job_b)
+                metrics = ca.metrics()
+                only_b = ca.metrics(tenant="b")
+                jobs = ca.request("jobs")["jobs"]
+
+            assert metrics["version"] == METRICS_VERSION
+            assert metrics["uptime"] > 0
+            for tenant, result in (("a", result_a), ("b", result_b)):
+                agg = metrics["tenants"][tenant]
+                recorded = sum(
+                    len(run["points"]) for run in result["runs"]
+                )
+                evaluated = sum(
+                    run["stats"]["evaluated"] for run in result["runs"]
+                )
+                assert agg["points_recorded"]["value"] == recorded
+                assert agg["points_evaluated"]["value"] == evaluated
+                assert agg["jobs_submitted"]["value"] == 1
+                assert agg["jobs_finished"]["value"] == 1
+                # the per-point latency histogram saw every evaluation
+                assert agg["eval_seconds"]["count"] == evaluated
+                assert agg["queue_wait_seconds"]["count"] == 1
+            assert list(only_b["tenants"]) == ["b"]
+            g = metrics["global"]
+            assert g["points_evaluated"]["value"] == 24   # dedupe holds
+            assert g["jobs_finished"]["value"] == 2
+            assert metrics["workers"]["total"] == 2
+            assert metrics["queue"]["jobs"]["done"] == 2
+            # per-(tenant, job) series survive in the raw registry
+            eval_series = (
+                metrics["registry"]["histograms"]["eval_seconds"]
+            )
+            assert sum(e["count"] for e in eval_series) == 24
+            assert {e["labels"]["job"] for e in eval_series} == {
+                job_a, job_b,
+            }
+            # lifecycle stamps flow through the jobs op for `repro top`
+            for job in jobs:
+                assert (
+                    job["submitted_at"]
+                    <= job["started_at"]
+                    <= job["finished_at"]
+                )
+        finally:
+            _stop_server(proc, sock)
+
+    def test_metrics_cli_and_top_frames(self, tmp_path, capsys):
+        sock = tmp_path / "s.sock"
+        proc = _start_server(tmp_path, "--workers", "1", "--no-cache")
+        try:
+            with ServiceClient(str(sock)) as client:
+                job = client.submit(SPEC_A, tenant="alice")["job"]
+                _watch_until_done(client, job)
+
+            # --format json round-trips the full metrics op response
+            assert main([
+                "metrics", "dump", "--server", str(sock),
+                "--format", "json",
+            ]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["version"] == METRICS_VERSION
+            assert (
+                payload["tenants"]["alice"]["points_evaluated"]["value"]
+                == 12
+            )
+
+            # the default format is parseable Prometheus text
+            assert main(["metrics", "dump", "--server", str(sock)]) == 0
+            prom = capsys.readouterr().out
+            helps = [
+                l.split()[2] for l in prom.splitlines()
+                if l.startswith("# HELP")
+            ]
+            types = [
+                l.split()[2] for l in prom.splitlines()
+                if l.startswith("# TYPE")
+            ]
+            assert helps and len(helps) == len(set(helps))
+            assert types and len(types) == len(set(types))
+            assert all(
+                l.startswith(("#", "repro_"))
+                for l in prom.splitlines() if l
+            )
+            assert (
+                f'repro_points_evaluated_total'
+                f'{{job="{job}",tenant="alice"}} 12'
+            ) in prom
+
+            # two top frames, no clear codes, job + tenant visible
+            assert main([
+                "top", "--server", str(sock), "--iterations", "2",
+                "--interval", "0", "--no-clear",
+            ]) == 0
+            frames = capsys.readouterr().out
+            assert frames.count("repro top — study server") == 2
+            assert "\x1b" not in frames
+            assert "alice" in frames and job in frames
         finally:
             _stop_server(proc, sock)
