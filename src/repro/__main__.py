@@ -274,6 +274,7 @@ def _run_study(args: argparse.Namespace, spec: StudySpec | None):
         policy=_make_policy(args),
         cancel=_make_cancel(args),
         checkpoint_every=getattr(args, "checkpoint_every", None) or 16,
+        calibrate_front=getattr(args, "calibrate", False),
     )
     try:
         if spec is None:
@@ -304,6 +305,19 @@ def cmd_study(args: argparse.Namespace) -> int:
         text = result.summary()
         for line in _selection_lines(result.runs):
             text += "\n" + line
+        for run in result.runs:
+            if run.calibrations:
+                drifted = [r for r in run.calibrations if not r.ok]
+                text += (
+                    f"\n{run.label}: calibrated {len(run.calibrations)} "
+                    f"front points, {len(drifted)} drifted"
+                )
+                for report in drifted:
+                    text += (
+                        f"\n  drift {report.config}: cycles "
+                        f"{report.cycles_delta:+d}, area ratio "
+                        f"{report.area_ratio:.2f}"
+                    )
     else:
         if len(result.runs) != 1:
             raise SystemExit(
@@ -487,6 +501,99 @@ def cmd_energy(args: argparse.Namespace) -> int:
     )
     _emit(text, args.output)
     return 0
+
+
+
+# ----------------------------------------------------------------------
+# rtl (full-core emission + model calibration)
+# ----------------------------------------------------------------------
+def _rtl_config(args: argparse.Namespace):
+    """Resolve an ArchConfig exactly like ``energy`` does."""
+    import json as _json
+
+    from repro.explore.space import ArchConfig
+
+    if args.config:
+        return ArchConfig.from_dict(
+            _json.loads(Path(args.config).read_text())
+        )
+    space = space_by_name(args.space)
+    if not 0 <= args.index < len(space):
+        raise ValueError(
+            f"--index {args.index} outside space "
+            f"{args.space!r} (0..{len(space) - 1})"
+        )
+    return space[args.index]
+
+
+def cmd_rtl(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.apps.registry import build_workload
+    from repro.explore.evaluate import EvaluationContext
+    from repro.explore.space import build_architecture_cached
+    from repro.rtl import (
+        calibrate,
+        elaborate_core,
+        format_calibration_report,
+        lint_core,
+    )
+    from repro.study.engine import workload_profile
+
+    config = _rtl_config(args)
+
+    if args.rtl_command == "emit":
+        arch = build_architecture_cached(config, args.width)
+        program = None
+        if args.workload:
+            workload = build_workload(args.workload)
+            profile = workload_profile(args.workload, args.width)
+            context = EvaluationContext(workload, profile, args.width)
+            point = context.evaluate(config, keep_compile_result=True)
+            if not point.feasible:
+                raise ValueError(
+                    f"{args.workload} does not compile onto "
+                    f"{config.label()}"
+                )
+            program = point.compile_result.program
+        design = elaborate_core(arch, program=program, top_name=args.top)
+        problems = lint_core(design)
+        for problem in problems:
+            print(f"lint: {problem}", file=sys.stderr)
+        if args.format == "json":
+            text = _json.dumps(
+                {
+                    "top": design.top_name,
+                    "config": config.label(),
+                    "width": args.width,
+                    "modules": list(design.modules),
+                    "instances": design.instances,
+                    "flop_bits": design.flop_bits,
+                    "instruction_bits": design.instruction_bits,
+                    "num_instructions": design.num_instructions,
+                    "imem_bits": design.imem_bits,
+                    "lint_problems": problems,
+                },
+                indent=2,
+            )
+        else:
+            text = design.verilog
+        _emit(text, args.output)
+        return 1 if problems else 0
+
+    # calibrate
+    workload = build_workload(args.workload)
+    tech = technology_by_name(args.tech)
+    report = calibrate(
+        workload, config, width=args.width, tech=tech,
+        max_cycles=args.max_cycles,
+    )
+    if args.format == "json":
+        text = _json.dumps(report.to_dict(), indent=2)
+    else:
+        text = format_calibration_report(report)
+    _emit(text, args.output)
+    return 0 if report.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -980,6 +1087,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "--technologies)")
     p.add_argument("--pareto", action="store_true",
                    help="export only the objective-vector Pareto points")
+    p.add_argument("--calibrate", action="store_true",
+                   help="audit each run's base front against the "
+                        "emitted RTL core (see: python -m repro rtl)")
     p.add_argument("--format", choices=("summary", "csv", "json"),
                    default="summary")
     p.add_argument("-o", "--output", default=None,
@@ -1064,6 +1174,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write to file instead of stdout")
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_energy)
+
+    p = sub.add_parser("rtl",
+                       help="emit a full synthesizable TTA core, or "
+                            "calibrate the model against it")
+    rtl_sub = p.add_subparsers(dest="rtl_command", required=True)
+
+    def _rtl_common(q, workload_required):
+        if workload_required:
+            q.add_argument("workload",
+                           help=f"one of: {', '.join(workload_names())}")
+        else:
+            q.add_argument("workload", nargs="?", default=None,
+                           help="workload whose compiled program to "
+                                "embed as the instruction ROM "
+                                "(omit for an external-imem core); "
+                                f"one of: {', '.join(workload_names())}")
+        q.add_argument("--space", default="small",
+                       help=f"configuration grid to pick from "
+                            f"(one of: {', '.join(space_names())})")
+        q.add_argument("--index", type=int, default=0,
+                       help="configuration index within --space "
+                            "(default 0)")
+        q.add_argument("--config", default=None,
+                       help="ArchConfig JSON file (overrides "
+                            "--space/--index)")
+        q.add_argument("--width", type=int, default=16)
+        q.add_argument("-o", "--output", default=None,
+                       help="write to file instead of stdout")
+
+    q = rtl_sub.add_parser("emit",
+                           help="elaborate one configuration into "
+                                "synthesizable Verilog")
+    _rtl_common(q, workload_required=False)
+    q.add_argument("--top", default="tta_core",
+                   help="top module name (default tta_core)")
+    q.add_argument("--format", choices=("verilog", "json"),
+                   default="verilog",
+                   help="emit the Verilog text, or a JSON structure "
+                        "summary with lint results")
+    q.set_defaults(func=cmd_rtl)
+
+    q = rtl_sub.add_parser("calibrate",
+                           help="audit model area and cycles against "
+                                "the emitted core")
+    _rtl_common(q, workload_required=True)
+    q.add_argument("--tech", default="default",
+                   help="technology parameter set "
+                        "(see: python -m repro list --technologies)")
+    q.add_argument("--max-cycles", type=int, default=5_000_000,
+                   help="simulation cycle budget (default 5M)")
+    q.add_argument("--format", choices=("text", "json"), default="text")
+    q.set_defaults(func=cmd_rtl)
 
     p = sub.add_parser("report",
                        help="re-emit exported results (CSV or JSON)")

@@ -59,7 +59,7 @@ from repro.explore.evaluate import EvaluatedPoint
 from repro.explore.space import ArchConfig
 from repro.util.digest import content_digest
 
-_SCHEMA = 1
+_SCHEMA = 2
 
 #: Hex characters of the key that name an entry's shard (2 -> 256 shards).
 SHARD_WIDTH = 2
@@ -168,6 +168,7 @@ def encode_entry(
         "config": point.config.to_dict(),
         "area": point.area,
         "cycles": point.cycles,
+        "code_size": point.code_size,
         "test_cost": point.test_cost,
         "march": march if point.test_cost is not None else None,
         "energy": point.energy,
@@ -195,6 +196,7 @@ def decode_entry(
     if data.get("schema") != _SCHEMA:
         return None
     cycles = data["cycles"]
+    code_size = data.get("code_size")
     test_cost = data.get("test_cost")
     if test_cost is not None and data.get("march") != march:
         test_cost = None
@@ -205,6 +207,7 @@ def decode_entry(
         config=ArchConfig.from_dict(data["config"]),
         area=float(data["area"]),
         cycles=None if cycles is None else int(cycles),
+        code_size=None if code_size is None else int(code_size),
         test_cost=None if test_cost is None else int(test_cost),
         energy=None if energy is None else float(energy),
     )

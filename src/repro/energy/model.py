@@ -84,6 +84,17 @@ class TechnologyParameters:
     fetch_cap_per_bit: float = 0.8
     #: static energy per placed area unit per cycle
     leakage_per_area: float = 2e-5
+    #: glitch/short-circuit multiplier on FU input-toggle energy.
+    #:
+    #: Deep combinational cores (the array multiplier) glitch more
+    #: than shallow ones: spurious transitions multiply roughly with
+    #: logic depth.  A unit whose core critical path is ``d`` times the
+    #: architecture's shallowest non-RF core scales its per-input-bit
+    #: energy by ``1 + (glitch_factor - 1) * (d - 1)`` — the shallowest
+    #: unit is never scaled, and the default of exactly ``1.0`` leaves
+    #: every weight (and the fingerprint-cached energies) byte-identical
+    #: to the glitch-free model.
+    glitch_factor: float = 1.0
 
     def fingerprint(self) -> str:
         """Stable identity string (cache tag for stored energies).
@@ -166,6 +177,16 @@ class EnergyModel:
         self._rf_read_bit: dict[str, float] = {}
         self._rf_write_bit: dict[str, float] = {}
         self._rf_access: dict[str, float] = {}
+        # Depth reference for the glitch model: the shallowest non-RF
+        # core's critical path (its input-toggle weight is never scaled).
+        min_delay = min(
+            (
+                component_datasheet(u.spec).delay
+                for u in arch.units.values()
+                if u.spec.kind is not ComponentKind.RF
+            ),
+            default=1.0,
+        )
         for unit in arch.units.values():
             spec = unit.spec
             sheet = component_datasheet(spec)
@@ -183,8 +204,15 @@ class EnergyModel:
             else:
                 core = sheet.core_area
                 width = max(1, spec.width)
+                glitch = 1.0 + (tech.glitch_factor - 1.0) * (
+                    sheet.delay / max(min_delay, 1e-9) - 1.0
+                )
                 self._input_bit[unit.name] = (
-                    tech.cap_per_area * tech.fu_switch_fraction * core / width
+                    glitch
+                    * tech.cap_per_area
+                    * tech.fu_switch_fraction
+                    * core
+                    / width
                 )
                 self._result_bit[unit.name] = tech.cap_per_area * FF_AREA
                 self._activation[unit.name] = tech.decode_energy_per_bit * (

@@ -47,6 +47,7 @@ from repro.explore.space import (
 from repro.resilience import faults as _faults
 from repro.telemetry.metrics import MetricsCollector
 from repro.tta.arch import Architecture
+from repro.tta.encoding import MoveEncoder
 from repro.tta.timing import validate_program
 
 #: Opcodes the scheduler lowers without a matching functional unit.
@@ -79,6 +80,9 @@ class EvaluatedPoint:
     cycles: int | None                      # None = infeasible
     test_cost: int | None = None            # attached by repro.testcost
     energy: float | None = None             # attached by repro.energy
+    #: Instruction-memory footprint in bits
+    #: (``MoveEncoder.program_memory_bits``); None when infeasible.
+    code_size: int | None = None
     compile_result: CompileResult | None = None
     #: True for the placeholder a skipped/exhausted-retries evaluation
     #: failure leaves in the point list (always infeasible; the real
@@ -195,6 +199,9 @@ class EvaluationContext:
             config=config,
             area=area,
             cycles=cycles,
+            code_size=MoveEncoder(arch).program_memory_bits(
+                compiled.program
+            ),
             compile_result=compiled if keep_compile_result else None,
         )
 
@@ -263,6 +270,9 @@ class EvaluationContext:
             config=config,
             area=area,
             cycles=cycles,
+            code_size=MoveEncoder(arch).program_memory_bits(
+                compiled.program
+            ),
             compile_result=compiled if keep_compile_result else None,
         )
 

@@ -19,7 +19,7 @@ from repro.netlist.cells import (
 from repro.netlist.netlist import Gate, Net, Netlist, NetlistError
 from repro.netlist.builder import WordBuilder
 from repro.netlist.stats import NetlistStats, netlist_stats
-from repro.netlist.verilog import to_structural_verilog
+from repro.netlist.verilog import WordPort, to_structural_verilog, word_ports
 
 __all__ = [
     "CELL_AREA",
@@ -31,9 +31,11 @@ __all__ = [
     "NetlistError",
     "NetlistStats",
     "WordBuilder",
+    "WordPort",
     "cell_area",
     "cell_delay",
     "evaluate_cell",
     "netlist_stats",
     "to_structural_verilog",
+    "word_ports",
 ]

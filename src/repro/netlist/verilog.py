@@ -7,6 +7,9 @@ so the output is plain Verilog-1995 structural code.
 
 from __future__ import annotations
 
+import re
+from dataclasses import dataclass
+
 from repro.netlist.cells import CellType
 from repro.netlist.netlist import Netlist
 
@@ -27,6 +30,60 @@ def _escape(name: str) -> str:
     if any(ch in name for ch in "[]. "):
         return f"\\{name} "
     return name
+
+
+@dataclass(frozen=True)
+class WordPort:
+    """One logical port of a netlist, grouped from its per-bit nets.
+
+    ``scalar`` ports come from nets named exactly ``name``; vector ports
+    come from LSB-first runs of ``name[0] .. name[width-1]``.
+    """
+
+    name: str
+    width: int
+    direction: str  # "input" | "output"
+    scalar: bool
+
+
+_BIT_RE = re.compile(r"^(?P<base>.+)\[(?P<index>\d+)\]$")
+
+
+def word_ports(netlist: Netlist) -> tuple[WordPort, ...]:
+    """Group a netlist's per-bit PI/PO nets into word-level ports.
+
+    Order follows first appearance in the input then output lists, which
+    matches the order :class:`~repro.netlist.builder.WordBuilder` created
+    them in.  Vector ports are checked for dense LSB-first indices so an
+    emitted instantiation can rely on ``name[i]`` existing for every
+    ``i < width``.
+    """
+    ports: list[WordPort] = []
+    for direction, nids in (("input", netlist.inputs), ("output", netlist.outputs)):
+        groups: dict[str, list[int]] = {}
+        order: list[tuple[str, bool]] = []
+        for nid in nids:
+            name = netlist.net_name(nid)
+            match = _BIT_RE.match(name)
+            if match is None:
+                order.append((name, True))
+                continue
+            base = match.group("base")
+            if base not in groups:
+                groups[base] = []
+                order.append((base, False))
+            groups[base].append(int(match.group("index")))
+        for name, scalar in order:
+            if scalar:
+                ports.append(WordPort(name, 1, direction, True))
+                continue
+            indices = groups[name]
+            if sorted(indices) != list(range(len(indices))):
+                raise ValueError(
+                    f"port {name!r} has non-dense bit indices {indices}"
+                )
+            ports.append(WordPort(name, len(indices), direction, False))
+    return tuple(ports)
 
 
 def to_structural_verilog(netlist: Netlist, module_name: str | None = None) -> str:

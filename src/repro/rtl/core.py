@@ -1,0 +1,794 @@
+"""Elaborate a complete TTA core from an :class:`Architecture`.
+
+The emitted design is hierarchical Verilog: every datapath component
+keeps its existing structural gate-level module (the same netlists the
+area/test/energy models are back-annotated from), the interconnect adds
+one :func:`~repro.components.socket.build_socket` instance per (port,
+bus) connection, and two generated structural modules carry the move
+transport — a per-bus move decoder that mirrors
+:class:`~repro.tta.encoding.InstructionFormat` field for field, and a
+per-bus source multiplexer over the port table.  One generated
+behavioural top module owns *all* sequential state (PC, guard registers,
+operand/opcode/result pipeline registers, RF storage, socket FSMs,
+instruction fetch) and instantiates the structural pieces with per-bit
+named connections.
+
+The instruction memory word is ``instruction_bits + 1`` wide: the binary
+move encoding does not carry :attr:`Instruction.halt`, so the top bit is
+a halt sideband (model ``program_memory_bits`` excludes it — the
+calibration harness reports fetch as an unmodelled category).
+
+Latency contract: latency-1 FUs take trigger data combinationally from
+the bus and latch the result at the end of the trigger cycle (readable
+one cycle later, as the scheduler assumes); latency-2 units (multiplier,
+LSU) register the trigger operand and run a one-deep valid pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.components.library import component_datasheet
+from repro.components.socket import (
+    SOCKET_FSM_BITS,
+    SOCKET_ID_BITS,
+    build_socket,
+)
+from repro.components.spec import ComponentKind, ComponentSpec
+from repro.netlist.builder import WordBuilder
+from repro.netlist.netlist import Netlist
+from repro.netlist.verilog import to_structural_verilog, word_ports
+from repro.tta.arch import Architecture
+from repro.tta.encoding import InstructionFormat, MoveEncoder
+from repro.tta.isa import GUARD_UNIT, SHORT_IMM_BITS, Program
+
+
+class RTLError(Exception):
+    """Architecture not elaborable to a single core."""
+
+
+# ----------------------------------------------------------------------
+# generated structural modules
+# ----------------------------------------------------------------------
+def build_move_decoder(
+    fmt: InstructionFormat, num_guard_regs: int, name: str = "movedec"
+) -> Netlist:
+    """Per-bus move-slot decoder, field-exact to the binary encoding.
+
+    PIs: ``slot[slot_bits]``, ``guards[G]`` (guard register file state),
+    ``imm_ext[width]`` (the shared long-immediate extension field).
+    POs: ``valid`` (slot non-empty), ``guard_ok`` (predicate evaluates
+    true), ``fire`` (valid & guard_ok), ``is_imm``, ``src_id``,
+    ``src_index``, ``dst_id``, ``dst_index``, ``opcode`` and the
+    resolved ``imm_value`` (short immediate sign-extended, or the long
+    extension word when ``src_index`` is all-ones).
+    """
+    wb = WordBuilder(name)
+    slot = wb.input_word("slot", fmt.slot_bits)
+    guards = wb.input_word("guards", num_guard_regs)
+    imm_ext = wb.input_word("imm_ext", fmt.imm_ext_bits)
+
+    pos = 0
+    gfield = slot[pos:pos + fmt.guard_bits]
+    pos += fmt.guard_bits
+    sfield = slot[pos:pos + fmt.src_addr_bits]
+    pos += fmt.src_addr_bits
+    sidx = slot[pos:pos + fmt.src_index_bits]
+    pos += fmt.src_index_bits
+    dfield = slot[pos:pos + fmt.dst_addr_bits]
+    pos += fmt.dst_addr_bits
+    didx = slot[pos:pos + fmt.dst_index_bits]
+    pos += fmt.dst_index_bits
+    opf = slot[pos:pos + fmt.opcode_bits]
+
+    valid = wb.or_reduce(dfield)
+    has_guard, invert = gfield[0], gfield[1]
+    gsel = wb.mux_tree(gfield[2:], [[g] for g in guards])[0]
+    guard_ok = wb.mux2(has_guard, wb.const_bit(1), wb.xor_(gsel, invert))
+    fire = wb.and_(valid, guard_ok)
+
+    is_imm = sfield[0]
+    src_id = sfield[1:]
+    is_long = wb.and_(is_imm, wb.and_reduce(sidx))
+    short = src_id[:SHORT_IMM_BITS]
+    width = fmt.imm_ext_bits
+    if width <= SHORT_IMM_BITS:
+        short_ext = short[:width]
+    else:
+        short_ext = short + [short[-1]] * (width - SHORT_IMM_BITS)
+    imm_value = wb.mux2_word(is_long, short_ext, imm_ext)
+
+    wb.output_bit("valid", wb.buf(valid))
+    wb.output_bit("guard_ok", wb.buf(guard_ok))
+    wb.output_bit("fire", wb.buf(fire))
+    wb.output_bit("is_imm", wb.buf(is_imm))
+    wb.output_word("src_id", [wb.buf(x) for x in src_id])
+    wb.output_word("src_index", [wb.buf(x) for x in sidx])
+    wb.output_word("dst_id", [wb.buf(x) for x in dfield])
+    wb.output_word("dst_index", [wb.buf(x) for x in didx])
+    wb.output_word("opcode", [wb.buf(x) for x in opf])
+    wb.output_word("imm_value", imm_value)
+    wb.netlist.check()
+    return wb.netlist
+
+
+def build_bus_mux(
+    width: int,
+    id_bits: int,
+    source_ids: tuple[int, ...],
+    name: str = "busmux",
+) -> Netlist:
+    """One bus's source multiplexer: select ``src{k}`` whose encoded
+    source id matches ``src_id``, or ``imm_value`` for immediates."""
+    wb = WordBuilder(name)
+    src_id = wb.input_word("src_id", id_bits)
+    is_imm = wb.input_bit("is_imm")
+    imm_value = wb.input_word("imm_value", width)
+    selected: list[int] | None = None
+    for k, sid in enumerate(source_ids):
+        src = wb.input_word(f"src{k}", width)
+        hit = wb.equal(src_id, wb.const_word(sid, id_bits))
+        masked = [wb.and_(hit, x) for x in src]
+        selected = masked if selected is None else wb.or_word(selected, masked)
+    if selected is None:
+        selected = wb.const_word(0, width)
+    wb.output_word("value", wb.mux2_word(is_imm, selected, imm_value))
+    wb.netlist.check()
+    return wb.netlist
+
+
+# ----------------------------------------------------------------------
+# design container
+# ----------------------------------------------------------------------
+@dataclass
+class CoreDesign:
+    """A fully elaborated core: Verilog text plus audit metadata."""
+
+    top_name: str
+    width: int
+    #: module name -> Verilog text, emission order (top module last).
+    modules: dict[str, str]
+    #: module name -> structural netlist (everything except the top).
+    submodules: dict[str, Netlist]
+    #: module name -> number of instances in the top module.
+    instances: dict[str, int]
+    #: register-bit account of the top module, keyed by unit name plus
+    #: the synthetic categories ``interconnect``/``decode``/``fetch``.
+    flop_bits: dict[str, int]
+    instruction_bits: int
+    num_instructions: int
+    #: embedded program image bits (instructions x (word + halt bit)).
+    imem_bits: int
+
+    @property
+    def verilog(self) -> str:
+        return "\n".join(self.modules.values())
+
+
+# ----------------------------------------------------------------------
+# elaboration
+# ----------------------------------------------------------------------
+_LAT1_TRIGGER_COMB = 1  # latency at which trigger data bypasses its register
+
+
+def _ident(name: str) -> str:
+    out = re.sub(r"\W", "_", name)
+    return out if out and not out[0].isdigit() else f"_{out}"
+
+
+def _const_bits(value: int, width: int) -> list[str]:
+    return [f"1'b{(value >> i) & 1}" for i in range(width)]
+
+
+def _vec_bits(name: str, width: int, take: int) -> list[str]:
+    """Per-bit exprs of vector ``name``, zero-padded/truncated to ``take``."""
+    return [f"{name}[{i}]" if i < width else "1'b0" for i in range(take)]
+
+
+def _priority(pairs: list[tuple[str, str]], default: str) -> str:
+    """``c0 ? v0 : c1 ? v1 : ... : default``."""
+    expr = default
+    for cond, value in reversed(pairs):
+        expr = f"{cond} ? {value} : {expr}"
+    return expr
+
+
+def _instance(
+    netlist: Netlist, module: str, inst: str, conn: dict[str, object]
+) -> str:
+    """Render one instantiation with per-bit escaped named connections."""
+    parts = []
+    for port in word_ports(netlist):
+        bound = conn[port.name]
+        if port.scalar:
+            parts.append(f".{port.name} ({bound})")
+        else:
+            exprs = list(bound)  # type: ignore[arg-type]
+            if len(exprs) != port.width:
+                raise RTLError(
+                    f"{module}.{port.name}: {len(exprs)} connections "
+                    f"for a {port.width}-bit port"
+                )
+            for i, expr in enumerate(exprs):
+                parts.append(f".\\{port.name}[{i}] ({expr})")
+    body = ",\n    ".join(parts)
+    return f"  {module} {inst} (\n    {body}\n  );"
+
+
+class _TopBuilder:
+    """Accumulates the behavioural top module's text and register map."""
+
+    def __init__(self) -> None:
+        self.decls: list[str] = []
+        self.body: list[str] = []
+        self.resets: list[str] = []
+        self.updates: list[str] = []
+        self.flops: dict[str, int] = {}
+
+    def reg(self, category: str, name: str, width: int, reset: bool = False) -> str:
+        self.decls.append(f"  reg [{width - 1}:0] {name};")
+        self.flops[category] = self.flops.get(category, 0) + width
+        if reset:
+            self.resets.append(f"      {name} <= {width}'d0;")
+        return name
+
+    def wire(self, name: str, width: int, expr: str | None = None) -> str:
+        head = f"  wire [{width - 1}:0] {name};"
+        if expr is not None:
+            head = f"  wire [{width - 1}:0] {name} = {expr};"
+        self.decls.append(head)
+        return name
+
+    def bit(self, name: str, expr: str | None = None) -> str:
+        if expr is None:
+            self.decls.append(f"  wire {name};")
+        else:
+            self.decls.append(f"  wire {name} = {expr};")
+        return name
+
+
+def _core_module_name(spec: ComponentSpec) -> str:
+    """Emitted module name for a component spec (RF names carry ports)."""
+    if spec.kind is ComponentKind.RF:
+        return _ident(spec.name)
+    netlist = component_datasheet(spec).netlist()
+    assert netlist is not None
+    return _ident(netlist.name)
+
+
+def _core_netlist(spec: ComponentSpec) -> Netlist:
+    ds = component_datasheet(spec)
+    netlist = ds.ff_netlist() if spec.kind is ComponentKind.RF else ds.netlist()
+    if netlist is None:
+        raise RTLError(f"component {spec.name} has no structural netlist")
+    return netlist
+
+
+def elaborate_core(
+    arch: Architecture,
+    program: Program | None = None,
+    top_name: str = "tta_core",
+) -> CoreDesign:
+    """Elaborate ``arch`` (optionally with an embedded program image)."""
+    top = _ident(top_name)
+    encoder = MoveEncoder(arch)
+    fmt = encoder.format
+    width = arch.width
+    nbus = arch.num_buses
+
+    if len(encoder.destinations) + 1 > (1 << SOCKET_ID_BITS):
+        raise RTLError(
+            f"{len(encoder.destinations)} destinations exceed the "
+            f"{SOCKET_ID_BITS}-bit socket address space"
+        )
+    if len(encoder.sources) > (1 << SOCKET_ID_BITS):
+        raise RTLError(
+            f"{len(encoder.sources)} sources exceed the "
+            f"{SOCKET_ID_BITS}-bit socket address space"
+        )
+
+    src_id_bits = fmt.src_addr_bits - 1
+
+    modules: dict[str, str] = {}
+    submodules: dict[str, Netlist] = {}
+    instances: dict[str, int] = {}
+
+    def define(name: str, netlist: Netlist) -> str:
+        if name not in modules:
+            modules[name] = to_structural_verilog(netlist, module_name=name)
+            submodules[name] = netlist
+        return name
+
+    def count(name: str) -> None:
+        instances[name] = instances.get(name, 0) + 1
+
+    socket_mod = define("socket6x3", build_socket())
+    socket_nl = submodules[socket_mod]
+    dec_mod = define(
+        f"{top}_movedec", build_move_decoder(fmt, arch.num_guard_regs)
+    )
+    dec_nl = submodules[dec_mod]
+
+    tb = _TopBuilder()
+
+    # -- fetch ---------------------------------------------------------
+    iw = fmt.instruction_bits + 1  # +1: halt sideband
+    pcw = arch.pc_unit.spec.width
+    tb.reg("fetch", "halted_q", 1, reset=True)
+    pc_q = tb.reg(arch.pc_unit.name, "pc_q", pcw, reset=True)
+    tb.wire("instr", iw)
+
+    words: list[int] = []
+    if program is not None:
+        encoded = encoder.encode_program(program)
+        words = [
+            w | (int(instr.halt) << fmt.instruction_bits)
+            for w, instr in zip(encoded, program.instructions, strict=True)
+        ]
+        lines = [f"  function [{iw - 1}:0] imem_word;"]
+        lines.append(f"    input [{pcw - 1}:0] a;")
+        lines.append("    begin")
+        lines.append("      case (a)")
+        for addr, word in enumerate(words):
+            lines.append(f"        {pcw}'d{addr}: imem_word = {iw}'h{word:x};")
+        halt_word = 1 << fmt.instruction_bits
+        lines.append(
+            f"        default: imem_word = {iw}'h{halt_word:x};"
+        )
+        lines.append("      endcase")
+        lines.append("    end")
+        lines.append("  endfunction")
+        tb.body.append("\n".join(lines))
+        tb.body.append("  assign instr = imem_word(pc_q);")
+    else:
+        imem_aw = min(pcw, 12)
+        tb.decls.append(
+            f"  reg [{iw - 1}:0] imem [0:{(1 << imem_aw) - 1}];"
+        )
+        tb.body.append(
+            f"  assign instr = imem[pc_q[{imem_aw - 1}:0]];"
+        )
+    tb.updates.append(f"      halted_q <= instr[{iw - 1}];")
+
+    # -- guard register file -------------------------------------------
+    ngr = arch.num_guard_regs
+    tb.reg("decode", "guard_q", ngr, reset=True)
+
+    # -- per-bus decode ------------------------------------------------
+    for b in range(nbus):
+        tb.bit(f"dec{b}_valid")
+        tb.bit(f"dec{b}_guard_ok")
+        tb.bit(f"dec{b}_fire")
+        tb.bit(f"dec{b}_is_imm")
+        tb.wire(f"dec{b}_src_id", src_id_bits)
+        tb.wire(f"dec{b}_src_index", fmt.src_index_bits)
+        tb.wire(f"dec{b}_dst_id", fmt.dst_addr_bits)
+        tb.wire(f"dec{b}_dst_index", fmt.dst_index_bits)
+        tb.wire(f"dec{b}_opcode", fmt.opcode_bits)
+        tb.wire(f"dec{b}_imm", width)
+        tb.bit(f"bus{b}_src_valid", f"dec{b}_valid & ~dec{b}_is_imm")
+        base = b * fmt.slot_bits
+        ext = nbus * fmt.slot_bits
+        tb.body.append(_instance(dec_nl, dec_mod, f"dec{b}", {
+            "slot": [f"instr[{base + i}]" for i in range(fmt.slot_bits)],
+            "guards": [f"guard_q[{g}]" for g in range(ngr)],
+            "imm_ext": [f"instr[{ext + i}]" for i in range(fmt.imm_ext_bits)],
+            "valid": f"dec{b}_valid",
+            "guard_ok": f"dec{b}_guard_ok",
+            "fire": f"dec{b}_fire",
+            "is_imm": f"dec{b}_is_imm",
+            "src_id": [f"dec{b}_src_id[{i}]" for i in range(src_id_bits)],
+            "src_index": [
+                f"dec{b}_src_index[{i}]" for i in range(fmt.src_index_bits)
+            ],
+            "dst_id": [
+                f"dec{b}_dst_id[{i}]" for i in range(fmt.dst_addr_bits)
+            ],
+            "dst_index": [
+                f"dec{b}_dst_index[{i}]" for i in range(fmt.dst_index_bits)
+            ],
+            "opcode": [
+                f"dec{b}_opcode[{i}]" for i in range(fmt.opcode_bits)
+            ],
+            "imm_value": [f"dec{b}_imm[{i}]" for i in range(width)],
+        }))
+        count(dec_mod)
+
+    # -- sockets -------------------------------------------------------
+    def socket(
+        kind: str, unit: str, port: str, bus: int,
+        dst_bits: list[str], my_id: int, valid: str, guard: str,
+    ) -> str:
+        """Instantiate one socket; returns its load-strobe wire name."""
+        tag = f"{kind}_{unit}_{port}_b{bus}"
+        load = tb.bit(f"ld_{tag}")
+        tb.bit(f"rdy_{tag}")
+        tb.wire(f"fd_{tag}", SOCKET_FSM_BITS)
+        tb.reg("interconnect", f"fq_{tag}", SOCKET_FSM_BITS, reset=True)
+        tb.updates.append(f"      fq_{tag} <= fd_{tag};")
+        tb.body.append(_instance(socket_nl, socket_mod, f"sk_{tag}", {
+            "dst": dst_bits,
+            "my_id": _const_bits(my_id, SOCKET_ID_BITS),
+            "valid": valid,
+            "guard": guard,
+            "fsm_q": [f"fq_{tag}[{i}]" for i in range(SOCKET_FSM_BITS)],
+            "load": load,
+            "ready": f"rdy_{tag}",
+            "fsm_d": [f"fd_{tag}[{i}]" for i in range(SOCKET_FSM_BITS)],
+        }))
+        count(socket_mod)
+        return load
+
+    # input-side sockets: one per (input port, connected bus).
+    in_loads: dict[tuple[str, str], list[tuple[int, str]]] = {}
+    out_sel: dict[tuple[str, str], list[tuple[int, str]]] = {}
+    for unit in arch.units.values():
+        for port in unit.spec.ports:
+            key = (unit.name, port.name)
+            buses = sorted(arch.connectivity[key])
+            if port.is_input:
+                did = encoder.destination_id(*key)
+                in_loads[key] = [
+                    (b, socket(
+                        "i", unit.name, port.name, b,
+                        _vec_bits(
+                            f"dec{b}_dst_id", fmt.dst_addr_bits,
+                            SOCKET_ID_BITS,
+                        ),
+                        did, f"dec{b}_valid", f"dec{b}_guard_ok",
+                    ))
+                    for b in buses
+                ]
+            else:
+                sid = encoder.source_id(*key)
+                out_sel[key] = [
+                    (b, socket(
+                        "o", unit.name, port.name, b,
+                        _vec_bits(
+                            f"dec{b}_src_id", src_id_bits, SOCKET_ID_BITS
+                        ),
+                        sid, f"bus{b}_src_valid", f"dec{b}_guard_ok",
+                    ))
+                    for b in buses
+                ]
+
+    # -- per-unit datapath ---------------------------------------------
+    source_exprs: dict[tuple[str, str], tuple[str, int]] = {}
+
+    def port_load(key: tuple[str, str]) -> str:
+        name = f"{key[0]}_{key[1]}_ld"
+        tb.bit(name, " | ".join(ld for _, ld in in_loads[key]))
+        return name
+
+    def port_data(key: tuple[str, str]) -> str:
+        name = f"{key[0]}_{key[1]}_w"
+        tb.wire(name, width, _priority(
+            [(ld, f"bus{b}_value") for b, ld in in_loads[key]],
+            f"{width}'d0",
+        ))
+        return name
+
+    def trig_opcode(key: tuple[str, str]) -> str:
+        name = f"{key[0]}_gop"
+        tb.wire(name, fmt.opcode_bits, _priority(
+            [(ld, f"dec{b}_opcode") for b, ld in in_loads[key]],
+            f"{fmt.opcode_bits}'d0",
+        ))
+        return name
+
+    def locop_function(unit: str, mapping: dict[int, int], out_bits: int) -> str:
+        name = f"{unit}_locop"
+        lines = [f"  function [{out_bits - 1}:0] {name};"]
+        lines.append(f"    input [{fmt.opcode_bits - 1}:0] g;")
+        lines.append("    begin")
+        lines.append("      case (g)")
+        for gid, local in sorted(mapping.items()):
+            lines.append(
+                f"        {fmt.opcode_bits}'d{gid}: "
+                f"{name} = {out_bits}'d{local};"
+            )
+        lines.append(f"        default: {name} = {out_bits}'d0;")
+        lines.append("      endcase")
+        lines.append("    end")
+        lines.append("  endfunction")
+        tb.body.append("\n".join(lines))
+        return name
+
+    for b in range(nbus):
+        tb.wire(f"bus{b}_value", width)
+
+    for unit in arch.units.values():
+        name, spec = unit.name, unit.spec
+        kind = spec.kind
+        if kind is ComponentKind.IMM:
+            netlist = _core_netlist(spec)
+            mod = define(_core_module_name(spec), netlist)
+            value = tb.wire(f"{name}_value_w", width)
+            ext = nbus * fmt.slot_bits
+            tb.body.append(_instance(netlist, mod, f"{name}_core", {
+                "imm": [f"instr[{ext + i}]" for i in range(width)],
+                "short": "1'b0",
+                "value": [f"{value}[{i}]" for i in range(width)],
+            }))
+            count(mod)
+            source_exprs[(name, "value")] = (value, width)
+            continue
+
+        if kind is ComponentKind.PC:
+            netlist = _core_netlist(spec)
+            mod = define(_core_module_name(spec), netlist)
+            key = (name, "target")
+            trig = port_load(key)
+            target = port_data(key)
+            pc_d = tb.wire(f"{name}_pc_d", pcw)
+            tb.body.append(_instance(netlist, mod, f"{name}_core", {
+                "pc_q": [f"{pc_q}[{i}]" for i in range(pcw)],
+                "target": _vec_bits(target, width, pcw),
+                "jump": trig,
+                "guard": "1'b1",
+                "pc_d": [f"{pc_d}[{i}]" for i in range(pcw)],
+            }))
+            count(mod)
+            tb.updates.append(f"      pc_q <= {pc_d};")
+            continue
+
+        if kind is ComponentKind.RF:
+            netlist = _core_netlist(spec)
+            mod = define(_core_module_name(spec), netlist)
+            nregs = spec.num_regs
+            abits = (nregs - 1).bit_length()
+            conn: dict[str, object] = {}
+            for port in spec.ports:
+                key = (name, port.name)
+                if port.is_input:  # write port w{p}
+                    p = port.name[1:]
+                    en = port_load(key)
+                    data = port_data(key)
+                    addr = tb.wire(f"{name}_w{p}addr_w", abits, _priority(
+                        [
+                            (ld, f"dec{b}_dst_index[{abits - 1}:0]")
+                            for b, ld in in_loads[key]
+                        ],
+                        f"{abits}'d0",
+                    ))
+                    conn[f"w{p}addr"] = [f"{addr}[{i}]" for i in range(abits)]
+                    conn[f"w{p}data"] = [f"{data}[{i}]" for i in range(width)]
+                    conn[f"w{p}en"] = en
+                else:  # read port r{p}
+                    p = port.name[1:]
+                    addr = tb.wire(f"{name}_r{p}addr_w", abits, _priority(
+                        [
+                            (ld, f"dec{b}_src_index[{abits - 1}:0]")
+                            for b, ld in out_sel[key]
+                        ],
+                        f"{abits}'d0",
+                    ))
+                    data = tb.wire(f"{name}_r{p}data", width)
+                    conn[f"r{p}addr"] = [f"{addr}[{i}]" for i in range(abits)]
+                    conn[f"r{p}data"] = [f"{data}[{i}]" for i in range(width)]
+                    source_exprs[key] = (data, width)
+            for r in range(nregs):
+                q = tb.reg(name, f"{name}_q{r}", width)
+                d = tb.wire(f"{name}_d{r}", width)
+                conn[f"q{r}"] = [f"{q}[{i}]" for i in range(width)]
+                conn[f"d{r}"] = [f"{d}[{i}]" for i in range(width)]
+                tb.updates.append(f"      {q} <= {d};")
+            tb.body.append(_instance(netlist, mod, f"{name}_core", conn))
+            count(mod)
+            continue
+
+        # FU / LSU
+        netlist = _core_netlist(spec)
+        mod = define(_core_module_name(spec), netlist)
+        nl_ports = {p.name: p for p in word_ports(netlist)}
+        trigger = spec.trigger_port
+        conn = {}
+
+        if kind is ComponentKind.LSU:
+            wkey, akey = (name, "wdata"), (name, "addr")
+            wl, wd = port_load(wkey), port_data(wkey)
+            trig, ad = port_load(akey), port_data(akey)
+            gop = trig_opcode(akey)
+            mapping = {}
+            local_ops = {"ld": 0, "ld_ls": 1, "ld_lu": 2, "ld_h": 3, "st": 4}
+            for op, local in local_ops.items():
+                if op in encoder.opcodes:
+                    mapping[encoder.opcode_id(op)] = local
+            locop = locop_function(name, mapping, 3)
+            wq = tb.reg(name, f"{name}_wdata_q", width)
+            aq = tb.reg(name, f"{name}_addr_q", width)
+            opq = tb.reg(name, f"{name}_op_q", 3)
+            v1 = tb.reg(name, f"{name}_v1", 1, reset=True)
+            tb.updates.append(f"      if ({wl}) {wq} <= {wd};")
+            tb.updates.append(
+                f"      if ({trig}) begin {aq} <= {ad}; "
+                f"{opq} <= {locop}({gop}); end"
+            )
+            tb.updates.append(f"      {v1}[0] <= {trig};")
+            addr_mem = tb.wire(f"{name}_addr_mem", width)
+            wdata_mem = tb.wire(f"{name}_wdata_mem", width)
+            rdata_w = tb.wire(f"{name}_rdata_w", width)
+            daw = min(width, 16)
+            tb.decls.append(
+                f"  reg [{width - 1}:0] dmem [0:{(1 << daw) - 1}];"
+            )
+            rdata_mem = tb.wire(
+                f"{name}_rdata_mem", width,
+                f"dmem[{addr_mem}[{daw - 1}:0]]",
+            )
+            tb.body.append(_instance(netlist, mod, f"{name}_core", {
+                "addr": [f"{aq}[{i}]" for i in range(width)],
+                "wdata": [f"{wq}[{i}]" for i in range(width)],
+                "rdata_mem": [f"{rdata_mem}[{i}]" for i in range(width)],
+                "mode": [f"{opq}[{i}]" for i in range(2)],
+                "addr_mem": [f"{addr_mem}[{i}]" for i in range(width)],
+                "wdata_mem": [f"{wdata_mem}[{i}]" for i in range(width)],
+                "rdata": [f"{rdata_w}[{i}]" for i in range(width)],
+            }))
+            count(mod)
+            rq = tb.reg(name, f"{name}_rdata_q", width)
+            tb.updates.append(
+                f"      if ({v1}[0] & {opq}[2]) "
+                f"dmem[{addr_mem}[{daw - 1}:0]] <= {wdata_mem};"
+            )
+            tb.updates.append(
+                f"      if ({v1}[0] & ~{opq}[2]) {rq} <= {rdata_w};"
+            )
+            source_exprs[(name, "rdata")] = (rq, width)
+            continue
+
+        # plain FU: a (operand), b (trigger), y (result), optional op.
+        lat = spec.latency
+        for port in spec.ports:
+            key = (name, port.name)
+            if not port.is_input:
+                continue
+            load = port_load(key)
+            data = port_data(key)
+            if port.name == trigger.name and lat == _LAT1_TRIGGER_COMB:
+                conn[port.name] = [f"{data}[{i}]" for i in range(width)]
+            else:
+                q = tb.reg(name, f"{name}_{port.name}_q", width)
+                tb.updates.append(f"      if ({load}) {q} <= {data};")
+                conn[port.name] = [f"{q}[{i}]" for i in range(width)]
+        trig = f"{name}_{trigger.name}_ld"
+
+        if "op" in nl_ports:
+            opw = nl_ports["op"].width
+            mapping = {
+                encoder.opcode_id(op): local
+                for local, op in enumerate(spec.ops)
+            }
+            locop = locop_function(name, mapping, opw)
+            gop = trig_opcode((name, trigger.name))
+            if lat == 1:
+                op_expr = tb.wire(
+                    f"{name}_op_w", opw, f"{locop}({gop})"
+                )
+            else:
+                op_expr = tb.reg(name, f"{name}_op_q", opw)
+                tb.updates.append(
+                    f"      if ({trig}) {op_expr} <= {locop}({gop});"
+                )
+            conn["op"] = [f"{op_expr}[{i}]" for i in range(opw)]
+
+        out_port = next(p for p in spec.ports if not p.is_input)
+        yp = nl_ports[out_port.name]
+        yw = tb.wire(f"{name}_y_w", yp.width)
+        conn[out_port.name] = (
+            yw if yp.scalar else [f"{yw}[{i}]" for i in range(yp.width)]
+        )
+        if yp.scalar:
+            # redeclare as 1-bit vector for uniform indexing
+            tb.decls.remove(f"  wire [{yp.width - 1}:0] {yw};")
+            tb.decls.append(f"  wire {yw};")
+        tb.body.append(_instance(netlist, mod, f"{name}_core", conn))
+        count(mod)
+        yq = tb.reg(name, f"{name}_y_q", yp.width)
+        if lat == 1:
+            tb.updates.append(f"      if ({trig}) {yq} <= {yw};")
+        else:
+            v1 = tb.reg(name, f"{name}_v1", 1, reset=True)
+            tb.updates.append(f"      {v1}[0] <= {trig};")
+            tb.updates.append(f"      if ({v1}[0]) {yq} <= {yw};")
+        source_exprs[(name, out_port.name)] = (yq, yp.width)
+
+    if program is not None and program.data and arch.lsu is not None:
+        mask = (1 << width) - 1
+        image = ["  initial begin"]
+        for addr in sorted(program.data):
+            image.append(
+                f"    dmem[{addr}] = {width}'h{program.data[addr] & mask:x};"
+            )
+        image.append("  end")
+        tb.body.append("\n".join(image))
+
+    # -- guard-register writes (behavioural; no sockets in the model) --
+    for g in range(ngr):
+        did = encoder.destination_id(GUARD_UNIT, f"g{g}")
+        hits = []
+        for b in range(nbus):
+            hit = tb.bit(
+                f"gh{g}_b{b}",
+                f"dec{b}_fire & (dec{b}_dst_id == "
+                f"{fmt.dst_addr_bits}'d{did})",
+            )
+            hits.append((b, hit))
+        tb.bit(f"gw{g}", " | ".join(h for _, h in hits))
+        tb.bit(f"gv{g}", _priority(
+            [(h, f"bus{b}_value[0]") for b, h in hits], "1'b0"
+        ))
+        tb.updates.append(
+            f"      if (gw{g}) guard_q[{g}] <= gv{g};"
+        )
+
+    # -- bus source muxes ----------------------------------------------
+    guard_sources = [
+        (encoder.source_id(GUARD_UNIT, f"g{g}"),
+         [f"guard_q[{g}]"] + ["1'b0"] * (width - 1))
+        for g in range(ngr)
+    ]
+    mux_mods: dict[tuple[int, ...], str] = {}
+    for b in range(nbus):
+        cands: list[tuple[int, list[str]]] = []
+        for key, (expr, ew) in source_exprs.items():
+            if b in arch.connectivity[key]:
+                cands.append(
+                    (encoder.source_id(*key), _vec_bits(expr, ew, width))
+                )
+        cands.extend(guard_sources)
+        sids = tuple(sid for sid, _ in cands)
+        mod = mux_mods.get(sids)
+        if mod is None:
+            mod = f"{top}_busmux{len(mux_mods)}"
+            define(mod, build_bus_mux(width, src_id_bits, sids, name=mod))
+            mux_mods[sids] = mod
+        netlist = submodules[mod]
+        conn = {
+            "src_id": [f"dec{b}_src_id[{i}]" for i in range(src_id_bits)],
+            "is_imm": f"dec{b}_is_imm",
+            "imm_value": [f"dec{b}_imm[{i}]" for i in range(width)],
+            "value": [f"bus{b}_value[{i}]" for i in range(width)],
+        }
+        for k, (_, bits) in enumerate(cands):
+            conn[f"src{k}"] = bits
+        tb.body.append(_instance(netlist, mod, f"bmux{b}", conn))
+        count(mod)
+
+    # -- assemble the top module ---------------------------------------
+    lines = [
+        f"// generated by repro.rtl: {arch.name} "
+        f"(width={width}, buses={nbus})",
+        f"// instruction word: {fmt.instruction_bits} bits "
+        f"+ 1 halt sideband",
+        f"module {top} (",
+        "  input  wire clk,",
+        "  input  wire rst,",
+        "  output wire halted",
+        ");",
+    ]
+    lines.extend(tb.decls)
+    lines.append("  assign halted = halted_q[0];")
+    lines.extend(tb.body)
+    lines.append("  always @(posedge clk) begin")
+    lines.append("    if (rst) begin")
+    lines.extend(tb.resets)
+    lines.append("    end else if (!halted_q[0]) begin")
+    lines.extend(tb.updates)
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("endmodule")
+    modules[top] = "\n".join(lines) + "\n"
+
+    return CoreDesign(
+        top_name=top,
+        width=width,
+        modules=modules,
+        submodules=submodules,
+        instances=instances,
+        flop_bits=tb.flops,
+        instruction_bits=fmt.instruction_bits,
+        num_instructions=len(words),
+        imem_bits=len(words) * iw,
+    )

@@ -1,0 +1,114 @@
+"""Self-consistency checks over emitted Verilog.
+
+Two layers: :func:`lint_verilog` works on any Verilog text (balanced
+``module``/``endmodule``, every instantiated module name defined or a
+known primitive); :func:`lint_core` additionally cross-checks a
+:class:`~repro.rtl.core.CoreDesign` — each structural submodule's
+emitted port list must match its netlist's word-level ports bit for
+bit, and every module the top instantiates must be emitted.
+
+Both return a list of problem strings; an empty list means clean.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.netlist.verilog import word_ports
+from repro.rtl.core import CoreDesign
+
+#: Verilog-1995 gate primitives the structural emitter uses.
+PRIMITIVES = frozenset(
+    ("buf", "not", "and", "or", "nand", "nor", "xor", "xnor")
+)
+
+_KEYWORDS = frozenset((
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "initial", "begin", "end", "if", "else", "case",
+    "endcase", "default", "function", "endfunction", "localparam",
+    "parameter", "posedge", "negedge", "integer", "genvar", "generate",
+    "endgenerate",
+))
+
+_MODULE_RE = re.compile(r"^\s*module\s+([A-Za-z_][\w$]*)", re.MULTILINE)
+# ``modname instname (`` — an instantiation header (primitive or module).
+_INSTANCE_RE = re.compile(
+    r"^\s*([A-Za-z_][\w$]*)\s+([A-Za-z_][\w$]*)\s*\(", re.MULTILINE
+)
+_PORT_DECL_RE = re.compile(
+    r"^\s*(input|output)\s+(?:wire\s+|reg\s+)?"
+    r"(?:\[(\d+):(\d+)\]\s*)?(\\?\S+?)\s*[,)]?$",
+    re.MULTILINE,
+)
+
+
+def lint_verilog(text: str) -> list[str]:
+    """Text-level checks on one or more concatenated Verilog modules."""
+    problems: list[str] = []
+    defined = set(_MODULE_RE.findall(text))
+    n_module = len(re.findall(r"^\s*module\b", text, re.MULTILINE))
+    n_end = len(re.findall(r"^\s*endmodule\b", text, re.MULTILINE))
+    if n_module != n_end:
+        problems.append(
+            f"unbalanced module/endmodule: {n_module} vs {n_end}"
+        )
+    for mod, inst in _INSTANCE_RE.findall(text):
+        if mod in _KEYWORDS or inst in _KEYWORDS:
+            continue
+        if mod in PRIMITIVES:
+            continue
+        if mod not in defined:
+            problems.append(
+                f"instance {inst!r} references undefined module {mod!r}"
+            )
+    return problems
+
+
+def _declared_ports(module_text: str) -> dict[str, int]:
+    """Port name -> declared bit count, from one module's header.
+
+    The structural emitter declares escaped per-bit ports (``\\a[0]``);
+    those are grouped back into words here.  Behavioural ANSI headers
+    (``input wire [7:0] x``) contribute their vector width.
+    """
+    header = module_text.split(");", 1)[0]
+    widths: dict[str, int] = {}
+    for direction, hi, lo, name in _PORT_DECL_RE.findall(header):
+        name = name.lstrip("\\").rstrip(",")
+        if hi and lo:
+            bits = abs(int(hi) - int(lo)) + 1
+        else:
+            bits = 1
+        match = re.match(r"^(.+)\[(\d+)\]$", name)
+        if match:
+            widths[match.group(1)] = widths.get(match.group(1), 0) + 1
+        else:
+            widths[name] = widths.get(name, 0) + bits
+    return widths
+
+
+def lint_core(design: CoreDesign) -> list[str]:
+    """Full design audit: text lint + netlist/port cross-checks."""
+    problems = lint_verilog(design.verilog)
+    for name in design.instances:
+        if name not in design.modules:
+            problems.append(f"instantiated module {name!r} not emitted")
+    for name, netlist in design.submodules.items():
+        text = design.modules.get(name)
+        if text is None:
+            problems.append(f"submodule {name!r} missing from emission")
+            continue
+        declared = _declared_ports(text)
+        for port in word_ports(netlist):
+            got = declared.get(port.name)
+            if got != port.width:
+                problems.append(
+                    f"{name}.{port.name}: declared {got} bits, "
+                    f"netlist has {port.width}"
+                )
+        extra = set(declared) - {p.name for p in word_ports(netlist)}
+        if extra:
+            problems.append(
+                f"{name}: declared ports not in netlist: {sorted(extra)}"
+            )
+    return problems

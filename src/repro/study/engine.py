@@ -597,6 +597,10 @@ class StudyRun:
     #: True when this run was cut short (cancel token / ^C) and holds
     #: only the points that finished before the interruption.
     interrupted: bool = False
+    #: RTL calibration reports for the base front, one per point
+    #: (:class:`repro.rtl.calibrate.CalibrationReport`); filled only
+    #: when the study ran with ``calibrate_front=True``.
+    calibrations: list = field(default_factory=list)
 
     @property
     def label(self) -> str:
@@ -738,6 +742,7 @@ class Study:
         checkpoint_every: int = 16,
         cancel: CancelToken | None = None,
         manager: CheckpointManager | None = None,
+        calibrate_front: bool = False,
     ) -> None:
         spec.validate()
         self.spec = spec
@@ -751,6 +756,11 @@ class Study:
         self.progress = progress
         self.tracer = tracer
         self.collect_metrics = collect_metrics or tracer is not None
+        #: Opt-in RTL calibration post-pass: audit each run's base
+        #: front against the emitted core (:mod:`repro.rtl.calibrate`).
+        #: A kwarg rather than a spec field — calibration reads results,
+        #: it does not change them, so it must not alter the spec hash.
+        self.calibrate_front = calibrate_front
         #: Fault policy for unexpected evaluation exceptions; the
         #: default (fail_fast) is exactly the pre-resilience behaviour.
         self.policy = policy or FAIL_FAST
@@ -780,6 +790,7 @@ class Study:
         policy: FaultPolicy | None = None,
         checkpoint_every: int = 16,
         cancel: CancelToken | None = None,
+        calibrate_front: bool = False,
     ) -> Study:
         """A study continuing a killed/interrupted run from its file.
 
@@ -801,6 +812,7 @@ class Study:
             policy=policy,
             cancel=cancel,
             manager=manager,
+            calibrate_front=calibrate_front,
         )
 
     def run(self) -> StudyResult:
@@ -953,6 +965,12 @@ class Study:
         if metrics is not None and post_pass_hits:
             metrics.count("post_pass_hits", post_pass_hits)
 
+        calibrations: list = []
+        if self.calibrate_front:
+            calibrations = self._calibrate_front(
+                workload, result, objectives, evaluator, tech, label
+            )
+
         selection: SelectionResult | None = None
         if spec.select:
             candidates = pareto_front(result.points, objectives)
@@ -1017,6 +1035,7 @@ class Study:
             iterations=outcome.iterations,
             frontier_history=outcome.frontier_history,
             failures=list(evaluator.failures),
+            calibrations=calibrations,
         )
 
     def _partial_run(self) -> StudyRun | None:
@@ -1161,6 +1180,43 @@ class Study:
             evaluator._store(point)
         return hits
 
+    def _calibrate_front(
+        self,
+        workload,
+        result: ExplorationResult,
+        objectives: tuple[Objective, ...],
+        evaluator: CachedEvaluator,
+        tech,
+        label: str,
+    ) -> list:
+        """The RTL calibration post-pass, on the base front only.
+
+        Each front point's core is elaborated and audited against the
+        model (:func:`repro.rtl.calibrate.calibrate_point`); reports
+        ride the run (``StudyRun.calibrations``) and, with a tracer
+        attached, the trace ("calibration" events) so ``repro trace
+        summarize`` can report model drift per run.
+        """
+        # Imported here: calibration is opt-in, and the rtl package
+        # pulls the whole elaboration stack with it.
+        from repro.rtl.calibrate import calibrate_point
+
+        reports = []
+        for point in self._post_pass_front(result, objectives):
+            report = calibrate_point(
+                point,
+                workload,
+                width=self.spec.width,
+                tech=tech,
+                context=evaluator.context,
+            )
+            reports.append(report)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "calibration", run=label, **report.to_dict()
+                )
+        return reports
+
     def _post_pass_front(
         self,
         result: ExplorationResult,
@@ -1184,6 +1240,7 @@ def run_study(
     checkpoint: str | Path | None = None,
     checkpoint_every: int = 16,
     cancel: CancelToken | None = None,
+    calibrate_front: bool = False,
 ) -> StudyResult:
     """Build and run a :class:`Study` in one call."""
     return Study(
@@ -1191,4 +1248,5 @@ def run_study(
         tracer=tracer, collect_metrics=collect_metrics,
         policy=policy, checkpoint=checkpoint,
         checkpoint_every=checkpoint_every, cancel=cancel,
+        calibrate_front=calibrate_front,
     ).run()

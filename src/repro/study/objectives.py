@@ -37,6 +37,10 @@ class Objective:
     ``requires_energy`` marks objectives that read
     ``EvaluatedPoint.energy`` and need the switching-activity
     simulation pass (:func:`repro.energy.attach.attach_energy`).
+    ``requires_fields`` names further :class:`EvaluatedPoint` fields
+    that must be non-``None`` for the axis to be measurable — the
+    generic guard for base axes whose field can be absent on points
+    restored from older result caches (``code_size``).
     """
 
     name: str
@@ -44,6 +48,7 @@ class Objective:
     description: str = ""
     requires_test_costs: bool = False
     requires_energy: bool = False
+    requires_fields: tuple[str, ...] = ()
 
     @property
     def needs_post_pass(self) -> bool:
@@ -58,7 +63,10 @@ class Objective:
             return False
         if self.requires_energy and point.energy is None:
             return False
-        return True
+        return all(
+            getattr(point, name, None) is not None
+            for name in self.requires_fields
+        )
 
 
 _OBJECTIVES: dict[str, Objective] = {}
@@ -70,6 +78,7 @@ def register_objective(
     description: str = "",
     requires_test_costs: bool = False,
     requires_energy: bool = False,
+    requires_fields: tuple[str, ...] = (),
 ) -> Objective:
     """Add (or replace) a named objective; returns the registered entry."""
     objective = Objective(
@@ -78,6 +87,7 @@ def register_objective(
         description=description,
         requires_test_costs=requires_test_costs,
         requires_energy=requires_energy,
+        requires_fields=requires_fields,
     )
     _OBJECTIVES[name] = objective
     return objective
@@ -179,6 +189,12 @@ register_objective(
     lambda p: float(p.energy),
     "switching-activity energy from simulated transport traces",
     requires_energy=True,
+)
+register_objective(
+    "code_size",
+    lambda p: float(p.code_size),
+    "instruction-memory bits under the arch's move encoding",
+    requires_fields=("code_size",),
 )
 register_objective(
     "edp",

@@ -47,7 +47,11 @@ Required fields (every record):
     * ``failure``  (event) — a point whose evaluation died for good:
       error class, message, traceback digest, attempts used;
     * ``interrupted`` (event) — the run was cut short (cancel token or
-      KeyboardInterrupt); carries completed/total point counts.
+      KeyboardInterrupt); carries completed/total point counts;
+    * ``calibration`` (event) — one RTL calibration report for a
+      front point (:meth:`repro.rtl.calibrate.CalibrationReport.
+      to_dict`): static vs simulated cycles, modelled model/rtl area
+      and per-category deltas, and the ``ok`` verdict.
 
     Names used by the study service (:mod:`repro.service`; its ``run``
     field carries the job id, not a run label):

@@ -65,6 +65,7 @@ def summarize_trace(records: list[dict]) -> dict:
                 "failures": [],
                 "retries": 0,
                 "interrupted": None,
+                "calibrations": [],
             }
         return entry
 
@@ -157,6 +158,14 @@ def summarize_trace(records: list[dict]) -> dict:
                     "completed": data.get("completed"),
                     "total": data.get("total"),
                 }
+            elif name == "calibration":
+                entry["calibrations"].append({
+                    "config": data.get("config"),
+                    "workload": data.get("workload"),
+                    "cycles_delta": data.get("cycles_delta"),
+                    "area_ratio": data.get("area_ratio"),
+                    "ok": data.get("ok"),
+                })
 
     for run in runs.values():
         if run["job"] is not None and run["job"] in jobs:
@@ -289,6 +298,23 @@ def format_trace_summary(summary: dict) -> str:
                     run["metrics"].get("histograms", {}), "  "
                 )
             )
+        if run.get("calibrations"):
+            reports = run["calibrations"]
+            drifted = [r for r in reports if not r.get("ok")]
+            lines.append(
+                f"  calibration: {len(reports)} front point"
+                f"{'s' if len(reports) != 1 else ''} audited, "
+                f"{len(drifted)} drifted"
+            )
+            for report in drifted:
+                delta = report.get("cycles_delta")
+                ratio = report.get("area_ratio")
+                lines.append(
+                    f"    drift {report.get('config')}: "
+                    f"cycles delta {delta:+d}, area ratio {ratio:.2f}"
+                    if delta is not None and ratio is not None
+                    else f"    drift {report.get('config')}"
+                )
         if run["cache"]:
             lines.extend(_cache_lines(run["cache"], "  "))
     snapshots = summary.get("metric_snapshots", {})

@@ -114,6 +114,34 @@ class MoveEncoder:
             imm_ext_bits=arch.width,
         )
 
+    # -- read-only views for downstream consumers (RTL elaboration) ----
+    @property
+    def sources(self) -> tuple[tuple[str, str], ...]:
+        """All (unit, port) source keys in source-id order."""
+        return tuple(self._sources)
+
+    @property
+    def destinations(self) -> tuple[tuple[str, str], ...]:
+        """All (unit, port) destination keys, id ``i + 1`` for entry i."""
+        return tuple(self._destinations)
+
+    @property
+    def opcodes(self) -> tuple[str, ...]:
+        """All opcode mnemonics, id ``i + 1`` for entry i."""
+        return tuple(self._opcodes)
+
+    def source_id(self, unit: str, port: str) -> int:
+        """0-based socket address of an output port (or guard reg)."""
+        return self._src_id[(unit, port)]
+
+    def destination_id(self, unit: str, port: str) -> int:
+        """1-based socket address of an input port (0 = empty slot)."""
+        return self._dst_id[(unit, port)]
+
+    def opcode_id(self, op: str) -> int:
+        """1-based encoded opcode id (0 = no opcode)."""
+        return self._opcode_id[op]
+
     # ------------------------------------------------------------------
     def encode_move(self, move: Move) -> tuple[int, int | None]:
         """Pack one move into its slot value; returns (slot, long_imm)."""

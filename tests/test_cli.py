@@ -344,3 +344,83 @@ def test_energy_metrics_out(capsys, tmp_path):
     snapshot = json.loads(metrics.read_text())
     assert "simulate" in snapshot["phases"]
     assert "energy_model" in snapshot["phases"]
+
+
+def test_rtl_emit_json(capsys):
+    code, out, _ = _run(
+        capsys, "rtl", "emit", "gcd", "--space", "small", "--index", "5",
+        "--format", "json",
+    )
+    assert code == 0
+    data = json.loads(out)
+    assert data["lint_problems"] == []
+    assert data["top"] == "tta_core"
+    assert data["top"] in data["modules"]
+    assert data["num_instructions"] > 0
+    # each imem word carries the encoded instruction plus a halt bit
+    assert data["imem_bits"] == (
+        data["num_instructions"] * (data["instruction_bits"] + 1)
+    )
+
+
+def test_rtl_emit_verilog_to_file(capsys, tmp_path):
+    core = tmp_path / "core.v"
+    code, _, err = _run(
+        capsys, "rtl", "emit", "--space", "small", "--index", "5",
+        "--top", "my_core", "-o", str(core),
+    )
+    assert code == 0
+    assert "lint" not in err
+    text = core.read_text()
+    assert "module my_core" in text
+    assert text.rstrip().endswith("endmodule")
+
+
+def test_rtl_emit_rejects_bad_index(capsys):
+    code, _, err = _run(capsys, "rtl", "emit", "--space", "small",
+                        "--index", "99")
+    assert code == 1
+    assert "outside space" in err
+
+
+def test_rtl_calibrate_text_and_json(capsys):
+    code, out, _ = _run(
+        capsys, "rtl", "calibrate", "gcd", "--space", "small", "--index", "5",
+    )
+    assert code == 0
+    assert "calibration gcd" in out and ": OK" in out
+    assert "delta=+0" in out and "interconnect" in out
+    assert "(unmodelled)" in out
+
+    code, out, _ = _run(
+        capsys, "rtl", "calibrate", "gcd", "--space", "small", "--index", "5",
+        "--format", "json",
+    )
+    assert code == 0
+    report = json.loads(out)
+    assert report["ok"] is True
+    assert report["cycles_delta"] == 0
+
+
+def test_rtl_calibrate_rejects_unmappable_workload(capsys):
+    # fir needs a multiplier the small space's first point lacks
+    code, _, err = _run(capsys, "rtl", "calibrate", "fir", "--space", "small",
+                        "--index", "0")
+    assert code == 1
+    assert "does not map" in err
+
+
+def test_study_calibrate_flag(capsys):
+    code, out, _ = _run(
+        capsys, "study", "--workloads", "gcd", "--space", "small",
+        "--objectives", "area,cycles,code_size", "--calibrate",
+        "--no-cache", "-q",
+    )
+    assert code == 0
+    assert "calibrated" in out and "0 drifted" in out
+
+
+def test_list_objectives_shows_code_size(capsys):
+    code, out, _ = _run(capsys, "list", "--objectives")
+    assert code == 0
+    assert "code_size" in out and "instruction-memory bits" in out

@@ -442,3 +442,31 @@ def test_standalone_calls_match_study_path():
         )
         attach_energy([bare], workload)
         assert bare.energy == pytest.approx(point.energy, abs=1e-3)
+
+
+def test_glitch_factor_default_is_identity():
+    """glitch_factor=1.0 (the default) must be byte-identical to the
+    glitch-free model: same fingerprint, same per-unit weights."""
+    assert (TechnologyParameters(glitch_factor=1.0).fingerprint()
+            == TechnologyParameters().fingerprint())
+    assert (TechnologyParameters(glitch_factor=1.3).fingerprint()
+            != TechnologyParameters().fingerprint())
+    arch = build_architecture(dsp_space()[3], 16)
+    base = EnergyModel(arch, technology_by_name("default"))
+    same = EnergyModel(arch, TechnologyParameters(glitch_factor=1.0))
+    assert same._input_bit == base._input_bit
+
+
+def test_glitch_factor_scales_deep_units_hardest():
+    """A glitchy corner penalises the deep array multiplier more than
+    the shallow ALU; the shallowest core is the depth reference and
+    stays at exactly 1x."""
+    arch = build_architecture(dsp_space()[3], 16)
+    base = EnergyModel(arch, technology_by_name("default"))
+    glitchy = EnergyModel(arch, TechnologyParameters(glitch_factor=1.5))
+    ratio = {
+        unit: glitchy._input_bit[unit] / base._input_bit[unit]
+        for unit in ("alu0", "mul0", "imm0")
+    }
+    assert ratio["mul0"] > ratio["alu0"] > 1.0
+    assert ratio["imm0"] == pytest.approx(1.0)

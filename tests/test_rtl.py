@@ -1,0 +1,215 @@
+"""Tests for ``repro.rtl``: full-core emission, lint, calibration."""
+
+import pytest
+
+from repro.apps.registry import build_workload
+from repro.explore.evaluate import EvaluationContext
+from repro.explore.space import (
+    build_architecture_cached,
+    dsp_space,
+    small_space,
+)
+from repro.netlist import to_structural_verilog, word_ports
+from repro.rtl import calibrate, elaborate_core, lint_core, lint_verilog
+from repro.rtl.calibrate import TOLERANCE_BANDS, area_deltas
+from repro.rtl.core import build_move_decoder
+from repro.rtl.lint import _declared_ports
+from repro.study.engine import workload_profile
+from repro.tta.encoding import MoveEncoder
+
+
+def _compiled(workload_name, config, width=16):
+    workload = build_workload(workload_name)
+    profile = workload_profile(workload_name, width)
+    context = EvaluationContext(workload, profile, width)
+    point = context.evaluate(config, keep_compile_result=True)
+    assert point.feasible, f"{workload_name} on {config.label()}"
+    return point, context, workload
+
+
+# ----------------------------------------------------------------------
+# emission + lint across the config sweep
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "config",
+    small_space() + dsp_space(),
+    ids=lambda c: c.label(),
+)
+def test_core_emission_is_lint_clean_across_spaces(config):
+    arch = build_architecture_cached(config, 16)
+    design = elaborate_core(arch)
+    assert lint_core(design) == []
+    # the top module is emitted last and instantiates everything else
+    assert list(design.modules)[-1] == design.top_name
+
+
+@pytest.mark.parametrize("width", [8, 32])
+def test_core_emission_other_widths(width):
+    arch = build_architecture_cached(small_space()[5], width)
+    design = elaborate_core(arch)
+    assert design.width == width
+    assert lint_core(design) == []
+
+
+def test_component_emitters_are_self_consistent():
+    """Every structural submodule's Verilog port list matches its
+    netlist's word-level ports bit for bit (the lint cross-check,
+    exercised directly on each component of a representative core)."""
+    arch = build_architecture_cached(dsp_space()[3], 16)
+    design = elaborate_core(arch)
+    for name, netlist in design.submodules.items():
+        text = to_structural_verilog(netlist, module_name=name)
+        assert lint_verilog(text) == []
+        declared = _declared_ports(text)
+        for port in word_ports(netlist):
+            assert declared[port.name] == port.width, (name, port.name)
+
+
+def test_program_embeds_as_instruction_rom():
+    point, _, _ = _compiled("gcd", small_space()[5])
+    arch = build_architecture_cached(point.config, 16)
+    program = point.compile_result.program
+    design = elaborate_core(arch, program=program)
+    encoder = MoveEncoder(arch)
+    assert design.num_instructions == len(program.instructions)
+    assert design.instruction_bits == encoder.format.instruction_bits
+    # the imem word carries a halt sideband on top of the encoded word
+    assert design.imem_bits == (
+        len(program.instructions) * (design.instruction_bits + 1)
+    )
+    assert lint_core(design) == []
+    # every encoded instruction appears in the ROM case function
+    top = design.modules[design.top_name]
+    for word, instr in zip(
+        encoder.encode_program(program), program.instructions
+    ):
+        image = word | (int(instr.halt) << design.instruction_bits)
+        assert f"'h{image:x};" in top
+
+
+def test_external_imem_core_without_program():
+    arch = build_architecture_cached(small_space()[0], 16)
+    design = elaborate_core(arch)
+    assert design.num_instructions == 0
+    assert design.imem_bits == 0
+    # no embedded ROM: the top declares a writable instruction memory
+    assert "imem" in design.modules[design.top_name]
+    assert lint_core(design) == []
+
+
+# ----------------------------------------------------------------------
+# the move decoder is field-exact to the binary encoding
+# ----------------------------------------------------------------------
+def test_move_decoder_matches_encoder_on_compiled_program():
+    point, _, _ = _compiled("gcd", small_space()[5])
+    arch = build_architecture_cached(point.config, 16)
+    encoder = MoveEncoder(arch)
+    fmt = encoder.format
+    decoder = build_move_decoder(fmt, arch.num_guard_regs)
+    width_mask = (1 << arch.width) - 1
+    slot_mask = (1 << fmt.slot_bits) - 1
+    all_guards = (1 << arch.num_guard_regs) - 1
+
+    program = point.compile_result.program
+    checked_moves = 0
+    for instr in program.instructions:
+        word = encoder.encode_instruction(instr)
+        imm_ext = word >> (fmt.num_buses * fmt.slot_bits)
+        for bus, move in enumerate(instr.slots):
+            slot = (word >> (bus * fmt.slot_bits)) & slot_mask
+            out = decoder.evaluate_words(
+                {"slot": slot, "guards": all_guards, "imm_ext": imm_ext}
+            )
+            if move is None:
+                assert out["valid"] == 0
+                assert out["fire"] == 0
+                continue
+            checked_moves += 1
+            assert out["valid"] == 1
+            assert out["dst_id"] == encoder.destination_id(
+                move.dst.unit, move.dst.port
+            )
+            assert out["dst_index"] == (move.dst_reg or 0)
+            if move.is_immediate():
+                assert out["is_imm"] == 1
+                assert out["imm_value"] == move.src.value & width_mask
+            else:
+                assert out["is_imm"] == 0
+                assert out["src_id"] == encoder.source_id(
+                    move.src.unit, move.src.port
+                )
+            if move.opcode is not None:
+                assert out["opcode"] == encoder.opcode_id(move.opcode)
+            else:
+                assert out["opcode"] == 0
+            # predicate: true guards fire unless inverted; zero guards
+            # fire only when inverted; unguarded moves always fire
+            zero = decoder.evaluate_words(
+                {"slot": slot, "guards": 0, "imm_ext": imm_ext}
+            )
+            if move.guard is None:
+                assert out["guard_ok"] == 1 and zero["guard_ok"] == 1
+            else:
+                inv = int(move.guard.invert)
+                assert out["guard_ok"] == 1 ^ inv
+                assert zero["guard_ok"] == 0 ^ inv
+            assert out["fire"] == (out["valid"] & out["guard_ok"])
+    assert checked_moves > 10
+
+
+# ----------------------------------------------------------------------
+# calibration
+# ----------------------------------------------------------------------
+def test_calibration_cycles_delta_is_zero_and_areas_in_band():
+    workload = build_workload("gcd")
+    report = calibrate(workload, small_space()[5], width=16)
+    assert report.cycles_delta == 0
+    assert report.simulated_cycles == report.static_cycles
+    assert report.ok
+    for delta in report.deltas:
+        if delta.modelled:
+            lo, hi = TOLERANCE_BANDS[delta.category]
+            assert lo <= delta.ratio <= hi, delta
+        else:
+            assert delta.category in ("decode", "fetch")
+            assert delta.ratio is None and delta.within_tolerance is None
+
+
+def test_calibration_on_dsp_space():
+    workload = build_workload("fir")
+    report = calibrate(workload, dsp_space()[3], width=16)
+    assert report.cycles_delta == 0
+    assert report.ok
+
+
+def test_modelled_categories_partition_model_area_exactly():
+    """The per-unit + interconnect model areas sum to arch.area() —
+    the calibration covers everything the model prices, once."""
+    for config in (small_space()[5], dsp_space()[3]):
+        arch = build_architecture_cached(config, 16)
+        design = elaborate_core(arch)
+        deltas = area_deltas(arch, design)
+        modelled = sum(d.model_area for d in deltas if d.modelled)
+        assert modelled == pytest.approx(arch.area(), rel=1e-9)
+
+
+def test_calibration_report_to_dict_round_trips_verdict():
+    workload = build_workload("checksum")
+    report = calibrate(workload, small_space()[5], width=16)
+    data = report.to_dict()
+    assert data["ok"] == report.ok
+    assert data["cycles_delta"] == 0
+    assert data["model_area"] == report.model_area
+    assert {d["category"] for d in data["deltas"]} == {
+        "unit", "rf", "interconnect", "decode", "fetch"
+    }
+    # unmodelled rows never carry a verdict
+    for entry in data["deltas"]:
+        if not entry["modelled"]:
+            assert entry["within_tolerance"] is None
+
+
+def test_calibrate_rejects_unmappable_workload():
+    workload = build_workload("fir")      # needs a multiplier
+    with pytest.raises(ValueError, match="does not map"):
+        calibrate(workload, small_space()[0], width=16)

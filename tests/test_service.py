@@ -353,9 +353,10 @@ class TestShardedCache:
         (tmp_path / "legacyentry.json").write_text(
             json.dumps(
                 {
-                    "schema": 1, "workload": "gcd", "width": 16,
+                    "schema": 2, "workload": "gcd", "width": 16,
                     "config": ArchConfig(num_buses=2).to_dict(),
-                    "area": 2.0, "cycles": 20, "test_cost": None,
+                    "area": 2.0, "cycles": 20, "code_size": None,
+                    "test_cost": None,
                     "march": None, "energy": None, "energy_model": None,
                 }
             )

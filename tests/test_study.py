@@ -729,3 +729,64 @@ def test_select_architecture_with_key():
         key=lambda p: cost_vector(p, objectives),
     )
     assert area_heavy.point is points[0]
+
+
+# ----------------------------------------------------------------------
+# code_size objective + RTL calibration post-pass
+# ----------------------------------------------------------------------
+def test_code_size_monotone_in_width():
+    """Instruction-memory bits grow with datapath width on a fixed
+    config: wider immediates can only widen the move slots."""
+    from repro.explore import EvaluationContext
+    from repro.study.engine import workload_profile
+
+    config = small_space()[5]
+    sizes = []
+    for width in (8, 16, 32):
+        workload = build_workload("gcd")
+        profile = workload_profile("gcd", width)
+        point = EvaluationContext(workload, profile, width).evaluate(config)
+        assert point.feasible and point.code_size is not None
+        # the objective is exactly the encoder's footprint
+        encoder_bits = point.code_size
+        assert encoder_bits > 0 and encoder_bits % 1 == 0
+        sizes.append(encoder_bits)
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_code_size_objective_gated_and_selectable():
+    obj = objective_by_name("code_size")
+    result = run_study(StudySpec(
+        name="code-size", workloads=("gcd",), space="small",
+        objectives=("area", "cycles", "code_size"),
+    ))
+    front = result.single.pareto
+    assert front
+    for point in front:
+        assert obj.available(point)
+        assert obj.measure(point) == float(point.code_size)
+    # infeasible points never expose a footprint
+    for point in result.single.result.points:
+        if not point.feasible:
+            assert point.code_size is None
+            assert not obj.available(point)
+
+
+def test_study_calibrate_front_audits_base_front():
+    """calibrate_front=True runs the RTL audit over the base-objective
+    front and records one passing report per front point."""
+    result = run_study(
+        StudySpec(
+            name="calibrated", workloads=("gcd",), space="small",
+            objectives=("area", "cycles"),
+        ),
+        calibrate_front=True,
+    )
+    run = result.single
+    assert run.calibrations
+    assert len(run.calibrations) == len(run.pareto)
+    labels = {p.label for p in run.pareto}
+    for report in run.calibrations:
+        assert report.ok
+        assert report.cycles_delta == 0
+        assert report.config in labels

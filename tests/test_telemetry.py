@@ -371,6 +371,35 @@ class TestTraceContents:
         assert "gcd/small/w16" in text
         assert "result cache" in text
 
+    def test_calibration_events_summarized(self, tmp_path):
+        """A calibrated study writes one ``calibration`` event per
+        front point, and summarize rolls them into an audited/drifted
+        line."""
+        path = tmp_path / "calibrated.jsonl"
+        with Tracer(path) as tracer:
+            run_study(
+                StudySpec(
+                    name="calibrated", workloads=("gcd",),
+                    space="small", objectives=("area", "cycles"),
+                ),
+                cache=ResultCache(tmp_path / "cache"),
+                tracer=tracer,
+                calibrate_front=True,
+            )
+        records = load_trace(path)
+        events = [r for r in records if r["name"] == "calibration"]
+        assert events
+        assert all(e["data"]["ok"] for e in events)
+        assert all(e["data"]["cycles_delta"] == 0 for e in events)
+        summary = summarize_trace(records)
+        calibrations = summary["runs"][0]["calibrations"]
+        assert len(calibrations) == len(events)
+        for entry in calibrations:
+            assert entry["ok"] and entry["cycles_delta"] == 0
+        text = format_trace_summary(summary)
+        assert f"calibration: {len(events)} front point" in text
+        assert "0 drifted" in text
+
     def test_campaign_trace_spans_all_jobs(self, tmp_path):
         path = tmp_path / "campaign.jsonl"
         with Tracer(path) as tracer:
